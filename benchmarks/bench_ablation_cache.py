@@ -1,0 +1,64 @@
+"""Ablation: pseudonym cache size sensitivity.
+
+The cache is the gossip working set (Table I uses 400 entries for 1000
+nodes).  Too small a cache limits how many distinct pseudonyms a node
+can relay, slowing mixing; beyond a saturation point extra capacity
+buys little.  This bench sweeps the cache size at fixed availability.
+"""
+
+from repro.experiments import (
+    format_table,
+    make_config,
+    make_trust_graph,
+    run_overlay_experiment,
+)
+
+from conftest import SEED, emit
+
+
+class TestCacheAblation:
+    def test_bench_cache_sizes(self, benchmark, scale, results_dir):
+        trust_graph = make_trust_graph(scale, f=0.5, seed=SEED)
+        sizes = sorted(
+            {
+                max(4, scale.cache_size // 16),
+                max(8, scale.cache_size // 4),
+                scale.cache_size,
+            }
+        )
+
+        def run():
+            outcomes = {}
+            for size in sizes:
+                config = make_config(scale, alpha=0.25, f=0.5, seed=SEED).replace(
+                    cache_size=size
+                )
+                outcomes[size] = run_overlay_experiment(
+                    trust_graph,
+                    config,
+                    horizon=scale.total_horizon,
+                    measure_window=scale.measure_window,
+                )
+            return outcomes
+
+        outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            (size, outcome.disconnected, outcome.full_edge_count)
+            for size, outcome in sorted(outcomes.items())
+        ]
+        emit(
+            results_dir,
+            "ablation_cache",
+            format_table(
+                ["cache_size", "disconnected", "edges"],
+                rows,
+                title="Ablation: cache-size sweep (alpha=0.25)",
+            ),
+        )
+
+        # The default cache keeps the overlay robust; a drastically
+        # smaller cache must not do better than the default.
+        default = outcomes[scale.cache_size]
+        tiny = outcomes[sizes[0]]
+        assert default.disconnected <= tiny.disconnected + 0.05
+        assert default.disconnected < 0.25

@@ -1,0 +1,57 @@
+"""Ablation: shuffle-length (gossip fanout l) sensitivity.
+
+Each shuffle message carries up to l pseudonyms (Table I: 40).  Small l
+slows pseudonym mixing — returning nodes take longer to refill their
+samplers — while large l mostly adds message size.  This bench sweeps l
+at low availability, where mixing speed matters most.
+"""
+
+from repro.experiments import (
+    format_table,
+    make_config,
+    make_trust_graph,
+    run_overlay_experiment,
+)
+
+from conftest import SEED, emit
+
+
+class TestFanoutAblation:
+    def test_bench_shuffle_lengths(self, benchmark, scale, results_dir):
+        trust_graph = make_trust_graph(scale, f=0.5, seed=SEED)
+        lengths = sorted({2, max(4, scale.shuffle_length // 4), scale.shuffle_length})
+
+        def run():
+            outcomes = {}
+            for length in lengths:
+                config = make_config(scale, alpha=0.25, f=0.5, seed=SEED).replace(
+                    shuffle_length=length
+                )
+                outcomes[length] = run_overlay_experiment(
+                    trust_graph,
+                    config,
+                    horizon=scale.total_horizon,
+                    measure_window=scale.measure_window,
+                )
+            return outcomes
+
+        outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            (length, outcome.disconnected, outcome.full_edge_count)
+            for length, outcome in sorted(outcomes.items())
+        ]
+        emit(
+            results_dir,
+            "ablation_fanout",
+            format_table(
+                ["shuffle_length", "disconnected", "edges"],
+                rows,
+                title="Ablation: shuffle-length sweep (alpha=0.25)",
+            ),
+        )
+
+        default = outcomes[scale.shuffle_length]
+        minimal = outcomes[lengths[0]]
+        # The default fanout is at least as robust as the minimal one.
+        assert default.disconnected <= minimal.disconnected + 0.05
+        assert default.disconnected < 0.25

@@ -1,0 +1,31 @@
+"""Figure 4: normalized average path length vs availability.
+
+Paper claims reproduced here: the overlay's normalized path length is
+significantly lower than the trust graph's and closely matches the
+Erdős–Rényi baseline across availability values.
+"""
+
+from conftest import emit
+
+
+class TestFigure4:
+    def test_bench_path_length_sweeps(self, benchmark, sweeps, scale, results_dir):
+        def collect():
+            return sweeps
+
+        result = benchmark.pedantic(collect, rounds=1, iterations=1)
+        for f, sweep in result.items():
+            emit(results_dir, f"fig4_f{f:g}", sweep.format_table("path"))
+
+        for f, sweep in result.items():
+            for point in sweep.points:
+                if point.alpha < 0.25:
+                    continue  # both baselines degenerate at extreme churn
+                # Overlay paths significantly shorter than the trust graph.
+                assert point.overlay_path_length < point.trust_path_length, (
+                    f"overlay paths not shorter at f={f}, alpha={point.alpha}"
+                )
+                # And close to the random baseline (within 2x).
+                assert (
+                    point.overlay_path_length < 2.0 * point.random_path_length
+                ), f"overlay far from random baseline at f={f}, alpha={point.alpha}"

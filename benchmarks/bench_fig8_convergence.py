@@ -1,0 +1,40 @@
+"""Figure 8: connectivity over time at alpha = 0.25.
+
+Paper claims reproduced here: starting from a cold overlay, the
+disconnected fraction drops sharply within a few shuffling periods and
+stabilizes near full connectivity, while the trust-graph baseline stays
+heavily partitioned for the whole run.
+"""
+
+from repro.experiments import figure8
+
+from conftest import SEED, emit
+
+
+class TestFigure8:
+    def test_bench_convergence(self, benchmark, scale, results_dir):
+        def run():
+            return figure8(scale, seed=SEED, alpha=0.25, ratios=(3.0, 9.0))
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(results_dir, "fig8_convergence", result.format_table())
+
+        # The overlay converges: by the end, both r-variants are far
+        # below the trust baseline's stable disconnection level.
+        trust_tail = result.trust_series.tail_mean(0.3)
+        for ratio, series in result.overlay_series.items():
+            overlay_tail = series.tail_mean(0.3)
+            assert overlay_tail < 0.5 * trust_tail, (
+                f"overlay r={ratio} did not separate from the trust "
+                f"baseline ({overlay_tail:.3f} vs {trust_tail:.3f})"
+            )
+        # r=9 stabilizes at (near-)full connectivity.
+        assert result.overlay_series[9.0].tail_mean(0.3) < 0.12
+
+        # Convergence happens early: within 40% of the horizon the r=9
+        # overlay already dipped below 0.1 disconnected.
+        early = result.overlay_series[9.0].time_to_reach(0.1, below=True)
+        assert early is not None and early < 0.4 * scale.fig8_horizon
+
+        # The trust baseline never converges.
+        assert trust_tail > 0.15

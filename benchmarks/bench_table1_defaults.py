@@ -1,0 +1,50 @@
+"""Table I: default system parameters.
+
+Asserts that :class:`repro.config.SystemConfig` defaults reproduce the
+paper's Table I exactly, and benchmarks one overlay run under the
+default configuration (scaled population).
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.experiments import make_config, make_trust_graph, run_overlay_experiment
+
+from conftest import SEED, emit
+
+
+class TestTable1:
+    def test_defaults_match_table1(self):
+        config = SystemConfig()
+        assert config.num_nodes == 1000
+        assert config.sampling_f == 0.5
+        assert config.mean_offline_time == 30.0
+        assert config.pseudonym_lifetime == 90.0  # 3 x Toff
+        assert config.cache_size == 400
+        assert config.shuffle_length == 40
+        assert config.target_degree == 50
+
+    def test_bench_default_scenario(self, benchmark, scale, results_dir):
+        trust_graph = make_trust_graph(scale, f=0.5, seed=SEED)
+        config = make_config(scale, alpha=0.5, f=0.5, seed=SEED)
+
+        def run():
+            return run_overlay_experiment(
+                trust_graph,
+                config,
+                horizon=scale.total_horizon,
+                measure_window=scale.measure_window,
+            )
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            results_dir,
+            "table1_defaults",
+            "Table I default scenario "
+            f"({scale.name} scale, alpha=0.5, f=0.5):\n"
+            f"  overlay disconnected fraction: {result.disconnected:.4f}\n"
+            f"  trust-graph disconnected fraction: {result.trust_disconnected:.4f}\n"
+            f"  overlay edges (all nodes): {result.full_edge_count}",
+        )
+        assert result.disconnected < 0.05
+        assert result.disconnected <= result.trust_disconnected

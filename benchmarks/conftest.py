@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figN`` module regenerates one figure of the paper at the
+scale selected by the environment (``REPRO_FULL=1`` for paper scale,
+default quick — see DESIGN.md §5), prints the same rows/series the
+paper plots, saves them under ``benchmarks/results/``, and asserts the
+qualitative shape the paper reports.
+
+Figures 3 and 4 come from the same availability sweeps, so the sweeps
+are computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import availability_sweep, scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SEED = 1
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale for this benchmark session."""
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sweeps(scale):
+    """Availability sweeps for f = 1.0 and f = 0.5 (Figures 3 and 4)."""
+    return {
+        f: availability_sweep(scale, f=f, seed=SEED) for f in (1.0, 0.5)
+    }
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

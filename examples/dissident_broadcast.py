@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Dissident micro-news: privacy-preserving broadcast under heavy churn.
+
+Scenario from the paper's introduction: "a group of dissidents in a
+country that limits freedom of expression attempting to reach out to a
+broader audience".  Members are online rarely (alpha = 0.3 — think
+mobile devices and intermittent connectivity), and no participant may
+learn who else belongs to the group beyond their own friends.
+
+The script compares broadcasting a news item by controlled flooding
+
+* over the bare friend-to-friend (trust) overlay, and
+* over the robust overlay after the maintenance protocol has run,
+
+reporting the fraction of online members reached and the latency.
+
+Run with:  python examples/dissident_broadcast.py
+"""
+
+from repro import Overlay, SystemConfig
+from repro.dissemination import FloodBroadcast, coverage_report
+from repro.graphs import generate_social_graph, sample_trust_graph
+from repro.rng import RandomStreams
+
+
+def build_overlay(trust, config, warmup):
+    overlay = Overlay.build(trust, config)
+    overlay.start()
+    overlay.run_until(warmup)
+    return overlay
+
+
+def pick_online_origin(overlay):
+    online = overlay.online_ids()
+    if not online:
+        raise RuntimeError("nobody is online; rerun with higher availability")
+    return online[0]
+
+
+def main() -> None:
+    streams = RandomStreams(seed=451)
+    social = generate_social_graph(2500, rng=streams.substream("social"))
+    trust = sample_trust_graph(social, 250, f=0.4, rng=streams.substream("invite"))
+
+    config = SystemConfig(
+        num_nodes=250,
+        availability=0.3,          # heavy churn
+        mean_offline_time=30.0,
+        lifetime_ratio=3.0,
+        cache_size=150,
+        shuffle_length=24,
+        target_degree=30,
+        seed=451,
+    )
+
+    # --- baseline: flood over trust links only ------------------------
+    # A pure F2F overlay is this protocol with zero pseudonym links.
+    baseline_config = config.replace(target_degree=1, min_pseudonym_links=0)
+    baseline = build_overlay(trust, baseline_config, warmup=120.0)
+    flood = FloodBroadcast(baseline, ttl=15)
+    flood.install()
+    origin = pick_online_origin(baseline)
+    audience = baseline.online_ids()  # members online at broadcast time
+    record = flood.broadcast(origin, payload="manifesto #1")
+    baseline.run_until(baseline.sim.now + 3.0)
+    baseline_report = coverage_report(record, audience)
+
+    # --- robust overlay: flood over trust + pseudonym links -----------
+    robust = build_overlay(trust, config, warmup=120.0)
+    flood = FloodBroadcast(robust, ttl=15)
+    flood.install()
+    origin = pick_online_origin(robust)
+    audience = robust.online_ids()
+    record = flood.broadcast(origin, payload="manifesto #1")
+    robust.run_until(robust.sim.now + 3.0)
+    robust_report = coverage_report(record, audience)
+
+    print("flooding a news item to the group (alpha = 0.3):\n")
+    print(f"  bare F2F overlay:  {baseline_report}")
+    print(f"  robust overlay:    {robust_report}\n")
+    gain = robust_report.coverage - baseline_report.coverage
+    print(
+        f"robust overlay reaches {gain:+.1%} more of the online group; "
+        "no member ever learned another member's identity beyond their "
+        "own friends."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Threat-model analyses from paper Section III-E: static coalition
+exposure over the trust graph, internal-observer instrumentation,
+overlay-size estimation, and the timing-analysis link-detection attack.
+"""
+
+from .analysis import (
+    CoalitionExposure,
+    coalition_exposure,
+    cut_components,
+    is_vertex_cut,
+)
+from .audit import AuditReport, run_privacy_audit
+from .link_detection import (
+    LinkDetectionOutcome,
+    inject_marked_pseudonym,
+    run_link_detection_trials,
+    watch_for_marked_value,
+)
+from .observers import ObserverCoalition, Sighting
+from .size_estimation import SizeEstimate, estimate_overlay_size
+from .vertexcut import (
+    VertexCutOutcome,
+    install_flow_control,
+    measure_flow_control,
+)
+
+__all__ = [
+    "CoalitionExposure",
+    "coalition_exposure",
+    "is_vertex_cut",
+    "cut_components",
+    "ObserverCoalition",
+    "Sighting",
+    "SizeEstimate",
+    "estimate_overlay_size",
+    "LinkDetectionOutcome",
+    "inject_marked_pseudonym",
+    "watch_for_marked_value",
+    "run_link_detection_trials",
+    "VertexCutOutcome",
+    "install_flow_control",
+    "measure_flow_control",
+    "AuditReport",
+    "run_privacy_audit",
+]

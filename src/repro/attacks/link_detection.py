@@ -1,0 +1,211 @@
+"""The timing-analysis link-detection attack (Section III-E2).
+
+Setup: colluding observers n and o are trust-adjacent to target nodes a
+and b respectively.  "n can produce a pseudonym P and send it only to
+a.  If a gossips P to b in the next gossip round and b gossips P to o
+in the next round as well, then n and o can reasonably assume that an
+overlay link exists between a and b."
+
+The attack deviates from the protocol only in message *content* (a
+crafted pseudonym), which the paper's semi-honest model allows it to
+study.  Detection requires attribution: o can attribute a sighting to b
+only when the carrying message identifiably came from b — a shuffle
+request from b over their trusted link (it carries b's reply id), or
+the response to a request o itself sent to b.
+
+The paper argues the attack succeeds rarely because a must pick P out
+of its whole cache quickly *and* pick b as partner, then b must do the
+same toward o.  :func:`run_link_detection_trials` measures exactly that
+success rate against ground truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Overlay, ShuffleRequest, mint_pseudonym
+from ..core.shuffle import make_shuffle_set
+from ..errors import ExperimentError
+
+__all__ = [
+    "LinkDetectionOutcome",
+    "inject_marked_pseudonym",
+    "watch_for_marked_value",
+    "run_link_detection_trials",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkDetectionOutcome:
+    """Result of one attack trial."""
+
+    observer_n: int
+    target_a: int
+    observer_o: int
+    target_b: int
+    marked_value: int
+    injected_at: float
+    detected_via_b: bool
+    detection_time: Optional[float]
+    seen_anywhere: bool
+    ground_truth_link: bool
+
+    @property
+    def correct(self) -> bool:
+        """Whether the attack's conclusion matches ground truth."""
+        return self.detected_via_b == self.ground_truth_link
+
+
+def _require_trust_edge(overlay: Overlay, u: int, v: int) -> None:
+    if not overlay.trust_graph.has_edge(u, v):
+        raise ExperimentError(f"nodes {u} and {v} share no trust edge")
+
+
+def inject_marked_pseudonym(
+    overlay: Overlay, observer_n: int, target_a: int, lifetime: float = math.inf
+) -> int:
+    """Have observer n send a crafted pseudonym only to its neighbor a.
+
+    Returns the marked value.  The pseudonym is routable (it gets a
+    real endpoint owned by n) so honest nodes treat it exactly like any
+    other pseudonym.
+    """
+    _require_trust_edge(overlay, observer_n, target_a)
+    node_n = overlay.nodes[observer_n]
+    if not node_n.online or node_n.own is None:
+        raise ExperimentError(f"observer {observer_n} must be online")
+    rng = overlay.substream("attack", "marked", observer_n)
+    address = overlay.link_layer.create_endpoint(observer_n)
+    marked = mint_pseudonym(rng, address, overlay.sim.now, lifetime)
+    # Measurement registry, so ground-truth snapshots stay consistent.
+    overlay._record_pseudonym(observer_n, marked)
+    entries = make_shuffle_set(node_n.own, (marked,), limit=2)
+    request = ShuffleRequest(entries=entries, reply_node=observer_n)
+    overlay.link_layer.send_to_node(observer_n, target_a, request)
+    node_n.counters.messages_sent += 1
+    return marked.value
+
+
+class _MarkedValueWatcher:
+    """Observer-side detector with sender attribution."""
+
+    def __init__(
+        self, overlay: Overlay, observer_o: int, target_b: int, marked_value: int
+    ) -> None:
+        self._overlay = overlay
+        self._observer_o = observer_o
+        self._target_b = target_b
+        self._marked_value = marked_value
+        self._pending_request_to_b = False
+        self.detected_via_b_at: Optional[float] = None
+        self.seen_anywhere_at: Optional[float] = None
+        overlay.nodes[observer_o].observer = self._hook
+
+    def _entries_contain_mark(self, entries) -> bool:
+        return any(pseudonym.value == self._marked_value for pseudonym in entries)
+
+    def _hook(self, event: str, details: dict) -> None:
+        if event == "shuffle_request_sent":
+            target = details["target"]
+            self._pending_request_to_b = (
+                target.is_trusted and target.node_id == self._target_b
+            )
+            return
+        if event == "shuffle_request_received":
+            if self._entries_contain_mark(details["entries"]):
+                if self.seen_anywhere_at is None:
+                    self.seen_anywhere_at = details["time"]
+                if (
+                    details.get("reply_node") == self._target_b
+                    and self.detected_via_b_at is None
+                ):
+                    self.detected_via_b_at = details["time"]
+            return
+        if event == "shuffle_response_received":
+            if self._entries_contain_mark(details["entries"]):
+                if self.seen_anywhere_at is None:
+                    self.seen_anywhere_at = details["time"]
+                if self._pending_request_to_b and self.detected_via_b_at is None:
+                    self.detected_via_b_at = details["time"]
+            # A response concludes the exchange it answered.
+            self._pending_request_to_b = False
+
+
+def watch_for_marked_value(
+    overlay: Overlay, observer_o: int, target_b: int, marked_value: int
+) -> _MarkedValueWatcher:
+    """Install the marked-value detector on observer o."""
+    _require_trust_edge(overlay, observer_o, target_b)
+    return _MarkedValueWatcher(overlay, observer_o, target_b, marked_value)
+
+
+def _overlay_link_exists(overlay: Overlay, a: int, b: int) -> bool:
+    """Ground truth: any current overlay link between a and b."""
+    if overlay.trust_graph.has_edge(a, b):
+        return True
+    now = overlay.sim.now
+    for first, second in ((a, b), (b, a)):
+        for pseudonym in overlay.nodes[first].links.pseudonym_links():
+            if pseudonym.is_expired(now):
+                continue
+            if overlay.owner_of_value(pseudonym.value) == second:
+                return True
+    return False
+
+
+def run_link_detection_trials(
+    overlay: Overlay,
+    pairs: Sequence[Tuple[int, int, int, int]],
+    detection_window: float = 5.0,
+    trial_spacing: float = 0.0,
+) -> List[LinkDetectionOutcome]:
+    """Run the attack for several (n, a, o, b) quadruples.
+
+    The overlay must already be started.  Trials run sequentially; each
+    injects a marked pseudonym, advances the simulation by
+    ``detection_window`` periods, and records the outcome.
+
+    Parameters
+    ----------
+    overlay:
+        A running overlay.
+    pairs:
+        Quadruples ``(observer_n, target_a, observer_o, target_b)``;
+        n-a and o-b must be trust edges.
+    detection_window:
+        How long (in shuffling periods) the coalition watches before
+        concluding.
+    trial_spacing:
+        Extra idle time between trials, letting marked values wash out.
+    """
+    outcomes: List[LinkDetectionOutcome] = []
+    for observer_n, target_a, observer_o, target_b in pairs:
+        if not overlay.nodes[observer_n].online:
+            continue  # attack needs a live injector; skip this trial
+        ground_truth = _overlay_link_exists(overlay, target_a, target_b)
+        injected_at = overlay.sim.now
+        marked_value = inject_marked_pseudonym(overlay, observer_n, target_a)
+        watcher = watch_for_marked_value(
+            overlay, observer_o, target_b, marked_value
+        )
+        overlay.run_until(overlay.sim.now + detection_window)
+        outcomes.append(
+            LinkDetectionOutcome(
+                observer_n=observer_n,
+                target_a=target_a,
+                observer_o=observer_o,
+                target_b=target_b,
+                marked_value=marked_value,
+                injected_at=injected_at,
+                detected_via_b=watcher.detected_via_b_at is not None,
+                detection_time=watcher.detected_via_b_at,
+                seen_anywhere=watcher.seen_anywhere_at is not None,
+                ground_truth_link=ground_truth,
+            )
+        )
+        overlay.nodes[observer_o].observer = None
+        if trial_spacing > 0:
+            overlay.run_until(overlay.sim.now + trial_spacing)
+    return outcomes

@@ -1,0 +1,84 @@
+"""Overlay-size estimation by internal observers (Section III-E4).
+
+"If the number of nodes in the system is small, then all nodes will
+eventually see all pseudonyms in the system before they expire, which
+allows nodes to estimate the number of participating nodes.  This,
+however, does not violate our privacy requirements."
+
+An observer coalition counts distinct live pseudonym values: each
+online node owns exactly one live pseudonym, so the count of distinct
+unexpired values seen over a recent window estimates the number of
+(recently online) participants.  Counting *all* values ever seen
+instead over-counts by the pseudonym turnover factor — the experiment
+quantifies both estimators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core import Overlay
+from ..errors import ExperimentError
+from .observers import ObserverCoalition
+
+__all__ = ["SizeEstimate", "estimate_overlay_size"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SizeEstimate:
+    """Outcome of the size-estimation attack."""
+
+    true_size: int
+    live_value_estimate: int
+    all_values_seen: int
+    window: float
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of the live-value estimator."""
+        if self.true_size == 0:
+            return 0.0
+        return abs(self.live_value_estimate - self.true_size) / self.true_size
+
+
+def estimate_overlay_size(
+    overlay: Overlay,
+    coalition: ObserverCoalition,
+    window: float,
+) -> SizeEstimate:
+    """Estimate the participant count from the coalition's sightings.
+
+    Parameters
+    ----------
+    overlay:
+        The system under attack (already run for a while with the
+        coalition installed).
+    coalition:
+        The observers whose pooled sightings form the estimate.
+    window:
+        Only sightings within the last ``window`` shuffling periods
+        count toward the live estimate, limiting staleness.
+
+    Returns
+    -------
+    SizeEstimate
+        The live-value estimator plus the naive all-values count.
+    """
+    if window <= 0:
+        raise ExperimentError("window must be positive")
+    now = overlay.sim.now
+    live_values = set()
+    for sighting in coalition.sightings():
+        if sighting.time >= now - window and sighting.expires_at > now:
+            live_values.add(sighting.value)
+    # Each coalition member also knows its own pseudonym.
+    for member in coalition.members:
+        own = overlay.nodes[member].own
+        if own is not None and not own.is_expired(now):
+            live_values.add(own.value)
+    return SizeEstimate(
+        true_size=len(overlay.nodes),
+        live_value_estimate=len(live_values),
+        all_values_seen=len(coalition.distinct_values()),
+        window=window,
+    )

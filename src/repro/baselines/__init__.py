@@ -1,0 +1,8 @@
+"""Baseline systems the paper compares against or explicitly rejects:
+the centralized-directory random overlay (rejected for its catastrophic
+trust assumption; quantifies the price of privacy).
+"""
+
+from .centralized import BreachReport, CentralizedOverlay, DirectoryServer
+
+__all__ = ["DirectoryServer", "CentralizedOverlay", "BreachReport"]

@@ -1,0 +1,66 @@
+"""Availability math and static online sampling.
+
+The paper defines a node's average availability as
+``alpha = Ton / (Ton + Toff)``.  Some of its measurements (the trust
+graph and random-graph baselines in Figures 3-5) do not need a running
+protocol at all: the static graph is simply restricted to a random set
+of online nodes drawn with probability ``alpha``.  This module provides
+those helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ChurnError
+
+__all__ = [
+    "availability",
+    "mean_online_for",
+    "stationary_online_mask",
+    "online_subgraph",
+]
+
+
+def availability(mean_online: float, mean_offline: float) -> float:
+    """``alpha = Ton / (Ton + Toff)``."""
+    if mean_online <= 0 or mean_offline <= 0:
+        raise ChurnError("mean durations must be positive")
+    return mean_online / (mean_online + mean_offline)
+
+
+def mean_online_for(alpha: float, mean_offline: float) -> float:
+    """Solve ``alpha = Ton / (Ton + Toff)`` for ``Ton``."""
+    if not 0.0 < alpha < 1.0:
+        raise ChurnError("alpha must be strictly between 0 and 1")
+    if mean_offline <= 0:
+        raise ChurnError("mean_offline must be positive")
+    return alpha * mean_offline / (1.0 - alpha)
+
+
+def stationary_online_mask(
+    num_nodes: int, alpha: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean mask of online nodes under stationary availability ``alpha``."""
+    if not 0.0 < alpha <= 1.0:
+        raise ChurnError("alpha must be in (0, 1]")
+    return rng.random(num_nodes) < alpha
+
+
+def online_subgraph(
+    graph: nx.Graph, online_mask: np.ndarray
+) -> nx.Graph:
+    """The subgraph induced by the nodes marked online in ``online_mask``.
+
+    Node labels must be ``0..n-1`` (the library convention).
+    """
+    if len(online_mask) != graph.number_of_nodes():
+        raise ChurnError(
+            f"mask length {len(online_mask)} does not match graph size "
+            f"{graph.number_of_nodes()}"
+        )
+    online_nodes: List[int] = [int(node) for node in np.flatnonzero(online_mask)]
+    return graph.subgraph(online_nodes).copy()

@@ -1,0 +1,148 @@
+"""Session traces: pre-generated churn schedules.
+
+A :class:`SessionTrace` is a list of ``(time, node_id, online)``
+transitions.  Traces decouple churn generation from simulation: the
+same trace can drive the overlay protocol and the static baselines so
+all three curves of a figure see *identical* availability patterns,
+and traces can be persisted for exact reruns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import ChurnError
+from ..sim import Simulator
+from .model import NodeChurnSpec
+
+__all__ = ["Transition", "SessionTrace", "generate_trace", "replay_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One churn event: ``node_id`` becomes online/offline at ``time``."""
+
+    time: float
+    node_id: int
+    online: bool
+
+
+class SessionTrace:
+    """An ordered churn schedule plus the initial online states."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        initial_online: Sequence[bool],
+        transitions: Sequence[Transition],
+    ) -> None:
+        if len(initial_online) != num_nodes:
+            raise ChurnError("initial_online length must equal num_nodes")
+        times = [transition.time for transition in transitions]
+        if any(later < earlier for earlier, later in zip(times, times[1:])):
+            raise ChurnError("transitions must be time-ordered")
+        self._num_nodes = num_nodes
+        self._initial_online = list(initial_online)
+        self._transitions = list(transitions)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes covered by this trace."""
+        return self._num_nodes
+
+    @property
+    def initial_online(self) -> List[bool]:
+        """Initial online state per node (copy)."""
+        return list(self._initial_online)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last transition (0.0 for an empty trace)."""
+        return self._transitions[-1].time if self._transitions else 0.0
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._transitions)
+
+    def online_at(self, time: float) -> List[bool]:
+        """Online mask at a given time (linear scan; for analysis only)."""
+        state = list(self._initial_online)
+        for transition in self._transitions:
+            if transition.time > time:
+                break
+            state[transition.node_id] = transition.online
+        return state
+
+    def empirical_availability(self, node_id: int, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` that ``node_id`` spends online."""
+        if horizon <= 0:
+            raise ChurnError("horizon must be positive")
+        online = self._initial_online[node_id]
+        last_time = 0.0
+        online_time = 0.0
+        for transition in self._transitions:
+            if transition.node_id != node_id:
+                continue
+            if transition.time >= horizon:
+                break
+            if online:
+                online_time += transition.time - last_time
+            last_time = transition.time
+            online = transition.online
+        if online:
+            online_time += horizon - last_time
+        return online_time / horizon
+
+
+def generate_trace(
+    specs: Sequence[NodeChurnSpec],
+    horizon: float,
+    rng: np.random.Generator,
+    start_all_online: bool = False,
+) -> SessionTrace:
+    """Pre-generate a churn trace up to ``horizon``.
+
+    Semantics match :class:`~repro.churn.model.ChurnProcess`: initial
+    states are stationary draws (or all-online), and each state duration
+    is a fresh sample from the node's distribution.
+    """
+    if horizon <= 0:
+        raise ChurnError("horizon must be positive")
+    initial: List[bool] = []
+    events: List[Transition] = []
+    for node_id, spec in enumerate(specs):
+        online = True if start_all_online else bool(rng.random() < spec.availability)
+        initial.append(online)
+        time = 0.0
+        state = online
+        while True:
+            distribution = spec.online if state else spec.offline
+            time += distribution.sample(rng)
+            if time > horizon:
+                break
+            state = not state
+            events.append(Transition(time, node_id, state))
+    events.sort(key=lambda transition: (transition.time, transition.node_id))
+    return SessionTrace(len(specs), initial, events)
+
+
+def replay_trace(
+    sim: Simulator,
+    trace: SessionTrace,
+    listener,
+) -> None:
+    """Schedule every transition of ``trace`` on ``sim``.
+
+    ``listener(node_id, online)`` fires at each transition time.  The
+    initial states are *not* replayed; apply ``trace.initial_online``
+    before starting the simulation.
+    """
+    for transition in trace:
+        sim.schedule(
+            transition.time, listener, transition.node_id, transition.online
+        )

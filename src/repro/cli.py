@@ -1,0 +1,267 @@
+"""Command-line front end: regenerate any figure of the paper.
+
+Usage::
+
+    repro fig3 --scale quick --seed 1
+    repro fig8 --plot               # ASCII plot of the time series
+    repro all  --scale quick
+    python -m repro.cli fig9
+
+Scales: ``smoke`` (tests), ``quick`` (default), ``paper`` (Table I).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    PAPER,
+    QUICK,
+    SMOKE,
+    ExperimentScale,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    lifetime_label,
+)
+from .viz import bar_chart, line_plot
+
+__all__ = ["main"]
+
+_SCALES: Dict[str, ExperimentScale] = {
+    "paper": PAPER,
+    "quick": QUICK,
+    "smoke": SMOKE,
+}
+
+
+def _run_fig3(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    sweeps = figure3(scale, seed=seed)
+    for f, sweep in sweeps.items():
+        print(sweep.format_table("disconnected"))
+        if plot:
+            alphas = [point.alpha for point in sweep.points]
+            print()
+            print(
+                line_plot(
+                    {
+                        "trust": (alphas, [p.trust_disconnected for p in sweep.points]),
+                        "overlay": (alphas, [p.overlay_disconnected for p in sweep.points]),
+                        "random": (alphas, [p.random_disconnected for p in sweep.points]),
+                    },
+                    title=f"Figure 3 (f={f:g}): disconnected fraction vs availability",
+                    y_label="disconnected fraction",
+                )
+            )
+        print()
+
+
+def _run_fig4(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    sweeps = figure3(scale, seed=seed)
+    for f, sweep in sweeps.items():
+        print(sweep.format_table("path"))
+        if plot:
+            alphas = [point.alpha for point in sweep.points]
+            print()
+            print(
+                line_plot(
+                    {
+                        "trust": (alphas, [p.trust_path_length for p in sweep.points]),
+                        "overlay": (alphas, [p.overlay_path_length for p in sweep.points]),
+                        "random": (alphas, [p.random_path_length for p in sweep.points]),
+                    },
+                    title=f"Figure 4 (f={f:g}): normalized path length vs availability",
+                    y_label="normalized path length",
+                )
+            )
+        print()
+
+
+def _run_fig5(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    for f, result in figure5(scale, seed=seed).items():
+        print(result.format_table())
+        trust_mean, overlay_mean, random_mean = result.mean_degrees()
+        print(
+            f"mean degrees: trust {trust_mean:.1f}, overlay {overlay_mean:.1f},"
+            f" random {random_mean:.1f}"
+        )
+        if plot:
+            bucketed = {}
+            for degree, count in sorted(result.overlay_histogram.items()):
+                bucketed[f"deg {10 * (degree // 10)}-{10 * (degree // 10) + 9}"] = (
+                    bucketed.get(
+                        f"deg {10 * (degree // 10)}-{10 * (degree // 10) + 9}", 0
+                    )
+                    + count
+                )
+            print()
+            print(bar_chart(bucketed, title=f"overlay degree histogram (f={f:g})"))
+        print()
+
+
+def _run_fig6(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    for f, result in figure6(scale, seed=seed).items():
+        print(result.format_table())
+        print()
+
+
+def _run_fig7(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    result = figure7(scale, seed=seed)
+    print(result.format_table())
+    if plot:
+        series = {
+            f"r={lifetime_label(ratio)}": (result.alphas, curve)
+            for ratio, curve in result.overlay_curves.items()
+        }
+        series["trust"] = (result.alphas, result.trust_curve)
+        print()
+        print(
+            line_plot(
+                series,
+                title="Figure 7: disconnected fraction vs availability",
+                y_label="disconnected fraction",
+            )
+        )
+
+
+def _run_fig8(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    result = figure8(scale, seed=seed)
+    print(result.format_table())
+    if plot:
+        series = {
+            f"overlay r={lifetime_label(ratio)}": (
+                list(s.times),
+                list(s.values),
+            )
+            for ratio, s in result.overlay_series.items()
+        }
+        series["trust"] = (
+            list(result.trust_series.times),
+            list(result.trust_series.values),
+        )
+        print()
+        print(
+            line_plot(
+                series,
+                title="Figure 8: connectivity over time (alpha=0.25)",
+                y_label="disconnected fraction",
+            )
+        )
+
+
+def _run_fig9(scale: ExperimentScale, seed: int, plot: bool) -> None:
+    result = figure9(scale, seed=seed)
+    print(result.format_table())
+    if plot:
+        series = {
+            f"r={lifetime_label(ratio)}": (list(s.times), list(s.values))
+            for ratio, s in result.series.items()
+        }
+        print()
+        print(
+            line_plot(
+                series,
+                title="Figure 9: link replacements per node per period",
+                y_label="replacements/node/sp",
+            )
+        )
+
+
+_FIGURES: Dict[str, Callable[[ExperimentScale, int, bool], None]] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures from 'Robust overlays for privacy-"
+        "preserving data dissemination over a social graph' (ICDCS 2012).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIGURES) + ["all", "report", "audit"],
+        help="which figure to regenerate ('report' assembles saved "
+        "benchmark results into one markdown document; 'audit' runs "
+        "the Section III-E privacy-attack battery)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="experiment scale (default: quick; 'paper' is Table I)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII plots of the series in addition to tables",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="where benchmark tables were saved (for 'report')",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report here instead of stdout (for 'report')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "audit":
+        from .attacks import run_privacy_audit
+        from .experiments import make_config, make_trust_graph
+
+        scale = _SCALES[args.scale]
+        trust_graph = make_trust_graph(scale, f=0.5, seed=args.seed)
+        config = make_config(scale, alpha=0.6, f=0.5, seed=args.seed)
+        report = run_privacy_audit(
+            trust_graph,
+            config,
+            warmup=min(60.0, scale.stabilization_horizon),
+            seed=args.seed,
+        )
+        print(report.format_report())
+        return 0
+
+    if args.figure == "report":
+        from .experiments import build_report
+
+        report = build_report(
+            args.results_dir,
+            title="Reproduction report — Robust overlays (ICDCS 2012)",
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"report written to {args.output}")
+        else:
+            print(report)
+        return 0
+
+    scale = _SCALES[args.scale]
+    targets = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for target in targets:
+        started = time.time()
+        print(f"== {target} (scale={scale.name}, seed={args.seed}) ==")
+        _FIGURES[target](scale, args.seed, args.plot)
+        print(f"[{target} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

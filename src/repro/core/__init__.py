@@ -1,0 +1,35 @@
+"""The paper's core contribution: privacy-preserving overlay maintenance.
+
+Builds and maintains an overlay that starts from a trust graph and —
+through ephemeral pseudonyms, gossip-based distribution, and
+Brahms-style sampling — converges to random-graph-like robustness
+without ever disclosing node identities or trust relations.
+"""
+
+from .cache import PseudonymCache
+from .links import LinkSet, LinkTarget
+from .maintenance import AdaptiveLifetime, FixedLifetime, LifetimePolicy
+from .node import NodeCounters, OverlayNode
+from .protocol import Overlay, OverlayStats
+from .pseudonym import Pseudonym, mint_pseudonym
+from .shuffle import ShuffleRequest, ShuffleResponse, make_shuffle_set
+from .slots import SamplerSlots
+
+__all__ = [
+    "Pseudonym",
+    "mint_pseudonym",
+    "PseudonymCache",
+    "SamplerSlots",
+    "LinkSet",
+    "LinkTarget",
+    "ShuffleRequest",
+    "ShuffleResponse",
+    "make_shuffle_set",
+    "OverlayNode",
+    "NodeCounters",
+    "LifetimePolicy",
+    "FixedLifetime",
+    "AdaptiveLifetime",
+    "Overlay",
+    "OverlayStats",
+]

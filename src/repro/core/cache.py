@@ -1,0 +1,174 @@
+"""The per-node pseudonym cache (paper Section III-D1).
+
+"Each node n maintains a pseudonym cache of a configurable size.  The
+cache is empty when the system starts. [...] Upon receiving a set over
+the link, the node updates its own cache to include all entries in the
+received set (with the exception of its own pseudonym, if present).
+The cache replacement policy is similar to that employed in [CYCLON]."
+
+CYCLON's replacement rule, adapted to pseudonyms: when merging a
+received batch into a full cache, first drop expired entries, then
+prefer evicting entries that were just sent to the gossip partner
+(they live on in the partner's cache, so overall information is
+preserved), and finally evict the oldest entries.
+
+When a node learns a *newer* pseudonym with the same value (a later
+expiry — cannot happen for honestly minted pseudonyms, whose values are
+unique with overwhelming probability, but the policy is total anyway),
+the later-expiring copy wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .pseudonym import Pseudonym
+
+__all__ = ["PseudonymCache"]
+
+
+class _Entry:
+    __slots__ = ("pseudonym", "inserted_at")
+
+    def __init__(self, pseudonym: Pseudonym, inserted_at: float) -> None:
+        self.pseudonym = pseudonym
+        self.inserted_at = inserted_at
+
+
+class PseudonymCache:
+    """A bounded pseudonym store with CYCLON-style replacement."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ProtocolError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: Dict[int, _Entry] = {}  # keyed by pseudonym value
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of stored pseudonyms."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pseudonym: Pseudonym) -> bool:
+        entry = self._entries.get(pseudonym.value)
+        return entry is not None and entry.pseudonym == pseudonym
+
+    def pseudonyms(self) -> List[Pseudonym]:
+        """All cached pseudonyms (unordered snapshot)."""
+        return [entry.pseudonym for entry in self._entries.values()]
+
+    def remove_expired(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        expired = [
+            value
+            for value, entry in self._entries.items()
+            if entry.pseudonym.is_expired(now)
+        ]
+        for value in expired:
+            del self._entries[value]
+        return len(expired)
+
+    def remove(self, pseudonym: Pseudonym) -> bool:
+        """Remove a specific pseudonym; returns whether it was present."""
+        entry = self._entries.get(pseudonym.value)
+        if entry is None or entry.pseudonym != pseudonym:
+            return False
+        del self._entries[pseudonym.value]
+        return True
+
+    def newest(self, count: int, now: float) -> List[Pseudonym]:
+        """The ``count`` most recently inserted unexpired pseudonyms.
+
+        Used by the naive cache-based sampler ablation (no Brahms
+        slots): links follow whatever arrived last, which
+        over-represents frequently gossiped (hub) pseudonyms.
+        """
+        self.remove_expired(now)
+        ordered = sorted(
+            self._entries.values(), key=lambda entry: entry.inserted_at, reverse=True
+        )
+        return [entry.pseudonym for entry in ordered[:count]]
+
+    def select_for_shuffle(
+        self, rng: np.random.Generator, count: int, now: float
+    ) -> List[Pseudonym]:
+        """Uniformly sample up to ``count`` unexpired cached pseudonyms."""
+        self.remove_expired(now)
+        entries = list(self._entries.values())
+        if count >= len(entries):
+            return [entry.pseudonym for entry in entries]
+        indices = rng.choice(len(entries), size=count, replace=False)
+        return [entries[int(index)].pseudonym for index in indices]
+
+    def merge(
+        self,
+        received: Iterable[Pseudonym],
+        now: float,
+        just_sent: Optional[Iterable[Pseudonym]] = None,
+        own_value: Optional[int] = None,
+    ) -> int:
+        """Merge a received batch, applying the replacement policy.
+
+        Parameters
+        ----------
+        received:
+            Pseudonyms from the gossip partner.
+        now:
+            Current time (drives expiry and insertion timestamps).
+        just_sent:
+            The entries this node sent to the partner in the same
+            exchange; preferred eviction victims, per CYCLON.
+        own_value:
+            The node's own pseudonym value, which is never cached.
+
+        Returns
+        -------
+        int
+            Number of received entries actually inserted or refreshed.
+        """
+        self.remove_expired(now)
+        sent_values: Set[int] = (
+            {pseudonym.value for pseudonym in just_sent} if just_sent else set()
+        )
+
+        inserted = 0
+        for pseudonym in received:
+            if pseudonym.is_expired(now):
+                continue
+            if own_value is not None and pseudonym.value == own_value:
+                continue
+            existing = self._entries.get(pseudonym.value)
+            if existing is not None:
+                if pseudonym.expires_at > existing.pseudonym.expires_at:
+                    existing.pseudonym = pseudonym
+                    inserted += 1
+                continue
+            if len(self._entries) >= self._capacity:
+                victim = self._pick_victim(sent_values)
+                if victim is None:
+                    break
+                del self._entries[victim]
+            self._entries[pseudonym.value] = _Entry(pseudonym, now)
+            inserted += 1
+        return inserted
+
+    def _pick_victim(self, sent_values: Set[int]) -> Optional[int]:
+        """Choose an eviction victim: just-sent entries first, then oldest."""
+        if sent_values:
+            for value in sent_values:
+                if value in self._entries:
+                    sent_values.discard(value)
+                    return value
+        oldest_value: Optional[int] = None
+        oldest_time = float("inf")
+        for value, entry in self._entries.items():
+            if entry.inserted_at < oldest_time:
+                oldest_time = entry.inserted_at
+                oldest_value = value
+        return oldest_value

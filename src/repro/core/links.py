@@ -1,0 +1,159 @@
+"""Per-node overlay link management (paper Section III-A).
+
+"The set of overlay links of a node n (denoted n.links) is the union of
+its trusted links and pseudonym links."  Trusted links are static —
+one per trust-graph neighbor, re-established whenever both ends are
+online.  Pseudonym links follow the sampler: after every gossip
+exchange the node updates n.links to include exactly the pseudonyms
+appearing in at least one sampler slot.
+
+Links are never removed because the far end went offline ("overlay
+links to nodes that go offline are not removed; such links become
+operational again when the corresponding nodes rejoin") — they only
+change through sampling and pseudonym expiry.  :class:`LinkSet` counts
+those changes, which is the paper's overhead metric (Figure 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .pseudonym import Pseudonym
+
+__all__ = ["LinkTarget", "LinkSet"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkTarget:
+    """One overlay link endpoint, as the owning node sees it.
+
+    Exactly one of ``node_id`` (trusted link — the friend's real ID) and
+    ``pseudonym`` (pseudonym link — nothing but the pseudonym) is set.
+    """
+
+    node_id: Optional[int] = None
+    pseudonym: Optional[Pseudonym] = None
+
+    def __post_init__(self) -> None:
+        if (self.node_id is None) == (self.pseudonym is None):
+            raise ProtocolError(
+                "LinkTarget needs exactly one of node_id / pseudonym"
+            )
+
+    @property
+    def is_trusted(self) -> bool:
+        """Whether this is a trusted (friend) link."""
+        return self.node_id is not None
+
+
+class LinkSet:
+    """``n.links``: trusted links plus the sampled pseudonym links."""
+
+    def __init__(self, trusted_neighbors: Iterable[int]) -> None:
+        self._trusted = set(trusted_neighbors)
+        self._trusted_list: List[int] = sorted(self._trusted)
+        self._pseudonym_links: Dict[int, Pseudonym] = {}  # keyed by value
+        self.replacements_total = 0
+        self.additions_total = 0
+
+    @property
+    def trusted(self) -> FrozenSet[int]:
+        """Trust-graph neighbor ids.
+
+        Static in the paper's immutable-trust-graph setting; grows only
+        through :meth:`add_trusted` (node/edge additions, which the
+        paper notes raise no privacy concerns).
+        """
+        return frozenset(self._trusted)
+
+    def add_trusted(self, neighbor: int) -> bool:
+        """Add a trusted link (new friend); returns False if present."""
+        if neighbor in self._trusted:
+            return False
+        self._trusted.add(neighbor)
+        self._trusted_list = sorted(self._trusted)
+        return True
+
+    @property
+    def trusted_degree(self) -> int:
+        """Number of trusted links."""
+        return len(self._trusted)
+
+    def pseudonym_links(self) -> List[Pseudonym]:
+        """Current pseudonym-link targets (snapshot)."""
+        return list(self._pseudonym_links.values())
+
+    def pseudonym_degree(self) -> int:
+        """Number of current pseudonym links."""
+        return len(self._pseudonym_links)
+
+    def out_degree(self) -> int:
+        """Total links this node maintains (trusted + pseudonym)."""
+        return len(self._trusted) + len(self._pseudonym_links)
+
+    def has_pseudonym_link(self, pseudonym: Pseudonym) -> bool:
+        """Whether a link to this exact pseudonym exists."""
+        current = self._pseudonym_links.get(pseudonym.value)
+        return current == pseudonym
+
+    def update_from_sample(self, sample: Iterable[Pseudonym]) -> Tuple[int, int]:
+        """Make the pseudonym links exactly match the sampler output.
+
+        Returns ``(added, removed)``.  ``removed`` feeds the paper's
+        link-replacement overhead metric: a removal happens either
+        because the pseudonym expired out of every slot or because the
+        sampler found numerically better pseudonyms.
+        """
+        new_links = {pseudonym.value: pseudonym for pseudonym in sample}
+        removed = 0
+        added = 0
+        for value in list(self._pseudonym_links):
+            replacement = new_links.get(value)
+            if replacement is None:
+                del self._pseudonym_links[value]
+                removed += 1
+            elif replacement != self._pseudonym_links[value]:
+                self._pseudonym_links[value] = replacement
+                removed += 1
+                added += 1
+        for value, pseudonym in new_links.items():
+            if value not in self._pseudonym_links:
+                self._pseudonym_links[value] = pseudonym
+                added += 1
+        self.replacements_total += removed
+        self.additions_total += added
+        return added, removed
+
+    def all_targets(self) -> List[LinkTarget]:
+        """Every overlay link as a :class:`LinkTarget` list."""
+        targets = [LinkTarget(node_id=neighbor) for neighbor in self._trusted_list]
+        targets.extend(
+            LinkTarget(pseudonym=pseudonym)
+            for pseudonym in self._pseudonym_links.values()
+        )
+        return targets
+
+    def pick_random_target(
+        self, rng: np.random.Generator
+    ) -> Optional[LinkTarget]:
+        """Select a link uniformly at random (the shuffle partner choice).
+
+        "Periodically, n selects a link from n.links uniformly at
+        random and executes a shuffling protocol with the node m at the
+        other end."  Returns None when the node has no links at all.
+        """
+        total = self.out_degree()
+        if total == 0:
+            return None
+        index = int(rng.integers(0, total))
+        if index < len(self._trusted_list):
+            return LinkTarget(node_id=self._trusted_list[index])
+        pseudonym_index = index - len(self._trusted)
+        for offset, pseudonym in enumerate(self._pseudonym_links.values()):
+            if offset == pseudonym_index:
+                return LinkTarget(pseudonym=pseudonym)
+        raise ProtocolError("link index out of range (concurrent mutation?)")

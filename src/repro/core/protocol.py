@@ -1,0 +1,412 @@
+"""Overlay orchestration: build, run, and observe a whole system.
+
+:class:`Overlay` wires together everything a paper experiment needs:
+
+* a trust graph (node ids ``0..n-1``),
+* one :class:`~repro.core.node.OverlayNode` per vertex, with the
+  degree-adaptive sampler size
+  ``S = max(min_pseudonym_links, target_degree - trusted_degree)``,
+* a privacy-preserving link layer (ideal by default),
+* the churn process flipping nodes online/offline,
+* an omniscient measurement registry mapping pseudonyms to owners —
+  used *only* to build snapshot graphs for metrics, never by protocol
+  logic (no protocol entity can resolve a pseudonym to an ID).
+
+The usual entry point is :meth:`Overlay.build`, which constructs the
+simulator, random streams, link layer, and churn from a
+:class:`~repro.config.SystemConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..churn import (
+    ChurnProcess,
+    NodeChurnSpec,
+    SessionTrace,
+    homogeneous_specs,
+    replay_trace,
+)
+from ..config import SystemConfig
+from ..errors import GraphError, ProtocolError
+from ..privlink import Address, LinkLayer, make_ideal_link_layer
+from ..rng import RandomStreams
+from ..sim import Simulator
+from .maintenance import AdaptiveLifetime, LifetimePolicy
+from .node import OverlayNode
+from .pseudonym import Pseudonym
+
+__all__ = ["Overlay", "OverlayStats"]
+
+
+@dataclasses.dataclass
+class OverlayStats:
+    """System-wide cumulative statistics at a point in time."""
+
+    time: float
+    online_nodes: int
+    messages_sent: int
+    link_replacements: int
+    pseudonyms_created: int
+
+
+class Overlay:
+    """A complete overlay system over one trust graph."""
+
+    def __init__(
+        self,
+        trust_graph: nx.Graph,
+        config: SystemConfig,
+        sim: Simulator,
+        link_layer: LinkLayer,
+        streams: RandomStreams,
+        churn: Optional[ChurnProcess] = None,
+    ) -> None:
+        num_nodes = trust_graph.number_of_nodes()
+        if num_nodes != config.num_nodes:
+            raise GraphError(
+                f"trust graph has {num_nodes} nodes but config.num_nodes is "
+                f"{config.num_nodes}"
+            )
+        if set(trust_graph.nodes()) != set(range(num_nodes)):
+            raise GraphError("trust graph nodes must be labeled 0..n-1")
+
+        self.trust_graph = trust_graph
+        self.config = config
+        self.sim = sim
+        self.link_layer = link_layer
+        self.churn = churn
+        self._streams = streams
+        self._churn_trace: Optional[SessionTrace] = None
+
+        # Omniscient measurement registry (never read by protocol code).
+        self._value_owner: Dict[int, int] = {}
+        self._address_owner: Dict[Address, int] = {}
+
+        self.nodes: List[OverlayNode] = []
+        for node_id in range(num_nodes):
+            neighbors = list(trust_graph.neighbors(node_id))
+            slot_count = max(
+                config.min_pseudonym_links,
+                config.target_degree - len(neighbors),
+            )
+            policy: Optional[LifetimePolicy] = None
+            if config.adaptive_lifetime:
+                policy = AdaptiveLifetime(
+                    ratio=config.lifetime_ratio,
+                    initial_estimate=config.mean_offline_time,
+                    smoothing=config.adaptive_smoothing,
+                )
+            node = OverlayNode(
+                node_id=node_id,
+                trusted_neighbors=neighbors,
+                slot_count=slot_count,
+                cache_size=config.cache_size,
+                shuffle_length=config.shuffle_length,
+                pseudonym_lifetime=config.pseudonym_lifetime,
+                sim=sim,
+                link_layer=link_layer,
+                rng=streams.substream("node", node_id),
+                pseudonym_listener=self._record_pseudonym,
+                sampler_mode=config.sampler_mode,
+                lifetime_policy=policy,
+            )
+            self.nodes.append(node)
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        trust_graph: nx.Graph,
+        config: SystemConfig,
+        with_churn: bool = True,
+        start_all_online: bool = False,
+        churn_specs: Optional[List[NodeChurnSpec]] = None,
+        churn_trace: Optional[SessionTrace] = None,
+        link_layer_factory=None,
+    ) -> "Overlay":
+        """One-stop construction from a trust graph and a config.
+
+        Parameters
+        ----------
+        trust_graph:
+            Connected graph with nodes ``0..config.num_nodes-1``.
+        config:
+            Protocol and simulation parameters.
+        with_churn:
+            When False, every node is permanently online (no churn
+            process) — useful for convergence micro-studies.
+        start_all_online:
+            Passed to the churn process: start from a full system
+            instead of the stationary online set.
+        churn_specs:
+            Optional heterogeneous per-node churn; defaults to the
+            paper's homogeneous exponential model.
+        churn_trace:
+            Pre-generated churn schedule
+            (:func:`repro.churn.generate_trace`).  Drives availability
+            deterministically instead of a live churn process — use it
+            to expose the overlay and any baseline to *identical*
+            availability patterns.  Mutually exclusive with
+            ``churn_specs``; ignores ``start_all_online``.
+        link_layer_factory:
+            ``factory(sim, rng) -> LinkLayer``; defaults to the ideal
+            link layer with ``config.message_latency``.
+        """
+        if churn_trace is not None and churn_specs is not None:
+            raise ProtocolError("pass churn_specs or churn_trace, not both")
+        streams = RandomStreams(config.seed)
+        sim = Simulator()
+        if link_layer_factory is None:
+            link_layer = make_ideal_link_layer(
+                sim, streams.substream("link-layer"),
+                max_latency=config.message_latency,
+            )
+        else:
+            link_layer = link_layer_factory(sim, streams.substream("link-layer"))
+
+        churn: Optional[ChurnProcess] = None
+        if churn_trace is not None:
+            if churn_trace.num_nodes != config.num_nodes:
+                raise ProtocolError(
+                    f"churn trace covers {churn_trace.num_nodes} nodes, "
+                    f"config expects {config.num_nodes}"
+                )
+            overlay = cls(trust_graph, config, sim, link_layer, streams)
+            overlay._churn_trace = churn_trace
+            return overlay
+        if with_churn:
+            if churn_specs is None:
+                churn_specs = homogeneous_specs(
+                    config.num_nodes, config.availability, config.mean_offline_time
+                )
+            churn = ChurnProcess(
+                sim,
+                churn_specs,
+                streams.substream("churn"),
+                start_all_online=start_all_online,
+            )
+        return cls(trust_graph, config, sim, link_layer, streams, churn=churn)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start churn (if any) and bring the initial online set up.
+
+        Without churn, every node comes online at time zero — this
+        reproduces the paper's synchronized start whose pseudonym
+        expirations cause the early oscillations in Figure 9.
+        """
+        if self._started:
+            raise ProtocolError("overlay already started")
+        self._started = True
+        if self._churn_trace is not None:
+            replay_trace(self.sim, self._churn_trace, self._on_churn_transition)
+            for node_id, online in enumerate(self._churn_trace.initial_online):
+                if online:
+                    self.nodes[node_id].come_online()
+        elif self.churn is not None:
+            self.churn.set_listener(self._on_churn_transition)
+            self.churn.start()
+            for node_id in self.churn.online_nodes():
+                self.nodes[node_id].come_online()
+        else:
+            for node in self.nodes:
+                node.come_online()
+
+    def run_until(self, horizon: float) -> None:
+        """Advance the simulation to ``horizon`` shuffling periods."""
+        if not self._started:
+            raise ProtocolError("call start() before run_until()")
+        self.sim.run_until(horizon)
+
+    # ------------------------------------------------------------------
+    # trust-graph growth (additions only; removals are future work in
+    # the paper and here)
+    # ------------------------------------------------------------------
+
+    def add_trust_edge(self, u: int, v: int) -> None:
+        """Record a new trust relationship between existing nodes.
+
+        Both users learn of the friendship out of band (the paper's
+        bootstrap assumption); adding edges discloses nothing new to
+        third parties.
+        """
+        if u == v:
+            raise ProtocolError("a node cannot trust itself")
+        for node_id in (u, v):
+            if not 0 <= node_id < len(self.nodes):
+                raise ProtocolError(f"no such node {node_id}")
+        self.trust_graph.add_edge(u, v)
+        self.nodes[u].links.add_trusted(v)
+        self.nodes[v].links.add_trusted(u)
+
+    def add_node(
+        self,
+        trusted_neighbors: List[int],
+        start_online: bool = True,
+    ) -> int:
+        """Invite a new user into the group; returns the new node id.
+
+        The newcomer knows only its inviters (its trust neighbors) and
+        joins with empty protocol state, exactly like a first-time
+        start.  Under churn, it begins ``start_online`` and then follows
+        the same availability model as everyone else.
+        """
+        if not trusted_neighbors:
+            raise ProtocolError("a new node needs at least one inviter")
+        for neighbor in trusted_neighbors:
+            if not 0 <= neighbor < len(self.nodes):
+                raise ProtocolError(f"no such inviter {neighbor}")
+        node_id = len(self.nodes)
+        self.trust_graph.add_node(node_id)
+        for neighbor in set(trusted_neighbors):
+            self.trust_graph.add_edge(node_id, neighbor)
+            self.nodes[neighbor].links.add_trusted(node_id)
+
+        config = self.config
+        slot_count = max(
+            config.min_pseudonym_links,
+            config.target_degree - len(set(trusted_neighbors)),
+        )
+        policy: Optional[LifetimePolicy] = None
+        if config.adaptive_lifetime:
+            policy = AdaptiveLifetime(
+                ratio=config.lifetime_ratio,
+                initial_estimate=config.mean_offline_time,
+                smoothing=config.adaptive_smoothing,
+            )
+        node = OverlayNode(
+            node_id=node_id,
+            trusted_neighbors=set(trusted_neighbors),
+            slot_count=slot_count,
+            cache_size=config.cache_size,
+            shuffle_length=config.shuffle_length,
+            pseudonym_lifetime=config.pseudonym_lifetime,
+            sim=self.sim,
+            link_layer=self.link_layer,
+            rng=self._streams.substream("node", node_id),
+            pseudonym_listener=self._record_pseudonym,
+            sampler_mode=config.sampler_mode,
+            lifetime_policy=policy,
+        )
+        self.nodes.append(node)
+
+        if self.churn is not None:
+            from ..churn import Exponential, NodeChurnSpec
+
+            spec = NodeChurnSpec(
+                Exponential(config.mean_online_time),
+                Exponential(config.mean_offline_time),
+            )
+            self.churn.add_node(spec, start_online=start_online)
+        if self._started and start_online:
+            node.come_online()
+        return node_id
+
+    def _on_churn_transition(self, node_id: int, online: bool) -> None:
+        if online:
+            self.nodes[node_id].come_online()
+        else:
+            self.nodes[node_id].go_offline()
+
+    def _record_pseudonym(self, node_id: int, pseudonym: Pseudonym) -> None:
+        self._value_owner[pseudonym.value] = node_id
+        self._address_owner[pseudonym.address] = node_id
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def substream(self, *key) -> np.random.Generator:
+        """A named random substream derived from the overlay's root seed.
+
+        Auxiliary layers (dissemination, attacks, measurement) draw
+        their randomness here so they never perturb protocol streams.
+        """
+        return self._streams.substream("aux", *key)
+
+    def online_ids(self) -> List[int]:
+        """Ids of currently online nodes."""
+        if self.churn is not None:
+            return self.churn.online_nodes()
+        return [node.node_id for node in self.nodes if node.online]
+
+    def owner_of_value(self, value: int) -> Optional[int]:
+        """Measurement oracle: owner of a pseudonym value (or None)."""
+        return self._value_owner.get(value)
+
+    def owner_of_address(self, address: Address) -> Optional[int]:
+        """Measurement oracle: owner of an endpoint address (or None)."""
+        return self._address_owner.get(address)
+
+    def snapshot(self, online_only: bool = True) -> nx.Graph:
+        """The current overlay as an undirected graph.
+
+        Edges are trusted links (both ends online when ``online_only``)
+        plus unexpired pseudonym links resolved through the measurement
+        registry.  All communication is bidirectional, so links are
+        undirected edges regardless of who established them.
+        """
+        now = self.sim.now
+        graph = nx.Graph()
+        if online_only:
+            included = set(self.online_ids())
+        else:
+            included = set(range(len(self.nodes)))
+        graph.add_nodes_from(included)
+
+        for node in self.nodes:
+            if node.node_id not in included:
+                continue
+            for neighbor in node.links.trusted:
+                if neighbor in included:
+                    graph.add_edge(node.node_id, neighbor)
+            for pseudonym in node.links.pseudonym_links():
+                if pseudonym.is_expired(now):
+                    continue
+                owner = self._value_owner.get(pseudonym.value)
+                if owner is None or owner == node.node_id:
+                    continue
+                if owner in included:
+                    graph.add_edge(node.node_id, owner)
+        return graph
+
+    def trust_snapshot(self) -> nx.Graph:
+        """The trust graph restricted to online nodes (baseline metric)."""
+        online = self.online_ids()
+        return self.trust_graph.subgraph(online).copy()
+
+    def stats(self) -> OverlayStats:
+        """Aggregate cumulative counters."""
+        return OverlayStats(
+            time=self.sim.now,
+            online_nodes=len(self.online_ids()),
+            messages_sent=sum(node.counters.messages_sent for node in self.nodes),
+            link_replacements=sum(
+                node.links.replacements_total for node in self.nodes
+            ),
+            pseudonyms_created=sum(
+                node.counters.pseudonyms_created for node in self.nodes
+            ),
+        )
+
+    def total_online_time(self, node_id: int) -> float:
+        """Cumulative online time of ``node_id`` including the open session."""
+        node = self.nodes[node_id]
+        total = node.counters.online_time
+        if node.counters.last_online_at is not None:
+            total += self.sim.now - node.counters.last_online_at
+        return total

@@ -1,0 +1,194 @@
+"""Brahms-style pseudonym sampling (paper Section III-D2).
+
+Each node n keeps a list ``n.L`` of S slots.  Each slot holds a pair
+``(P, R)``: ``P`` is a sampled pseudonym (or empty) and ``R`` is a
+random p-bit *reference value* fixed when the node starts and never
+changed.  On receiving a pseudonym P' through the shuffling protocol,
+the node traverses the list and replaces P with P' in any slot where
+
+1. the slot is empty, or
+2. P' is numerically closer to R than P is, or
+3. P' is as close to R as P, but P' expires later.
+
+Expired pseudonyms vanish from their slots automatically.  Because each
+slot keeps the received pseudonym *minimizing* |value - R| over
+everything ever received (min-wise sampling), the slot contents form a
+uniform random sample of all received pseudonyms, "regardless of how
+frequently any pseudonym is received" — the property that makes the
+overlay converge to a random graph even though gossip delivers hub
+pseudonyms far more often.
+
+The distance computation is vectorized with numpy: references, current
+distances, and expiries live in parallel arrays, and a whole received
+batch is folded in with one (batch x S) distance matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..rng import PSEUDONYM_BITS, random_bits
+from .pseudonym import Pseudonym
+
+__all__ = ["SamplerSlots"]
+
+_EMPTY_DISTANCE = np.iinfo(np.int64).max
+
+
+class SamplerSlots:
+    """The per-node sampler list ``n.L``.
+
+    Parameters
+    ----------
+    size:
+        Number of slots S.  May be zero — the paper lets well-connected
+        hubs run with no pseudonym links at all.
+    rng:
+        Randomness for the immutable reference values.
+    """
+
+    def __init__(self, size: int, rng: np.random.Generator) -> None:
+        if size < 0:
+            raise ProtocolError(f"slot count must be non-negative, got {size}")
+        self._size = size
+        self._references = np.array(
+            [random_bits(rng, PSEUDONYM_BITS) for _ in range(size)], dtype=np.int64
+        )
+        self._distances = np.full(size, _EMPTY_DISTANCE, dtype=np.int64)
+        self._expiries = np.full(size, -np.inf, dtype=np.float64)
+        self._entries: List[Optional[Pseudonym]] = [None] * size
+
+    @property
+    def size(self) -> int:
+        """Number of slots S."""
+        return self._size
+
+    @property
+    def references(self) -> np.ndarray:
+        """The immutable reference values (read-only view)."""
+        view = self._references.view()
+        view.flags.writeable = False
+        return view
+
+    def filled(self) -> int:
+        """Number of non-empty slots."""
+        return sum(entry is not None for entry in self._entries)
+
+    def entry(self, index: int) -> Optional[Pseudonym]:
+        """The pseudonym in slot ``index`` (None when empty)."""
+        return self._entries[index]
+
+    def sample(self) -> List[Pseudonym]:
+        """Distinct pseudonyms currently held across all slots."""
+        seen = set()
+        result: List[Pseudonym] = []
+        for entry in self._entries:
+            if entry is not None and entry.value not in seen:
+                seen.add(entry.value)
+                result.append(entry)
+        return result
+
+    def expire(self, now: float) -> int:
+        """Empty every slot holding an expired pseudonym; returns count."""
+        removed = 0
+        for index, entry in enumerate(self._entries):
+            if entry is not None and entry.is_expired(now):
+                self._clear_slot(index)
+                removed += 1
+        return removed
+
+    def evict(self, pseudonym: Pseudonym) -> int:
+        """Remove a specific pseudonym from all slots; returns count."""
+        removed = 0
+        for index, entry in enumerate(self._entries):
+            if entry is not None and entry == pseudonym:
+                self._clear_slot(index)
+                removed += 1
+        return removed
+
+    def _clear_slot(self, index: int) -> None:
+        self._entries[index] = None
+        self._distances[index] = _EMPTY_DISTANCE
+        self._expiries[index] = -np.inf
+
+    def offer(self, pseudonym: Pseudonym) -> int:
+        """Offer one pseudonym to every slot; returns slots replaced."""
+        return self.offer_batch([pseudonym])
+
+    def offer_batch(self, pseudonyms: Sequence[Pseudonym]) -> int:
+        """Fold a received batch into the slots.
+
+        Equivalent to offering each pseudonym in turn (the paper's
+        per-receipt traversal), but evaluated with one vectorized
+        distance matrix: for each slot, the winning candidate is the
+        received pseudonym with minimal |value - R|, ties broken by
+        latest expiry; it replaces the current occupant under the
+        paper's three replacement conditions.
+
+        Returns the number of slots whose occupant changed.
+        """
+        if self._size == 0 or not pseudonyms:
+            return 0
+        values = np.fromiter(
+            (pseudonym.value for pseudonym in pseudonyms),
+            dtype=np.int64,
+            count=len(pseudonyms),
+        )
+        expiries = np.fromiter(
+            (
+                np.inf if math.isinf(pseudonym.expires_at) else pseudonym.expires_at
+                for pseudonym in pseudonyms
+            ),
+            dtype=np.float64,
+            count=len(pseudonyms),
+        )
+        # (batch x S) distance matrix.  Values are < 2^63 so the signed
+        # difference never overflows int64.
+        distance_matrix = np.abs(values[:, None] - self._references[None, :])
+        min_distances = distance_matrix.min(axis=0)
+        # Tie-break among minimal-distance candidates by latest expiry.
+        is_minimal = distance_matrix == min_distances[None, :]
+        masked_expiries = np.where(is_minimal, expiries[:, None], -np.inf)
+        best_rows = masked_expiries.argmax(axis=0)
+        best_expiries = masked_expiries[best_rows, np.arange(self._size)]
+
+        closer = min_distances < self._distances
+        tie_later = (min_distances == self._distances) & (
+            best_expiries > self._expiries
+        )
+        replace = closer | tie_later
+
+        changed = 0
+        for index in np.flatnonzero(replace):
+            index = int(index)
+            candidate = pseudonyms[int(best_rows[index])]
+            if self._entries[index] == candidate:
+                continue
+            self._entries[index] = candidate
+            self._distances[index] = int(min_distances[index])
+            self._expiries[index] = float(best_expiries[index])
+            changed += 1
+        return changed
+
+    def refresh_distances(self) -> None:
+        """Recompute cached distances from entries (defensive resync).
+
+        Not needed in normal operation; exposed so property-based tests
+        can verify the cached arrays always match the entries.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry is None:
+                self._distances[index] = _EMPTY_DISTANCE
+                self._expiries[index] = -np.inf
+            else:
+                self._distances[index] = abs(entry.value - int(self._references[index]))
+                self._expiries[index] = entry.expires_at
+
+    def holds(self, pseudonyms: Iterable[Pseudonym]) -> bool:
+        """Whether every given pseudonym occupies at least one slot."""
+        held = {entry.value for entry in self._entries if entry is not None}
+        return all(pseudonym.value in held for pseudonym in pseudonyms)

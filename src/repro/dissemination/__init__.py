@@ -1,0 +1,24 @@
+"""Application-layer data dissemination over the maintained overlay:
+controlled flooding and epidemic push gossip, with coverage/latency
+reporting.  These are the workloads the paper's introduction motivates
+(micro-news, mailing lists, group chat for privacy-sensitive groups).
+"""
+
+from .antientropy import AntiEntropyBroadcast, DigestMessage, PushMessage
+from .base import AppMessage, BroadcastRecord, Disseminator
+from .coverage import CoverageReport, coverage_report
+from .epidemic import EpidemicBroadcast
+from .flooding import FloodBroadcast
+
+__all__ = [
+    "AppMessage",
+    "BroadcastRecord",
+    "Disseminator",
+    "FloodBroadcast",
+    "EpidemicBroadcast",
+    "AntiEntropyBroadcast",
+    "DigestMessage",
+    "PushMessage",
+    "CoverageReport",
+    "coverage_report",
+]

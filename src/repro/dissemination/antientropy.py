@@ -1,0 +1,171 @@
+"""Anti-entropy (digest-exchange) dissemination.
+
+Flooding and push gossip reach the nodes online *during* the broadcast;
+nodes that were offline miss it.  Anti-entropy closes the gap and makes
+broadcast reliable in the paper's sense ("reliable and
+privacy-preserving message broadcast"): every node periodically sends a
+digest of the message ids it holds to one random overlay channel, and
+the peer pushes back whatever the digester is missing.  A node
+rejoining after a long stint synchronizes on its first exchanges.
+
+The digest exchange rides the same privacy-preserving channels as the
+maintenance gossip, with the same reply-channel discipline: over a
+trusted link the reply goes to the friend's id, over a pseudonym link
+to the digester's own pseudonym endpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from ..core import Overlay
+from ..errors import DisseminationError
+from ..privlink import Address
+from ..sim import PeriodicProcess
+from .base import BroadcastRecord, Disseminator
+
+__all__ = ["DigestMessage", "PushMessage", "AntiEntropyBroadcast"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DigestMessage:
+    """The ids a node holds, plus a reply channel."""
+
+    known_ids: FrozenSet[int]
+    reply_node: Optional[int] = None
+    reply_address: Optional[Address] = None
+
+    def __post_init__(self) -> None:
+        if (self.reply_node is None) == (self.reply_address is None):
+            raise DisseminationError(
+                "DigestMessage needs exactly one reply channel"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class PushMessage:
+    """Messages the digester was missing: id -> payload."""
+
+    items: Tuple[Tuple[int, Any], ...]
+
+
+class AntiEntropyBroadcast(Disseminator):
+    """Eventually-consistent broadcast via periodic digest exchange.
+
+    Parameters
+    ----------
+    overlay:
+        The substrate.
+    period:
+        Digest interval per node, in shuffling periods.
+    max_push:
+        Cap on items pushed per exchange (bounds message size, like the
+        shuffle's ℓ).
+    """
+
+    def __init__(
+        self, overlay: Overlay, period: float = 1.0, max_push: int = 32
+    ) -> None:
+        super().__init__(overlay)
+        if period <= 0:
+            raise DisseminationError("period must be positive")
+        if max_push < 1:
+            raise DisseminationError("max_push must be at least 1")
+        self._period = period
+        self._max_push = max_push
+        self._stores: Dict[int, Dict[int, Any]] = {
+            node.node_id: {} for node in overlay.nodes
+        }
+        self._process = PeriodicProcess(
+            overlay.sim,
+            period=period,
+            callback=self._tick,
+            rng=overlay.substream("anti-entropy"),
+            jitter=0.1,
+        )
+        self.digests_sent = 0
+        self.pushes_sent = 0
+
+    def install(self) -> None:
+        """Attach handlers and start the digest timer."""
+        super().install()
+        self._process.start()
+
+    def store_of(self, node_id: int) -> Dict[int, Any]:
+        """A copy of one node's message store."""
+        return dict(self._stores.setdefault(node_id, {}))
+
+    def broadcast(self, origin_id: int, payload: Any) -> BroadcastRecord:
+        """Introduce a new message at ``origin_id`` (must be online)."""
+        origin = self._overlay.nodes[origin_id]
+        if not origin.online:
+            raise DisseminationError(f"origin node {origin_id} is offline")
+        record = self._new_record(origin_id)
+        self._stores.setdefault(origin_id, {})[record.message_id] = payload
+        return record
+
+    # ------------------------------------------------------------------
+    # digest rounds
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        """One global round: every online node digests with one channel."""
+        layer = self._overlay.link_layer
+        for node in self._overlay.nodes:
+            if not node.online or node.own is None:
+                continue
+            store = self._stores.setdefault(node.node_id, {})
+            target = node.links.pick_random_target(
+                self._rng
+            )
+            if target is None:
+                continue
+            digest_ids = frozenset(store)
+            if target.is_trusted:
+                digest = DigestMessage(
+                    known_ids=digest_ids, reply_node=node.node_id
+                )
+                layer.send_to_node(node.node_id, target.node_id, digest)
+            else:
+                now = self._overlay.sim.now
+                if target.pseudonym.is_expired(now):
+                    continue
+                digest = DigestMessage(
+                    known_ids=digest_ids, reply_address=node.own.address
+                )
+                layer.send_to_endpoint(
+                    node.node_id, target.pseudonym.address, digest
+                )
+            self.digests_sent += 1
+
+    def _on_deliver(self, node_id: int, payload: Any) -> None:
+        if isinstance(payload, DigestMessage):
+            self._handle_digest(node_id, payload)
+        elif isinstance(payload, PushMessage):
+            self._handle_push(node_id, payload)
+
+    def _handle_digest(self, node_id: int, digest: DigestMessage) -> None:
+        store = self._stores.setdefault(node_id, {})
+        missing = [
+            (message_id, payload)
+            for message_id, payload in store.items()
+            if message_id not in digest.known_ids
+        ]
+        if not missing:
+            return
+        push = PushMessage(items=tuple(missing[: self._max_push]))
+        layer = self._overlay.link_layer
+        if digest.reply_node is not None:
+            layer.send_to_node(node_id, digest.reply_node, push)
+        else:
+            layer.send_to_endpoint(node_id, digest.reply_address, push)
+        self.pushes_sent += 1
+
+    def _handle_push(self, node_id: int, push: PushMessage) -> None:
+        store = self._stores.setdefault(node_id, {})
+        for message_id, payload in push.items:
+            if message_id in store:
+                continue
+            store[message_id] = payload
+            self._mark_delivery(message_id, node_id)

@@ -1,0 +1,178 @@
+"""Common machinery for data-dissemination protocols.
+
+The paper positions the overlay as a substrate for "reliable and
+privacy-preserving message broadcast by using controlled flooding,
+epidemic dissemination, or an additional routing layer".  This package
+implements the first two on top of a running
+:class:`~repro.core.Overlay`.
+
+A dissemination protocol installs itself as the ``app_handler`` of
+every overlay node; application messages ride the same
+privacy-preserving links as the maintenance gossip (trusted links via
+the anonymity service, pseudonym links via the pseudonym service), so
+broadcasting discloses nothing the overlay itself does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Optional
+
+from ..core import Overlay
+from ..errors import DisseminationError
+
+__all__ = ["AppMessage", "BroadcastRecord", "Disseminator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AppMessage:
+    """An application-layer broadcast message.
+
+    ``hops_left`` implements controlled flooding's TTL; ``message_id``
+    provides duplicate suppression.  The payload is opaque to the
+    overlay (and assumed end-to-end encrypted in a deployment).
+    """
+
+    message_id: int
+    payload: Any
+    hops_left: int
+
+
+class BroadcastRecord:
+    """Delivery bookkeeping for one broadcast."""
+
+    def __init__(self, message_id: int, origin: int, started_at: float) -> None:
+        self.message_id = message_id
+        self.origin = origin
+        self.started_at = started_at
+        self.delivery_times: Dict[int, float] = {origin: started_at}
+        self.forwards = 0
+
+    def deliveries(self) -> int:
+        """Number of distinct nodes that received the message."""
+        return len(self.delivery_times)
+
+    def latency_of(self, node_id: int) -> Optional[float]:
+        """Delivery latency for one node (None if never delivered)."""
+        delivered = self.delivery_times.get(node_id)
+        if delivered is None:
+            return None
+        return delivered - self.started_at
+
+    def max_latency(self) -> float:
+        """Worst delivery latency across reached nodes."""
+        if not self.delivery_times:
+            return 0.0
+        return max(self.delivery_times.values()) - self.started_at
+
+
+class Disseminator:
+    """Base class: handler installation, dedup, and send primitives."""
+
+    def __init__(self, overlay: Overlay) -> None:
+        self._overlay = overlay
+        self._records: Dict[int, BroadcastRecord] = {}
+        self._message_ids = itertools.count(1)
+        self._installed = False
+        self._rng = overlay.substream("dissemination")
+        self._adjacency: Optional[Dict[int, list]] = None
+
+    @property
+    def overlay(self) -> Overlay:
+        """The substrate this protocol runs on."""
+        return self._overlay
+
+    def install(self) -> None:
+        """Attach this protocol to every overlay node."""
+        if self._installed:
+            raise DisseminationError("disseminator already installed")
+        self._installed = True
+        for node in self._overlay.nodes:
+            node.app_handler = self._on_deliver
+
+    def record(self, message_id: int) -> BroadcastRecord:
+        """Bookkeeping for a broadcast started by this disseminator."""
+        try:
+            return self._records[message_id]
+        except KeyError:
+            raise DisseminationError(f"unknown message id {message_id}") from None
+
+    def _new_record(self, origin: int) -> BroadcastRecord:
+        message_id = next(self._message_ids)
+        record = BroadcastRecord(message_id, origin, self._overlay.sim.now)
+        self._records[message_id] = record
+        # Refresh the channel map so the broadcast sees current links.
+        self._adjacency = self._build_adjacency()
+        return record
+
+    def _mark_delivery(self, message_id: int, node_id: int) -> bool:
+        """Record a first delivery; returns False for duplicates."""
+        record = self._records.get(message_id)
+        if record is None:
+            return False
+        if node_id in record.delivery_times:
+            return False
+        record.delivery_times[node_id] = self._overlay.sim.now
+        return True
+
+    def _build_adjacency(self) -> Dict[int, list]:
+        """Per-node bidirectional channel lists at the current instant.
+
+        Overlay links are bidirectional channels, so each unexpired
+        pseudonym link contributes a send option at *both* ends: the
+        establishing end sends to the pseudonym's endpoint, the owning
+        end pushes down the same channel (``send_reverse``).  Trusted
+        links appear at both ends anyway (the trust graph is
+        undirected).  Rebuilt at each broadcast start; a broadcast
+        completes within ~1 shuffling period, so staleness is
+        negligible.
+        """
+        now = self._overlay.sim.now
+        adjacency: Dict[int, list] = {
+            node.node_id: [] for node in self._overlay.nodes
+        }
+        for node in self._overlay.nodes:
+            for neighbor in node.links.trusted:
+                adjacency[node.node_id].append(("trusted", neighbor))
+            for pseudonym in node.links.pseudonym_links():
+                if pseudonym.is_expired(now):
+                    continue
+                owner = self._overlay.owner_of_value(pseudonym.value)
+                if owner is None or owner == node.node_id:
+                    continue
+                adjacency[node.node_id].append(("out", pseudonym.address))
+                adjacency[owner].append(("reverse", node.node_id))
+        return adjacency
+
+    def _send_along_links(
+        self, node_id: int, message: AppMessage, fanout: Optional[int] = None
+    ) -> int:
+        """Forward ``message`` over a node's bidirectional channels.
+
+        Sends to all channels, or to a uniform random subset of
+        ``fanout`` channels.  Returns the number of messages sent.
+        """
+        if self._adjacency is None:
+            self._adjacency = self._build_adjacency()
+        channels = self._adjacency.get(node_id, [])
+        if fanout is not None and fanout < len(channels):
+            indices = self._rng.choice(len(channels), size=fanout, replace=False)
+            channels = [channels[int(index)] for index in indices]
+        layer = self._overlay.link_layer
+        sent = 0
+        for kind, target in channels:
+            if kind == "trusted":
+                layer.send_to_node(node_id, target, message)
+            elif kind == "out":
+                layer.send_to_endpoint(node_id, target, message)
+            else:  # reverse: push down an established incoming channel
+                layer.send_reverse(node_id, target, message)
+            sent += 1
+        record = self._records.get(message.message_id)
+        if record is not None:
+            record.forwards += sent
+        return sent
+
+    def _on_deliver(self, node_id: int, payload: Any) -> None:
+        raise NotImplementedError("subclasses implement delivery handling")

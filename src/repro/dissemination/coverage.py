@@ -1,0 +1,77 @@
+"""Coverage and latency analysis for broadcasts."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import DisseminationError
+from .base import BroadcastRecord
+
+__all__ = ["CoverageReport", "coverage_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverageReport:
+    """Outcome of one broadcast against a target population.
+
+    ``coverage`` is the fraction of the target population reached;
+    latencies are in shuffling periods, measured from broadcast start.
+    """
+
+    message_id: int
+    target_population: int
+    reached: int
+    coverage: float
+    mean_latency: float
+    p95_latency: float
+    max_latency: float
+    forwards: int
+
+    def __str__(self) -> str:
+        return (
+            f"broadcast {self.message_id}: reached {self.reached}/"
+            f"{self.target_population} ({self.coverage:.1%}), "
+            f"mean latency {self.mean_latency:.2f} sp, "
+            f"p95 {self.p95_latency:.2f} sp, forwards {self.forwards}"
+        )
+
+
+def coverage_report(
+    record: BroadcastRecord, target_nodes: Sequence[int]
+) -> CoverageReport:
+    """Summarize a broadcast against a target node set.
+
+    ``target_nodes`` is typically the set of nodes online at broadcast
+    time — the population the paper's dissemination scenarios care
+    about reaching.
+    """
+    targets = set(target_nodes)
+    if not targets:
+        raise DisseminationError("target population is empty")
+    latencies: List[float] = []
+    reached = 0
+    for node_id in targets:
+        latency = record.latency_of(node_id)
+        if latency is not None:
+            reached += 1
+            latencies.append(latency)
+    if latencies:
+        array = np.array(latencies)
+        mean_latency = float(array.mean())
+        p95_latency = float(np.percentile(array, 95))
+        max_latency = float(array.max())
+    else:
+        mean_latency = p95_latency = max_latency = 0.0
+    return CoverageReport(
+        message_id=record.message_id,
+        target_population=len(targets),
+        reached=reached,
+        coverage=reached / len(targets),
+        mean_latency=mean_latency,
+        p95_latency=p95_latency,
+        max_latency=max_latency,
+        forwards=record.forwards,
+    )

@@ -1,0 +1,68 @@
+"""Controlled flooding over the overlay.
+
+Every node forwards a newly seen message to *all* of its overlay links
+until the hop budget (TTL) is exhausted.  On a connected, low-diameter
+overlay — exactly what the maintenance protocol produces — a small TTL
+suffices to reach everyone, which is the paper's motivation for keeping
+path lengths short.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import Overlay
+from ..errors import DisseminationError
+from .base import AppMessage, BroadcastRecord, Disseminator
+
+__all__ = ["FloodBroadcast"]
+
+
+class FloodBroadcast(Disseminator):
+    """Duplicate-suppressed flooding with a hop limit.
+
+    Parameters
+    ----------
+    overlay:
+        The substrate.  The disseminator must be :meth:`install`-ed
+        before broadcasting.
+    ttl:
+        Maximum number of hops a message travels from the origin.
+    """
+
+    def __init__(self, overlay: Overlay, ttl: int = 10) -> None:
+        super().__init__(overlay)
+        if ttl < 1:
+            raise DisseminationError("ttl must be at least 1")
+        self._ttl = ttl
+
+    @property
+    def ttl(self) -> int:
+        """Hop budget per broadcast."""
+        return self._ttl
+
+    def broadcast(self, origin_id: int, payload: Any) -> BroadcastRecord:
+        """Start a flood from ``origin_id``.  The origin must be online."""
+        origin = self.overlay.nodes[origin_id]
+        if not origin.online:
+            raise DisseminationError(f"origin node {origin_id} is offline")
+        record = self._new_record(origin_id)
+        message = AppMessage(
+            message_id=record.message_id, payload=payload, hops_left=self._ttl
+        )
+        self._send_along_links(origin_id, message)
+        return record
+
+    def _on_deliver(self, node_id: int, payload: Any) -> None:
+        if not isinstance(payload, AppMessage):
+            return
+        if not self._mark_delivery(payload.message_id, node_id):
+            return  # duplicate: suppressed
+        if payload.hops_left <= 1:
+            return
+        forwarded = AppMessage(
+            message_id=payload.message_id,
+            payload=payload.payload,
+            hops_left=payload.hops_left - 1,
+        )
+        self._send_along_links(node_id, forwarded)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this library derive from :class:`ReproError`,
+so callers can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly."""
+
+
+class SchedulerError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class GraphError(ReproError):
+    """A graph input is invalid (empty, disconnected where not allowed, ...)."""
+
+
+class SamplingError(GraphError):
+    """The trust-graph sampler received invalid parameters."""
+
+
+class ChurnError(ReproError):
+    """A churn model received invalid parameters."""
+
+
+class LinkLayerError(ReproError):
+    """A privacy-preserving link-layer operation failed."""
+
+
+class PseudonymError(LinkLayerError):
+    """A pseudonym is unknown, expired, or malformed."""
+
+
+class MixnetError(LinkLayerError):
+    """A mixnet circuit could not be built or used."""
+
+
+class ReplayDetectedError(MixnetError):
+    """A relay dropped a message because it was a replay."""
+
+
+class ProtocolError(ReproError):
+    """The overlay protocol was driven incorrectly."""
+
+
+class NodeOfflineError(ProtocolError):
+    """An operation requiring an online node was invoked while offline."""
+
+
+class DisseminationError(ReproError):
+    """A broadcast protocol was misused."""
+
+
+class ExperimentError(ReproError):
+    """An experiment scenario or runner was misconfigured."""

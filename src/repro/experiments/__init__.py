@@ -1,0 +1,87 @@
+"""Experiment harness: scales, runners, and per-figure reproductions of
+the paper's evaluation (Section V).
+"""
+
+from .figures import (
+    AvailabilityPoint,
+    AvailabilitySweep,
+    ConvergenceResult,
+    DegreeDistributions,
+    LifetimeSweep,
+    MessageOverheadResult,
+    ReplacementResult,
+    availability_sweep,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from .replication import ReplicatedValue, replicate, replicate_records
+from .report import build_report, collect_result_tables
+from .results import format_table, write_csv
+from .store import ResultStore
+from .sweeps import SweepPoint, grid_sweep, sweep_table_rows
+from .runner import (
+    OverlayRunResult,
+    StaticMetrics,
+    random_baseline_graph,
+    run_overlay_experiment,
+    static_churn_metrics,
+)
+from .scenarios import (
+    PAPER,
+    QUICK,
+    SMOKE,
+    ExperimentScale,
+    clear_graph_cache,
+    lifetime_label,
+    make_config,
+    make_trust_graph,
+    scale_from_env,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER",
+    "QUICK",
+    "SMOKE",
+    "scale_from_env",
+    "make_config",
+    "make_trust_graph",
+    "clear_graph_cache",
+    "lifetime_label",
+    "OverlayRunResult",
+    "run_overlay_experiment",
+    "StaticMetrics",
+    "static_churn_metrics",
+    "random_baseline_graph",
+    "AvailabilityPoint",
+    "AvailabilitySweep",
+    "availability_sweep",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "DegreeDistributions",
+    "MessageOverheadResult",
+    "LifetimeSweep",
+    "ConvergenceResult",
+    "ReplacementResult",
+    "format_table",
+    "write_csv",
+    "ResultStore",
+    "build_report",
+    "collect_result_tables",
+    "ReplicatedValue",
+    "replicate",
+    "replicate_records",
+    "SweepPoint",
+    "grid_sweep",
+    "sweep_table_rows",
+]

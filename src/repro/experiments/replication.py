@@ -1,0 +1,107 @@
+"""Seed replication: running an experiment across independent seeds.
+
+The paper reports single runs; publication-grade claims need variance.
+:func:`replicate` runs any experiment function across seeds and
+aggregates every numeric field of its result records into
+``mean ± std``; :class:`ReplicatedValue` carries the summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["ReplicatedValue", "replicate", "replicate_records"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicatedValue:
+    """A value aggregated over seeds."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.count})"
+
+
+def replicate(
+    experiment: Callable[[int], float],
+    seeds: Sequence[int],
+) -> ReplicatedValue:
+    """Run ``experiment(seed)`` per seed and aggregate the scalar results."""
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    values = []
+    for seed in seeds:
+        value = experiment(seed)
+        if not isinstance(value, (int, float)):
+            raise ExperimentError(
+                f"experiment returned non-numeric {type(value).__name__}"
+            )
+        values.append(float(value))
+    array = np.array(values)
+    return ReplicatedValue(
+        mean=float(array.mean()), std=float(array.std()), count=len(values)
+    )
+
+
+def replicate_records(
+    experiment: Callable[[int], Sequence[Any]],
+    seeds: Sequence[int],
+    key_field: str,
+) -> Dict[Any, Dict[str, ReplicatedValue]]:
+    """Replicate an experiment that returns a list of records.
+
+    ``experiment(seed)`` must return a sequence of dataclass records
+    (e.g. :class:`~repro.experiments.AvailabilityPoint`); records are
+    matched across seeds by ``key_field`` and every other numeric field
+    is aggregated.
+
+    Returns
+    -------
+    dict
+        ``{key_value: {field_name: ReplicatedValue}}``.
+    """
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    collected: Dict[Any, Dict[str, List[float]]] = {}
+    field_names: List[str] = []
+    for seed in seeds:
+        records = experiment(seed)
+        for record in records:
+            if not dataclasses.is_dataclass(record):
+                raise ExperimentError("records must be dataclasses")
+            values = dataclasses.asdict(record)
+            key = values.pop(key_field)
+            bucket = collected.setdefault(key, {})
+            for name, value in values.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    bucket.setdefault(name, []).append(float(value))
+                    if name not in field_names:
+                        field_names.append(name)
+
+    aggregated: Dict[Any, Dict[str, ReplicatedValue]] = {}
+    for key, fields in collected.items():
+        aggregated[key] = {}
+        for name, values in fields.items():
+            array = np.array(values)
+            aggregated[key][name] = ReplicatedValue(
+                mean=float(array.mean()),
+                std=float(array.std()),
+                count=len(values),
+            )
+    return aggregated

@@ -1,0 +1,95 @@
+"""Reproduction report assembly.
+
+Collects the result tables the benchmark harness saves under
+``benchmarks/results/`` into a single markdown document, with the
+experiment inventory up front — a regenerable companion to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ExperimentError
+
+__all__ = ["collect_result_tables", "build_report"]
+
+_SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("table1", "Table I — default parameters"),
+    ("fig3", "Figure 3 — connectivity vs availability"),
+    ("fig4", "Figure 4 — normalized path length"),
+    ("fig5", "Figure 5 — degree distributions"),
+    ("fig6", "Figure 6 — message overhead by rank"),
+    ("fig7", "Figure 7 — pseudonym lifetimes"),
+    ("fig8", "Figure 8 — convergence over time"),
+    ("fig9", "Figure 9 — link replacements"),
+    ("ablation", "Ablations"),
+    ("celebrity", "Extension — celebrity attack"),
+)
+
+
+def collect_result_tables(
+    results_dir: Union[str, os.PathLike],
+) -> Dict[str, str]:
+    """Read every ``*.txt`` table saved by the benchmark harness.
+
+    Returns a mapping of result name (file stem) to table text, sorted
+    by name.  Missing directory raises; an empty directory yields an
+    empty mapping.
+    """
+    root = pathlib.Path(results_dir)
+    if not root.is_dir():
+        raise ExperimentError(f"no results directory at {root}")
+    tables: Dict[str, str] = {}
+    for path in sorted(root.glob("*.txt")):
+        tables[path.stem] = path.read_text(encoding="utf-8").rstrip("\n")
+    return tables
+
+
+def _section_of(name: str) -> str:
+    for prefix, title in _SECTIONS:
+        if name.startswith(prefix):
+            return title
+    return "Other results"
+
+
+def build_report(
+    results_dir: Union[str, os.PathLike],
+    title: str = "Reproduction report",
+    preamble: Optional[str] = None,
+) -> str:
+    """Assemble one markdown report from the saved result tables.
+
+    Tables are grouped into sections by figure/ablation prefix, in the
+    paper's order.  Returns the markdown text.
+    """
+    tables = collect_result_tables(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    if preamble:
+        lines.extend([preamble, ""])
+    if not tables:
+        lines.append("_No results found — run the benchmark suite first._")
+        return "\n".join(lines)
+
+    grouped: Dict[str, List[Tuple[str, str]]] = {}
+    for name, text in tables.items():
+        grouped.setdefault(_section_of(name), []).append((name, text))
+
+    ordered_titles = [section_title for _, section_title in _SECTIONS]
+    ordered_titles.append("Other results")
+    for section_title in ordered_titles:
+        entries = grouped.get(section_title)
+        if not entries:
+            continue
+        lines.append(f"## {section_title}")
+        lines.append("")
+        for name, text in entries:
+            lines.append(f"### {name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(text)
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Result rendering: ASCII tables and CSV export.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent across figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "write_csv"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def write_csv(
+    path: Union[str, os.PathLike],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(["" if cell is None else cell for cell in row])

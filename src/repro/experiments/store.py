@@ -1,0 +1,132 @@
+"""Persistent experiment results.
+
+Long sweeps are expensive; :class:`ResultStore` persists their outputs
+as JSON documents keyed by experiment name, with enough metadata (scale,
+seed, library version, timestamp source left to the caller) to judge
+whether a cached result is still valid for reuse or comparison.
+
+The store is deliberately simple — a directory of ``<name>.json`` files
+— so results are diffable, greppable, and survive refactors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ExperimentError
+
+__all__ = ["ResultStore"]
+
+_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """A directory-backed store of named experiment results."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self._root = pathlib.Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> pathlib.Path:
+        """The backing directory."""
+        return self._root
+
+    def _path(self, name: str) -> pathlib.Path:
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ExperimentError(f"invalid result name {name!r}")
+        return self._root / f"{name}.json"
+
+    def save(
+        self,
+        name: str,
+        data: Any,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist ``data`` (JSON-serializable) under ``name``.
+
+        Overwrites any previous result of the same name.
+        """
+        document = {
+            "schema": _SCHEMA_VERSION,
+            "name": name,
+            "metadata": dict(metadata or {}),
+            "data": data,
+        }
+        try:
+            text = json.dumps(document, indent=2, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"result {name!r} is not JSON-serializable: {exc}"
+            ) from exc
+        self._path(name).write_text(text, encoding="utf-8")
+
+    def load(self, name: str) -> Any:
+        """Load the data saved under ``name``.
+
+        Raises
+        ------
+        ExperimentError
+            If the result does not exist or is malformed.
+        """
+        return self._document(name)["data"]
+
+    def metadata(self, name: str) -> Dict[str, Any]:
+        """Load only the metadata saved with ``name``."""
+        return self._document(name)["metadata"]
+
+    def _document(self, name: str) -> Dict[str, Any]:
+        path = self._path(name)
+        if not path.exists():
+            raise ExperimentError(f"no stored result named {name!r}")
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"corrupt result file {path}") from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != _SCHEMA_VERSION
+            or "data" not in document
+        ):
+            raise ExperimentError(f"unrecognized result schema in {path}")
+        return document
+
+    def exists(self, name: str) -> bool:
+        """Whether a result named ``name`` is stored."""
+        return self._path(name).exists()
+
+    def names(self) -> List[str]:
+        """All stored result names, sorted."""
+        return sorted(path.stem for path in self._root.glob("*.json"))
+
+    def delete(self, name: str) -> bool:
+        """Remove a stored result; returns whether it existed."""
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def get_or_compute(
+        self,
+        name: str,
+        compute,
+        metadata: Optional[Dict[str, Any]] = None,
+        match_metadata: bool = True,
+    ) -> Any:
+        """Return the cached result, or compute, save, and return it.
+
+        With ``match_metadata`` (default), a cached result is reused
+        only if its stored metadata equals ``metadata``; a mismatch
+        (different seed, scale, version...) triggers recomputation.
+        """
+        wanted = dict(metadata or {})
+        if self.exists(name):
+            if not match_metadata or self.metadata(name) == wanted:
+                return self.load(name)
+        data = compute()
+        self.save(name, data, metadata=wanted)
+        return data

@@ -1,0 +1,131 @@
+"""Generic parameter sweeps over :class:`~repro.config.SystemConfig`.
+
+The figure harnesses sweep availability; users exploring the design
+space want to sweep *anything* (cache size x availability, lifetime x
+fanout, ...).  :func:`grid_sweep` runs an experiment function over the
+cartesian product of config-field values, optionally memoizing each
+point in a :class:`~repro.experiments.store.ResultStore`, and returns
+records ready for :func:`~repro.experiments.results.format_table`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..errors import ExperimentError
+from .store import ResultStore
+
+__all__ = ["SweepPoint", "grid_sweep", "sweep_table_rows"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the overridden fields and the measured outcome."""
+
+    overrides: Tuple[Tuple[str, Any], ...]
+    outcome: Any
+
+    def override(self, name: str) -> Any:
+        """Value of one overridden field at this point."""
+        for key, value in self.overrides:
+            if key == name:
+                return value
+        raise ExperimentError(f"{name!r} is not a swept field")
+
+
+def _validate_fields(axes: Mapping[str, Sequence[Any]]) -> None:
+    valid = {field.name for field in dataclasses.fields(SystemConfig)}
+    for name, values in axes.items():
+        if name not in valid:
+            raise ExperimentError(f"unknown SystemConfig field {name!r}")
+        if not values:
+            raise ExperimentError(f"axis {name!r} has no values")
+
+
+def grid_sweep(
+    base_config: SystemConfig,
+    axes: Mapping[str, Sequence[Any]],
+    experiment: Callable[[SystemConfig], Any],
+    store: Optional[ResultStore] = None,
+    store_prefix: str = "sweep",
+) -> List[SweepPoint]:
+    """Run ``experiment`` over the cartesian product of ``axes``.
+
+    Parameters
+    ----------
+    base_config:
+        The configuration every point starts from.
+    axes:
+        Mapping of :class:`SystemConfig` field name to the values to
+        try.  The grid is the cartesian product in the mapping's order.
+    experiment:
+        ``experiment(config) -> outcome``.  The outcome must be
+        JSON-serializable if a store is used.
+    store:
+        Optional result store; each point is memoized under a key built
+        from ``store_prefix`` and the overrides, keyed to the base
+        config's seed, so re-running a partially completed sweep only
+        computes the missing points.
+    store_prefix:
+        Namespace for stored point names.
+
+    Returns
+    -------
+    list of SweepPoint
+        In grid order.
+    """
+    _validate_fields(axes)
+    names = list(axes.keys())
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        overrides = tuple(zip(names, combo))
+        config = base_config.replace(**dict(overrides))
+
+        def compute(config=config):
+            return experiment(config)
+
+        if store is not None:
+            key = store_prefix + "_" + "_".join(
+                f"{name}-{value}" for name, value in overrides
+            ).replace("/", "-").replace(".", "p")
+            outcome = store.get_or_compute(
+                key,
+                compute,
+                metadata={"seed": base_config.seed, "overrides": repr(overrides)},
+            )
+        else:
+            outcome = compute()
+        points.append(SweepPoint(overrides=overrides, outcome=outcome))
+    return points
+
+
+def sweep_table_rows(
+    points: Sequence[SweepPoint],
+    outcome_fields: Optional[Sequence[str]] = None,
+) -> Tuple[List[str], List[Tuple]]:
+    """Turn sweep points into (headers, rows) for ``format_table``.
+
+    Scalar outcomes get one ``outcome`` column; dict outcomes get one
+    column per key (or per requested ``outcome_fields``).
+    """
+    if not points:
+        raise ExperimentError("no sweep points")
+    axis_names = [name for name, _ in points[0].overrides]
+    first = points[0].outcome
+    if isinstance(first, dict):
+        fields = list(outcome_fields) if outcome_fields else sorted(first)
+    else:
+        fields = ["outcome"]
+    headers = axis_names + fields
+    rows: List[Tuple] = []
+    for point in points:
+        row: List[Any] = [value for _, value in point.overrides]
+        if isinstance(point.outcome, dict):
+            row.extend(point.outcome.get(field) for field in fields)
+        else:
+            row.append(point.outcome)
+        rows.append(tuple(row))
+    return headers, rows

@@ -1,0 +1,67 @@
+"""Edge-list persistence for graphs.
+
+Experiments cache sampled trust graphs on disk so that repeated runs
+reuse identical inputs.  The format is a plain-text edge list with a
+small comment header recording the node count, which keeps isolated
+nodes (none are produced by our samplers, but round-trips stay exact).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import networkx as nx
+
+from ..errors import GraphError
+
+__all__ = ["save_edge_list", "load_edge_list"]
+
+_HEADER_PREFIX = "# nodes="
+
+
+def save_edge_list(graph: nx.Graph, path: Union[str, os.PathLike]) -> None:
+    """Write ``graph`` as an edge list with a node-count header."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_HEADER_PREFIX}{graph.number_of_nodes()}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def load_edge_list(path: Union[str, os.PathLike]) -> nx.Graph:
+    """Read a graph written by :func:`save_edge_list`.
+
+    Raises
+    ------
+    GraphError
+        If the file is malformed (bad header, non-integer endpoints).
+    """
+    graph = nx.Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise GraphError(f"missing node-count header in {path}")
+        try:
+            num_nodes = int(header[len(_HEADER_PREFIX):])
+        except ValueError as exc:
+            raise GraphError(f"bad node count in header of {path}") from exc
+        graph.add_nodes_from(range(num_nodes))
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphError(f"{path}:{line_number}: expected two endpoints")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_number}: non-integer endpoint"
+                ) from exc
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise GraphError(
+                    f"{path}:{line_number}: endpoint outside 0..{num_nodes - 1}"
+                )
+            graph.add_edge(u, v)
+    return graph

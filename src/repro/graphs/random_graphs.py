@@ -1,0 +1,116 @@
+"""Random-graph baselines.
+
+The paper compares its overlay against Erdős–Rényi graphs "of similar
+size" (same node count and comparable edge count / average fan-out).
+We provide G(n, m) — the fixed-edge-count variant, which makes the
+comparison exact — plus a helper that matches an existing graph's node
+and edge counts, and a regular-random baseline used by ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["erdos_renyi_gnm", "matching_random_graph", "random_regular"]
+
+
+def erdos_renyi_gnm(
+    num_nodes: int,
+    num_edges: int,
+    rng: Optional[np.random.Generator] = None,
+) -> nx.Graph:
+    """Sample a uniform random graph with exactly ``num_edges`` edges.
+
+    Edges are drawn without replacement from all node pairs, using
+    rejection sampling (fast in the sparse regime this library uses).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if num_nodes < 1:
+        raise GraphError("num_nodes must be at least 1")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(
+            f"num_edges {num_edges} exceeds maximum {max_edges} for "
+            f"{num_nodes} nodes"
+        )
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    if num_edges == 0:
+        return graph
+
+    if num_edges > max_edges // 2:
+        # Dense regime: enumerate and choose (rare in our experiments).
+        pairs = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+        indices = rng.choice(len(pairs), size=num_edges, replace=False)
+        graph.add_edges_from(pairs[int(index)] for index in indices)
+        return graph
+
+    added = 0
+    while added < num_edges:
+        u = int(rng.integers(0, num_nodes))
+        v = int(rng.integers(0, num_nodes))
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    return graph
+
+
+def matching_random_graph(
+    reference: nx.Graph,
+    rng: Optional[np.random.Generator] = None,
+) -> nx.Graph:
+    """An Erdős–Rényi graph with the same node and edge counts as ``reference``.
+
+    This is the paper's "random graph with the same number of nodes and
+    edges" baseline; node labels are ``0..n-1`` regardless of the
+    reference's labels.
+    """
+    return erdos_renyi_gnm(
+        reference.number_of_nodes(), reference.number_of_edges(), rng=rng
+    )
+
+
+def random_regular(
+    num_nodes: int,
+    degree: int,
+    rng: Optional[np.random.Generator] = None,
+) -> nx.Graph:
+    """A random ``degree``-regular graph (configuration-model style).
+
+    Used by ablations to compare the overlay against the ideal
+    fixed-fanout topology.  Retries the pairing until it is simple;
+    falls back to edge swaps if stubs cannot be matched.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if degree >= num_nodes:
+        raise GraphError("degree must be smaller than num_nodes")
+    if (num_nodes * degree) % 2 != 0:
+        raise GraphError("num_nodes * degree must be even")
+
+    for _ in range(100):
+        stubs = np.repeat(np.arange(num_nodes), degree)
+        rng.shuffle(stubs)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        ok = True
+        for index in range(0, len(stubs), 2):
+            u = int(stubs[index])
+            v = int(stubs[index + 1])
+            if u == v or graph.has_edge(u, v):
+                ok = False
+                break
+            graph.add_edge(u, v)
+        if ok:
+            return graph
+    raise GraphError(
+        f"failed to build a simple {degree}-regular graph on {num_nodes} nodes"
+    )

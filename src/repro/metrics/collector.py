@@ -1,0 +1,182 @@
+"""Periodic measurement of a running overlay (paper Section IV-C).
+
+:class:`MetricsCollector` attaches to an :class:`~repro.core.Overlay`
+and samples, once per configurable interval:
+
+* the fraction of online nodes disconnected from the overlay's largest
+  component, and the same metric on the trust-graph baseline;
+* the normalized average path length (optionally less frequently,
+  since it is the expensive metric);
+* the per-period rate of pseudonym-link replacements per online node
+  (Figure 9's overhead metric);
+* the per-period rate of messages per online node;
+* each node's maximum observed out-degree (Figure 6).
+
+Sampling happens inside the simulation via scheduled events, so the
+series align exactly with simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import Overlay
+from ..errors import ExperimentError
+from ..graphs import fraction_disconnected, normalized_path_length
+from .series import TimeSeries
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Samples overlay health metrics on a fixed simulated-time grid."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        interval: float = 1.0,
+        path_length_every: int = 0,
+        path_length_sources: Optional[int] = 32,
+        track_trust_baseline: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        overlay:
+            The system under measurement (not yet started is fine).
+        interval:
+            Sampling interval in shuffling periods.
+        path_length_every:
+            Measure normalized path length every this many samples
+            (0 disables the metric entirely).
+        path_length_sources:
+            BFS source sample size for the path-length estimate
+            (None = exact).
+        track_trust_baseline:
+            Also measure the trust graph restricted to online nodes.
+        rng:
+            Randomness for path-length source sampling.
+        """
+        if interval <= 0:
+            raise ExperimentError("interval must be positive")
+        if path_length_every < 0:
+            raise ExperimentError("path_length_every must be non-negative")
+        self._overlay = overlay
+        self._interval = interval
+        self._path_length_every = path_length_every
+        self._path_length_sources = path_length_sources
+        self._track_trust = track_trust_baseline
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.disconnected = TimeSeries("overlay disconnected fraction")
+        self.trust_disconnected = TimeSeries("trust-graph disconnected fraction")
+        self.path_length = TimeSeries("overlay normalized path length")
+        self.trust_path_length = TimeSeries("trust-graph normalized path length")
+        self.online_count = TimeSeries("online nodes")
+        self.replacements_per_node = TimeSeries("link replacements per node per period")
+        self.messages_per_node = TimeSeries("messages per node per period")
+
+        self.max_out_degree: Dict[int, int] = {
+            node.node_id: 0 for node in overlay.nodes
+        }
+        self._samples = 0
+        self._last_replacements = 0
+        self._last_messages = 0
+        self._started = False
+
+    @property
+    def interval(self) -> float:
+        """Sampling interval in shuffling periods."""
+        return self._interval
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin sampling (first sample after ``initial_delay``)."""
+        if self._started:
+            raise ExperimentError("collector already started")
+        self._started = True
+        delay = self._interval if initial_delay is None else initial_delay
+        self._overlay.sim.schedule_after(delay, self._sample)
+
+    def _sample(self) -> None:
+        self._overlay.sim.schedule_after(self._interval, self._sample)
+        self._samples += 1
+        now = self._overlay.sim.now
+        total_nodes = len(self._overlay.nodes)
+
+        snapshot = self._overlay.snapshot(online_only=True)
+        self.disconnected.append(now, fraction_disconnected(snapshot))
+        online = snapshot.number_of_nodes()
+        self.online_count.append(now, float(online))
+
+        trust_snapshot = None
+        if self._track_trust:
+            trust_snapshot = self._overlay.trust_snapshot()
+            self.trust_disconnected.append(
+                now, fraction_disconnected(trust_snapshot)
+            )
+
+        if self._path_length_every and self._samples % self._path_length_every == 0:
+            self.path_length.append(
+                now,
+                normalized_path_length(
+                    snapshot,
+                    total_nodes,
+                    sample_sources=self._path_length_sources,
+                    rng=self._rng,
+                ),
+            )
+            if trust_snapshot is not None:
+                self.trust_path_length.append(
+                    now,
+                    normalized_path_length(
+                        trust_snapshot,
+                        total_nodes,
+                        sample_sources=self._path_length_sources,
+                        rng=self._rng,
+                    ),
+                )
+
+        # Per-period rates from cumulative counters.
+        replacements = sum(
+            node.links.replacements_total for node in self._overlay.nodes
+        )
+        messages = sum(node.counters.messages_sent for node in self._overlay.nodes)
+        denominator = max(1, online) * self._interval
+        self.replacements_per_node.append(
+            now, (replacements - self._last_replacements) / denominator
+        )
+        self.messages_per_node.append(
+            now, (messages - self._last_messages) / denominator
+        )
+        self._last_replacements = replacements
+        self._last_messages = messages
+
+        for node in self._overlay.nodes:
+            if node.online:
+                degree = node.out_degree(now)
+                if degree > self.max_out_degree.setdefault(node.node_id, 0):
+                    self.max_out_degree[node.node_id] = degree
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def stable_disconnected(self, fraction: float = 0.25) -> float:
+        """Tail-mean of the overlay's disconnected fraction."""
+        return self.disconnected.tail_mean(fraction)
+
+    def stable_trust_disconnected(self, fraction: float = 0.25) -> float:
+        """Tail-mean of the trust baseline's disconnected fraction."""
+        return self.trust_disconnected.tail_mean(fraction)
+
+    def convergence_time(self, threshold: float = 0.05) -> Optional[float]:
+        """First time the overlay's disconnected fraction fell below
+        ``threshold`` (None if it never did)."""
+        return self.disconnected.time_to_reach(threshold, below=True)
+
+    def max_out_degrees(self) -> List[int]:
+        """Per-node maximum observed out-degree, indexed by node id."""
+        return [self.max_out_degree[node_id] for node_id in sorted(self.max_out_degree)]

@@ -1,0 +1,94 @@
+"""Per-node overhead statistics (Figure 6).
+
+The paper ranks nodes by their trust-graph degree and reports, per
+node, the average number of messages sent per shuffle period *while the
+node was online*, next to the node's maximum out-degree in the overlay.
+The expected system-wide average is 2 (one request per node per period
+plus, on average, one response), with high-degree nodes answering more
+requests because more peers hold links to them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..core import Overlay
+from ..errors import ExperimentError
+
+__all__ = ["NodeOverhead", "message_overhead_by_rank", "mean_messages_per_period"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeOverhead:
+    """One node's overhead summary."""
+
+    node_id: int
+    trust_degree: int
+    messages_per_period: float
+    max_out_degree: int
+
+
+def message_overhead_by_rank(
+    overlay: Overlay,
+    max_out_degrees: Optional[List[int]] = None,
+    min_online_time: float = 1.0,
+) -> List[NodeOverhead]:
+    """Per-node overhead, sorted by descending trust-graph degree.
+
+    Parameters
+    ----------
+    overlay:
+        A (finished or running) overlay experiment.
+    max_out_degrees:
+        Per-node maximum observed out-degree, as collected by
+        :class:`~repro.metrics.collector.MetricsCollector`; falls back
+        to the current out-degree when not supplied.
+    min_online_time:
+        Nodes online for less than this many periods are reported with
+        zero rate instead of a noisy ratio.
+
+    Returns
+    -------
+    list of NodeOverhead
+        Index 0 is the highest-trust-degree node (rank 1 in Figure 6).
+    """
+    if min_online_time <= 0:
+        raise ExperimentError("min_online_time must be positive")
+    now = overlay.sim.now
+    summaries = []
+    for node in overlay.nodes:
+        online_time = overlay.total_online_time(node.node_id)
+        if online_time >= min_online_time:
+            rate = node.counters.messages_sent / online_time
+        else:
+            rate = 0.0
+        if max_out_degrees is not None:
+            max_degree = max_out_degrees[node.node_id]
+        else:
+            max_degree = node.out_degree(now)
+        summaries.append(
+            NodeOverhead(
+                node_id=node.node_id,
+                trust_degree=node.links.trusted_degree,
+                messages_per_period=rate,
+                max_out_degree=max_degree,
+            )
+        )
+    summaries.sort(key=lambda entry: (-entry.trust_degree, entry.node_id))
+    return summaries
+
+
+def mean_messages_per_period(overlay: Overlay) -> float:
+    """System-wide average messages per node per online period.
+
+    The paper's sanity check: this should be close to 2.
+    """
+    total_messages = 0
+    total_online_time = 0.0
+    for node in overlay.nodes:
+        total_messages += node.counters.messages_sent
+        total_online_time += overlay.total_online_time(node.node_id)
+    if total_online_time <= 0:
+        return 0.0
+    return total_messages / total_online_time

@@ -1,0 +1,104 @@
+"""Time-series containers for experiment measurements.
+
+A :class:`TimeSeries` is a pair of parallel lists (times, values) with
+the small analysis helpers the experiments need: tail averaging (the
+paper reports "the state of the system after the reported metrics have
+reached stable values"), convergence detection, and resampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Add one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ExperimentError(
+                f"non-monotonic time {time} after {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array (copy)."""
+        return np.array(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array (copy)."""
+        return np.array(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent sample."""
+        if not self._times:
+            raise ExperimentError(f"time series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean over the trailing ``fraction`` of samples.
+
+        This is how experiments report "stable" values: the transient
+        head of the series is discarded.
+        """
+        if not self._values:
+            raise ExperimentError(f"time series {self.name!r} is empty")
+        if not 0.0 < fraction <= 1.0:
+            raise ExperimentError("fraction must be in (0, 1]")
+        count = max(1, int(len(self._values) * fraction))
+        return float(np.mean(self._values[-count:]))
+
+    def time_to_reach(
+        self, threshold: float, below: bool = True
+    ) -> Optional[float]:
+        """First time the series crosses ``threshold`` (None if never).
+
+        With ``below=True`` (default) this is the convergence time of a
+        metric that should shrink, like the disconnected fraction.
+        """
+        for time, value in zip(self._times, self._values):
+            if (value <= threshold) if below else (value >= threshold):
+                return time
+        return None
+
+    def stabilized(self, window: int = 10, tolerance: float = 0.02) -> bool:
+        """Whether the last ``window`` samples vary at most ``tolerance``."""
+        if len(self._values) < window:
+            return False
+        tail = self._values[-window:]
+        return max(tail) - min(tail) <= tolerance
+
+    @staticmethod
+    def average(series_list: Sequence["TimeSeries"], name: str = "") -> "TimeSeries":
+        """Pointwise mean of equally sampled series (seed averaging)."""
+        if not series_list:
+            raise ExperimentError("need at least one series to average")
+        lengths = {len(series) for series in series_list}
+        if len(lengths) != 1:
+            raise ExperimentError("series have mismatched lengths")
+        result = TimeSeries(name=name or series_list[0].name)
+        stacked = np.vstack([series.values for series in series_list])
+        for index, time in enumerate(series_list[0]._times):
+            result.append(time, float(stacked[:, index].mean()))
+        return result

@@ -1,0 +1,84 @@
+"""Simulated layered encryption ("onions") and message digests.
+
+Mix networks (Chaum 1981) wrap a message in one encryption layer per
+relay; each relay strips one layer and forwards the rest.  We model a
+layer as a :class:`Sealed` wrapper naming the public key it was sealed
+to; only the holder of the matching private key may call
+:func:`unseal`.  Attempting to open a layer with the wrong key raises,
+exactly as decryption with the wrong key fails.
+
+The digests used for replay detection are real (SHA-256 over a stable
+representation), since replay caches only need collision resistance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Tuple
+
+from ..errors import MixnetError
+from .identity import KeyPair
+
+__all__ = ["Sealed", "seal", "seal_layers", "unseal", "message_digest"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Sealed:
+    """A payload sealed to a public key.
+
+    ``payload`` is either application data or another :class:`Sealed`
+    (the next onion layer).  ``routing_hint`` is the plaintext routing
+    instruction revealed to the layer's holder — in a mix network every
+    relay must learn the *next hop* and nothing else.
+    """
+
+    public_key: int
+    routing_hint: Any
+    payload: Any
+
+
+def seal(public_key: int, routing_hint: Any, payload: Any) -> Sealed:
+    """Seal one layer to ``public_key``."""
+    return Sealed(public_key=public_key, routing_hint=routing_hint, payload=payload)
+
+
+def seal_layers(hops: Tuple[Tuple[int, Any], ...], payload: Any) -> Any:
+    """Build an onion: the first hop's layer is outermost.
+
+    ``hops`` is a sequence of ``(public_key, routing_hint)`` pairs, in
+    forwarding order.  Returns the outermost :class:`Sealed` (or the
+    bare payload when ``hops`` is empty).
+    """
+    wrapped: Any = payload
+    for public_key, routing_hint in reversed(hops):
+        wrapped = seal(public_key, routing_hint, wrapped)
+    return wrapped
+
+
+def unseal(key_pair: KeyPair, sealed: Sealed) -> Tuple[Any, Any]:
+    """Open one layer.  Returns ``(routing_hint, inner_payload)``.
+
+    Raises
+    ------
+    MixnetError
+        If ``key_pair`` does not match the layer's public key — the
+        simulated analogue of a decryption failure.
+    """
+    if not isinstance(sealed, Sealed):
+        raise MixnetError("attempted to unseal a non-sealed payload")
+    if not key_pair.matches(sealed.public_key):
+        raise MixnetError(
+            f"key {key_pair.private} cannot open layer sealed to "
+            f"{sealed.public_key}"
+        )
+    return sealed.routing_hint, sealed.payload
+
+
+def message_digest(payload: Any) -> bytes:
+    """SHA-256 digest of a payload's stable representation.
+
+    Used by relays' replay caches.  ``repr`` is stable for the frozen
+    dataclasses and primitive types that flow through the mixnet.
+    """
+    return hashlib.sha256(repr(payload).encode("utf-8")).digest()

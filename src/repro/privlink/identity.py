@@ -1,0 +1,72 @@
+"""Node identities and simulated key material.
+
+A :class:`NodeID` is the real, privacy-sensitive identity of a
+participant (think: IP address plus user identity).  The whole point of
+the paper's design is that NodeIDs are *only* ever revealed to trusted
+peers; every other party sees pseudonyms.
+
+Key material is simulated: a :class:`KeyPair` carries opaque integer
+key identifiers rather than real asymmetric keys.  The simulation
+enforces the same *structural* guarantees real crypto would (a layer
+"encrypted" to key k can only be opened by the holder of k) without the
+cost of actual cryptography, which is irrelevant to the phenomena the
+paper measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+__all__ = ["NodeID", "KeyPair", "KeyRegistry"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class NodeID:
+    """The real identity of a node.
+
+    ``value`` is the node's index in the trust graph; ``realm`` allows
+    multiple distinct systems in one simulation (e.g. relays vs
+    participants) to have non-colliding identities.
+    """
+
+    value: int
+    realm: str = "node"
+
+    def __str__(self) -> str:
+        return f"{self.realm}:{self.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair.
+
+    ``public`` may be shared freely; only the holder of the matching
+    ``private`` value can open layers sealed to ``public``.  In this
+    simulation both are the same integer, but the type distinction keeps
+    call sites honest about which half they are allowed to see.
+    """
+
+    public: int
+    private: int
+
+    def matches(self, public_key: int) -> bool:
+        """Whether this pair can open material sealed to ``public_key``."""
+        return self.private == public_key
+
+
+class KeyRegistry:
+    """Issues unique key pairs.
+
+    A single registry per simulation guarantees key identifiers never
+    collide, which is what lets the simulated crypto stand in for real
+    key-based access control.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def issue(self) -> KeyPair:
+        """Create a fresh key pair."""
+        key = next(self._counter)
+        return KeyPair(public=key, private=key)

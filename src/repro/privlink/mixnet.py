@@ -1,0 +1,391 @@
+"""A simulated mix network (Chaum-style) and services built on it.
+
+The paper's link layer can be realized with mix networks (Section
+III-B): the sender wraps a message in one encryption layer per relay;
+each relay strips a layer and forwards, so no relay knows its position
+in the chain and an external observer cannot associate sender with
+receiver.  Pseudonym endpoints follow the Tor-hidden-service / I2P
+pattern: the *last relay* of a circuit built by the endpoint's owner
+acts as the pseudonym's rendezvous point.
+
+This module implements that machinery with simulated crypto
+(:mod:`repro.privlink.crypto`):
+
+* :class:`Relay` — strips one onion layer per message, enforces a
+  replay cache (Section III-C's defense: remember digests of messages
+  relayed to each pseudonym, drop repeats).
+* :class:`MixNetwork` — the relay pool plus circuit construction.
+* :class:`MixnetAnonymityService` — sender-built circuits terminating
+  at a destination whose real ID is known.
+* :class:`RendezvousPseudonymService` — owner-built circuits whose last
+  relay is the pseudonym address; inbound messages traverse a
+  sender-side circuit to the rendezvous relay, then the owner's return
+  circuit.
+
+Relays are modeled as third-party infrastructure with high availability
+(the paper notes "existing anonymity services are known to provide high
+availability"), so they are always online; participant liveness is
+still checked at final delivery.  Every hop is written to the traffic
+log, which the attack analyses consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import MixnetError, PseudonymError
+from ..sim import Simulator
+from .crypto import Sealed, message_digest, seal_layers, unseal
+from .identity import KeyPair, KeyRegistry
+from .link import Address, AnonymityService, NodeDirectory, PseudonymServiceBase
+from .traffic import TrafficLog
+
+__all__ = [
+    "Relay",
+    "MixNetwork",
+    "MixnetAnonymityService",
+    "RendezvousPseudonymService",
+    "make_mixnet_link_layer",
+]
+
+# Routing-hint verbs understood by relays.
+_HINT_RELAY = "relay"
+_HINT_DELIVER = "deliver"
+_HINT_RENDEZVOUS = "rendezvous"
+
+
+class Relay:
+    """One mix relay: a key pair, a forwarding engine, a replay cache."""
+
+    def __init__(self, relay_id: int, key_pair: KeyPair, network: "MixNetwork") -> None:
+        self.relay_id = relay_id
+        self.key_pair = key_pair
+        self._network = network
+        self._replay_cache: Set[bytes] = set()
+        self.forwarded = 0
+        self.replays_dropped = 0
+
+    @property
+    def name(self) -> str:
+        """The endpoint identifier observers see for this relay."""
+        return f"relay:{self.relay_id}"
+
+    def replay_cache_size(self) -> int:
+        """Number of remembered message digests."""
+        return len(self._replay_cache)
+
+    def flush_replay_cache(self) -> None:
+        """Drop remembered digests.
+
+        The overlay's ephemeral pseudonyms are what keep this cache
+        bounded in the paper ("the space requirements [...] become
+        bounded for each pseudonym"); the simulation exposes an explicit
+        flush so long experiments can model cache turnover.
+        """
+        self._replay_cache.clear()
+
+    def process(self, sealed: Any, arrived_from: str, time: float) -> None:
+        """Strip one layer and act on the routing hint."""
+        digest = message_digest(sealed)
+        if digest in self._replay_cache:
+            self.replays_dropped += 1
+            return
+        self._replay_cache.add(digest)
+
+        if not isinstance(sealed, Sealed):
+            raise MixnetError(f"relay {self.relay_id} received a non-onion payload")
+        hint, inner = unseal(self.key_pair, sealed)
+        verb = hint[0]
+        self.forwarded += 1
+        if verb == _HINT_RELAY:
+            next_relay_id = hint[1]
+            self._network.hop(self, next_relay_id, inner, time)
+        elif verb == _HINT_DELIVER:
+            dest_node_id = hint[1]
+            self._network.final_delivery(self, dest_node_id, inner, time)
+        elif verb == _HINT_RENDEZVOUS:
+            address = hint[1]
+            self._network.rendezvous_delivery(self, address, inner, time)
+        else:
+            raise MixnetError(f"unknown routing hint verb {verb!r}")
+
+
+class MixNetwork:
+    """The relay pool, circuit builder, and hop scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        directory: NodeDirectory,
+        rng: np.random.Generator,
+        num_relays: int = 20,
+        circuit_length: int = 3,
+        hop_latency: float = 0.01,
+        relay_availability: float = 1.0,
+        traffic: Optional[TrafficLog] = None,
+    ) -> None:
+        """``relay_availability`` models third-party infrastructure that
+        is highly but not perfectly available (the paper assumes "high
+        availability" for deployed anonymity services): each hop is
+        dropped with probability ``1 - relay_availability``."""
+        if num_relays < circuit_length:
+            raise MixnetError(
+                f"need at least {circuit_length} relays, got {num_relays}"
+            )
+        if circuit_length < 1:
+            raise MixnetError("circuit_length must be at least 1")
+        if not 0.0 < relay_availability <= 1.0:
+            raise MixnetError("relay_availability must be in (0, 1]")
+        self._sim = sim
+        self._directory = directory
+        self._rng = rng
+        self._circuit_length = circuit_length
+        self._hop_latency = hop_latency
+        self._relay_availability = relay_availability
+        self.dropped_relay_down = 0
+        self.traffic = traffic if traffic is not None else TrafficLog(enabled=False)
+
+        keys = KeyRegistry()
+        self.relays: List[Relay] = [
+            Relay(relay_id, keys.issue(), self) for relay_id in range(num_relays)
+        ]
+        # Rendezvous table: pseudonym address -> (rendezvous relay id,
+        # owner's return circuit as relay ids, owner node id).  The owner
+        # id is known only to this table — the simulation stand-in for
+        # the owner-built return circuit's endpoint.
+        self._rendezvous: Dict[Address, Tuple[int, Tuple[int, ...], int]] = {}
+        self.delivered_count = 0
+        self.dropped_offline = 0
+        self.dropped_closed = 0
+
+    @property
+    def circuit_length(self) -> int:
+        """Relays per circuit."""
+        return self._circuit_length
+
+    def build_circuit(self, length: Optional[int] = None) -> List[Relay]:
+        """Pick ``length`` distinct relays uniformly at random."""
+        if length is None:
+            length = self._circuit_length
+        indices = self._rng.choice(len(self.relays), size=length, replace=False)
+        return [self.relays[int(index)] for index in indices]
+
+    # -- onion construction ------------------------------------------------
+
+    def wrap_for_node(self, circuit: List[Relay], dest_node_id: int, payload: Any) -> Sealed:
+        """Onion whose last layer delivers to a known node id."""
+        hops = []
+        for position, relay in enumerate(circuit):
+            if position + 1 < len(circuit):
+                hint = (_HINT_RELAY, circuit[position + 1].relay_id)
+            else:
+                hint = (_HINT_DELIVER, dest_node_id)
+            hops.append((relay.key_pair.public, hint))
+        return seal_layers(tuple(hops), payload)
+
+    def wrap_for_rendezvous(
+        self, circuit: List[Relay], address: Address, payload: Any
+    ) -> Sealed:
+        """Onion whose last layer hands the payload to a rendezvous relay."""
+        hops = []
+        for position, relay in enumerate(circuit):
+            if position + 1 < len(circuit):
+                hint = (_HINT_RELAY, circuit[position + 1].relay_id)
+            else:
+                hint = (_HINT_RENDEZVOUS, address)
+            hops.append((relay.key_pair.public, hint))
+        return seal_layers(tuple(hops), payload)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _latency(self) -> float:
+        if self._hop_latency == 0.0:
+            return 0.0
+        return float(self._rng.uniform(0.5 * self._hop_latency, 1.5 * self._hop_latency))
+
+    def _relay_up(self) -> bool:
+        if self._relay_availability >= 1.0:
+            return True
+        if self._rng.random() < self._relay_availability:
+            return True
+        self.dropped_relay_down += 1
+        return False
+
+    def inject(self, sender_name: str, first_relay: Relay, onion: Sealed) -> None:
+        """Send an onion from an edge node into the mix."""
+        self.traffic.record(self._sim.now, sender_name, first_relay.name)
+        if not self._relay_up():
+            return
+        self._sim.schedule_after(
+            self._latency(), first_relay.process, onion, sender_name, self._sim.now
+        )
+
+    def hop(self, from_relay: Relay, next_relay_id: int, inner: Any, time: float) -> None:
+        """Forward between relays."""
+        try:
+            next_relay = self.relays[next_relay_id]
+        except IndexError:
+            raise MixnetError(f"unknown relay id {next_relay_id}") from None
+        self.traffic.record(self._sim.now, from_relay.name, next_relay.name)
+        if not self._relay_up():
+            return
+        self._sim.schedule_after(
+            self._latency(), next_relay.process, inner, from_relay.name, self._sim.now
+        )
+
+    def final_delivery(
+        self, from_relay: Relay, dest_node_id: int, payload: Any, time: float
+    ) -> None:
+        """Last hop of an anonymity-service circuit: relay -> node."""
+        self.traffic.record(self._sim.now, from_relay.name, f"node:{dest_node_id}")
+        self._sim.schedule_after(self._latency(), self._deliver_to_node, dest_node_id, payload)
+
+    def rendezvous_delivery(
+        self, from_relay: Relay, address: Address, payload: Any, time: float
+    ) -> None:
+        """A rendezvous relay received a message for a pseudonym endpoint.
+
+        The payload continues along the owner's return circuit (modeled
+        as the recorded relay chain) and finally reaches the owner.
+        """
+        entry = self._rendezvous.get(address)
+        if entry is None:
+            self.dropped_closed += 1
+            return
+        rendezvous_relay_id, return_circuit, owner_id = entry
+        if from_relay.relay_id != rendezvous_relay_id:
+            # Message reached a relay that is not this pseudonym's
+            # rendezvous point; a real network would fail to decrypt.
+            self.dropped_closed += 1
+            return
+        previous_name = from_relay.name
+        delay = 0.0
+        for relay_id in return_circuit:
+            delay += self._latency()
+            relay_name = self.relays[relay_id].name
+            self.traffic.record(self._sim.now + delay, previous_name, relay_name)
+            previous_name = relay_name
+        delay += self._latency()
+        self.traffic.record(self._sim.now + delay, previous_name, f"node:{owner_id}")
+        self._sim.schedule_after(delay, self._deliver_to_node, owner_id, payload)
+
+    def _deliver_to_node(self, node_id: int, payload: Any) -> None:
+        if self._directory.deliver(node_id, payload):
+            self.delivered_count += 1
+        else:
+            self.dropped_offline += 1
+
+    # -- rendezvous registry ------------------------------------------------
+
+    def open_rendezvous(self, owner_id: int) -> Address:
+        """Owner builds a return circuit; its last relay becomes the address."""
+        circuit = self.build_circuit()
+        rendezvous_relay = circuit[-1]
+        return_circuit = tuple(relay.relay_id for relay in reversed(circuit[:-1]))
+        address = Address(token=_next_rendezvous_token(), kind="rendezvous")
+        self._rendezvous[address] = (rendezvous_relay.relay_id, return_circuit, owner_id)
+        return address
+
+    def close_rendezvous(self, address: Address) -> None:
+        """Tear down the rendezvous entry for ``address``."""
+        self._rendezvous.pop(address, None)
+
+    def rendezvous_relay_of(self, address: Address) -> int:
+        """Rendezvous relay id for an address (raises if closed)."""
+        entry = self._rendezvous.get(address)
+        if entry is None:
+            raise PseudonymError(f"unknown or closed rendezvous {address}")
+        return entry[0]
+
+    def is_rendezvous_active(self, address: Address) -> bool:
+        """Whether the rendezvous entry still exists."""
+        return address in self._rendezvous
+
+
+_rendezvous_counter = itertools.count(1)
+
+
+def _next_rendezvous_token() -> int:
+    return next(_rendezvous_counter)
+
+
+class MixnetAnonymityService(AnonymityService):
+    """Anonymity service over the simulated mix network."""
+
+    def __init__(self, network: MixNetwork) -> None:
+        self._network = network
+        self.sent_count = 0
+
+    def send(self, sender_id: int, dest_id: int, payload: Any) -> None:
+        self.sent_count += 1
+        circuit = self._network.build_circuit()
+        onion = self._network.wrap_for_node(circuit, dest_id, payload)
+        self._network.inject(f"node:{sender_id}", circuit[0], onion)
+
+
+class RendezvousPseudonymService(PseudonymServiceBase):
+    """Hidden-service-style pseudonym endpoints over the mix network."""
+
+    def __init__(self, network: MixNetwork) -> None:
+        self._network = network
+        self.sent_count = 0
+
+    def create_endpoint(self, owner_id: int) -> Address:
+        return self._network.open_rendezvous(owner_id)
+
+    def close_endpoint(self, address: Address) -> None:
+        self._network.close_rendezvous(address)
+
+    def is_active(self, address: Address) -> bool:
+        return self._network.is_rendezvous_active(address)
+
+    def send(self, sender_id: int, address: Address, payload: Any) -> None:
+        self.sent_count += 1
+        if not self._network.is_rendezvous_active(address):
+            # Sender cannot even route: treat as silent drop, matching
+            # expired-pseudonym semantics.
+            return
+        rendezvous_relay_id = self._network.rendezvous_relay_of(address)
+        # Build a sender-side circuit that terminates at the rendezvous
+        # relay: random approach relays plus the mandated last hop.
+        approach = [
+            relay
+            for relay in self._network.build_circuit(self._network.circuit_length - 1)
+            if relay.relay_id != rendezvous_relay_id
+        ]
+        circuit = approach + [self._network.relays[rendezvous_relay_id]]
+        onion = self._network.wrap_for_rendezvous(circuit, address, payload)
+        self._network.inject(f"node:{sender_id}", circuit[0], onion)
+
+
+def make_mixnet_link_layer(
+    sim: Simulator,
+    rng: np.random.Generator,
+    num_relays: int = 20,
+    circuit_length: int = 3,
+    hop_latency: float = 0.01,
+    traffic: Optional[TrafficLog] = None,
+):
+    """Build a :class:`~repro.privlink.link.LinkLayer` backed by a mixnet."""
+    from .link import LinkLayer  # local import to avoid cycle at module load
+
+    directory = NodeDirectory()
+    network = MixNetwork(
+        sim,
+        directory,
+        rng,
+        num_relays=num_relays,
+        circuit_length=circuit_length,
+        hop_latency=hop_latency,
+        traffic=traffic,
+    )
+    layer = LinkLayer(
+        directory,
+        MixnetAnonymityService(network),
+        RendezvousPseudonymService(network),
+    )
+    layer.network = network  # expose for attack analyses and tests
+    return layer

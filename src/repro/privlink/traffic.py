@@ -1,0 +1,104 @@
+"""Observer-visible traffic records.
+
+External observers in the paper's threat model (Section II-D) are
+passive entities — e.g. an ISP — that can watch communication channels
+and apply traffic analysis, but cannot read encrypted content.  The
+privacy analyses in :mod:`repro.attacks` therefore need a faithful log
+of what such an observer sees: *which channel* (pair of transport
+endpoints) carried a message *when*, and nothing about the content.
+
+Every concrete link-layer implementation writes to a
+:class:`TrafficLog`; the ideal layer writes single-hop records, the
+mixnet writes one record per relay hop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TrafficRecord", "TrafficLog"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficRecord:
+    """One channel observation.
+
+    ``src`` and ``dst`` are transport endpoints as an observer sees
+    them (stringified node or relay identities), not protocol-level
+    identities.
+    """
+
+    time: float
+    src: str
+    dst: str
+    size_hint: int = 1
+
+
+class TrafficLog:
+    """Append-only log of :class:`TrafficRecord` entries.
+
+    The log can be disabled (``enabled=False``) for large experiments
+    where no attack analysis runs; recording then costs one branch.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None) -> None:
+        self._enabled = enabled
+        self._records: List[TrafficRecord] = []
+        self._max_records = max_records
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`record` stores anything."""
+        return self._enabled
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded due to the size cap."""
+        return self._dropped
+
+    def record(self, time: float, src: str, dst: str, size_hint: int = 1) -> None:
+        """Store one observation (no-op when disabled)."""
+        if not self._enabled:
+            return
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            self._dropped += 1
+            return
+        self._records.append(TrafficRecord(time, src, dst, size_hint))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TrafficRecord]:
+        return iter(self._records)
+
+    def channels(self) -> Counter:
+        """Message count per observed (src, dst) channel."""
+        return Counter((record.src, record.dst) for record in self._records)
+
+    def by_endpoint(self) -> Dict[str, List[TrafficRecord]]:
+        """Records grouped by every endpoint they touch."""
+        grouped: Dict[str, List[TrafficRecord]] = defaultdict(list)
+        for record in self._records:
+            grouped[record.src].append(record)
+            grouped[record.dst].append(record)
+        return dict(grouped)
+
+    def window(self, start: float, end: float) -> List[TrafficRecord]:
+        """Records with ``start <= time < end``."""
+        return [record for record in self._records if start <= record.time < end]
+
+    def unique_endpoints(self) -> Tuple[str, ...]:
+        """All endpoint identifiers appearing in the log."""
+        endpoints = set()
+        for record in self._records:
+            endpoints.add(record.src)
+            endpoints.add(record.dst)
+        return tuple(sorted(endpoints))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+        self._dropped = 0

@@ -1,0 +1,18 @@
+"""Pseudonym-addressed unicast routing — the "additional routing layer"
+the paper names as an application of the robust overlay.  On-demand
+route discovery (flooded requests, reverse-path replies) installs
+per-node forward pointers keyed by pseudonym value; data packets follow
+the pointers hop by hop.  Identities never appear on the wire.
+"""
+
+from .messages import DataPacket, RouteReply, RouteRequest
+from .service import DeliveryRecord, PseudonymRouter, RouteRecord
+
+__all__ = [
+    "RouteRequest",
+    "RouteReply",
+    "DataPacket",
+    "PseudonymRouter",
+    "RouteRecord",
+    "DeliveryRecord",
+]

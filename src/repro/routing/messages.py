@@ -1,0 +1,70 @@
+"""Wire types for the pseudonym routing layer.
+
+All addressing is by pseudonym: a route request hunts for the *holder
+of a pseudonym value*, never for a node identity, and every hop-by-hop
+pointer is a pseudonym-service endpoint address.  The routing layer
+therefore discloses exactly what the overlay's own gossip already
+discloses — pseudonyms — and nothing more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ProtocolError
+from ..privlink import Address
+
+__all__ = ["RouteRequest", "RouteReply", "DataPacket"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteRequest:
+    """A TTL-limited flooded probe for the holder of ``target_value``.
+
+    ``upstream`` is the pseudonym endpoint of the previous hop, giving
+    the next hop a channel to send the reply back on; it is rewritten
+    at every hop, so no node learns more than its direct predecessor's
+    pseudonym — which it would learn from ordinary gossip anyway.
+    """
+
+    request_id: int
+    target_value: int
+    upstream: Address
+    hops: int
+    ttl: int
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ProtocolError("ttl must be non-negative")
+        if self.hops < 0:
+            raise ProtocolError("hops must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteReply:
+    """Travels the reverse path, installing forward pointers.
+
+    ``downstream`` is the pseudonym endpoint of the hop the reply just
+    came from — the receiving node stores it as its next hop toward
+    ``target_value``.
+    """
+
+    request_id: int
+    target_value: int
+    downstream: Address
+    hops: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DataPacket:
+    """A unicast payload addressed to a pseudonym value."""
+
+    packet_id: int
+    target_value: int
+    payload: object
+    hops: int
+    ttl: int
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ProtocolError("ttl must be non-negative")

@@ -1,0 +1,376 @@
+"""Pseudonym-addressed unicast routing over the overlay.
+
+The paper positions the robust overlay as a substrate for "an
+additional routing layer"; this module implements one, in the spirit of
+on-demand (AODV-style) route discovery adapted to the privacy model:
+
+1. **Discovery** — the sender floods a TTL-limited
+   :class:`~repro.routing.messages.RouteRequest` for a *pseudonym
+   value* over the overlay's bidirectional channels.  Each forwarder
+   remembers a reverse pointer (the previous hop's pseudonym endpoint)
+   keyed by request id.
+2. **Reply** — the pseudonym's holder answers with a
+   :class:`~repro.routing.messages.RouteReply` that retraces the
+   reverse pointers; every node on the path installs a forward pointer
+   ``target_value -> next-hop endpoint`` in its routing table.
+3. **Data** — :class:`~repro.routing.messages.DataPacket` unicasts
+   follow the forward pointers hop by hop.
+
+Identities never appear: targets are pseudonym values, and every
+pointer is a pseudonym-service endpoint.  Pointers rot naturally —
+endpoints close when pseudonyms expire and sends to them drop — so
+routes are rediscovered on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core import Overlay
+from ..errors import DisseminationError, ProtocolError
+from ..privlink import Address
+from .messages import DataPacket, RouteReply, RouteRequest
+
+__all__ = ["RouteRecord", "DeliveryRecord", "PseudonymRouter"]
+
+
+@dataclasses.dataclass
+class RouteRecord:
+    """Outcome of one route discovery."""
+
+    request_id: int
+    target_value: int
+    started_at: float
+    completed_at: Optional[float] = None
+    route_hops: Optional[int] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a route reply made it back to the origin."""
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Discovery round-trip time in shuffling periods."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclasses.dataclass
+class DeliveryRecord:
+    """Outcome of one unicast send."""
+
+    packet_id: int
+    target_value: int
+    started_at: float
+    delivered_at: Optional[float] = None
+    hops: Optional[int] = None
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the target's holder received the payload."""
+        return self.delivered_at is not None
+
+
+class _NodeRoutingState:
+    """Per-node routing memory."""
+
+    __slots__ = ("seen_requests", "reverse", "table")
+
+    def __init__(self) -> None:
+        self.seen_requests: Set[int] = set()
+        # request_id -> endpoint of the hop the request arrived from
+        # (None at the request origin).
+        self.reverse: Dict[int, Optional[Address]] = {}
+        # target pseudonym value -> next-hop endpoint.
+        self.table: Dict[int, Address] = {}
+
+
+class PseudonymRouter:
+    """On-demand unicast routing by pseudonym value.
+
+    Parameters
+    ----------
+    overlay:
+        A running overlay.  :meth:`install` must be called before use;
+        it claims every node's ``app_handler``.
+    discovery_ttl:
+        Hop budget for route-request floods.
+    data_ttl:
+        Hop budget for data packets (guards against routing loops from
+        stale pointers).
+    """
+
+    def __init__(
+        self, overlay: Overlay, discovery_ttl: int = 8, data_ttl: int = 24
+    ) -> None:
+        if discovery_ttl < 1:
+            raise ProtocolError("discovery_ttl must be at least 1")
+        if data_ttl < 1:
+            raise ProtocolError("data_ttl must be at least 1")
+        self._overlay = overlay
+        self._discovery_ttl = discovery_ttl
+        self._data_ttl = data_ttl
+        self._states: Dict[int, _NodeRoutingState] = {
+            node.node_id: _NodeRoutingState() for node in overlay.nodes
+        }
+        self._request_ids = itertools.count(1)
+        self._packet_ids = itertools.count(1)
+        self.discoveries: Dict[int, RouteRecord] = {}
+        self.deliveries: Dict[int, DeliveryRecord] = {}
+        # request_id -> origin node id, to close the discovery record.
+        self._request_origin: Dict[int, int] = {}
+        # target value -> queued (origin, payload, delivery record).
+        self._pending: Dict[int, List[Tuple[int, Any, DeliveryRecord]]] = {}
+        self._installed = False
+        self.control_messages = 0
+        self.data_messages = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach the router to every overlay node."""
+        if self._installed:
+            raise ProtocolError("router already installed")
+        self._installed = True
+        for node in self._overlay.nodes:
+            node.app_handler = self._on_message
+
+    def table_of(self, node_id: int) -> Dict[int, Address]:
+        """A copy of one node's routing table (for inspection)."""
+        return dict(self._state(node_id).table)
+
+    def invalidate(self, node_id: int, target_value: int) -> bool:
+        """Drop a node's cached route toward ``target_value``.
+
+        The application-level analogue of an AODV route error: after
+        repeated delivery failures (a hop offline, a pointer rotted),
+        invalidating forces the next :meth:`send` to rediscover a path
+        through currently-online nodes.  Returns whether a route was
+        cached.
+        """
+        return self._state(node_id).table.pop(target_value, None) is not None
+
+    def discover(self, origin_id: int, target_value: int) -> RouteRecord:
+        """Start a route discovery from ``origin_id``.
+
+        Returns immediately with a :class:`RouteRecord` that completes
+        (``succeeded``) when the reply arrives; run the simulation to
+        let it happen.
+        """
+        origin = self._overlay.nodes[origin_id]
+        if not origin.online or origin.own is None:
+            raise DisseminationError(f"origin {origin_id} is offline")
+        request_id = next(self._request_ids)
+        record = RouteRecord(
+            request_id=request_id,
+            target_value=target_value,
+            started_at=self._overlay.sim.now,
+        )
+        self.discoveries[request_id] = record
+        self._request_origin[request_id] = origin_id
+        state = self._state(origin_id)
+        state.seen_requests.add(request_id)
+        state.reverse[request_id] = None
+        request = RouteRequest(
+            request_id=request_id,
+            target_value=target_value,
+            upstream=origin.own.address,
+            hops=0,
+            ttl=self._discovery_ttl,
+        )
+        self._flood(origin_id, request)
+        return record
+
+    def send(
+        self, origin_id: int, target_value: int, payload: Any
+    ) -> DeliveryRecord:
+        """Unicast ``payload`` to the holder of ``target_value``.
+
+        Uses the cached route when one exists; otherwise triggers a
+        discovery and queues the payload until the route is installed.
+        """
+        origin = self._overlay.nodes[origin_id]
+        if not origin.online:
+            raise DisseminationError(f"origin {origin_id} is offline")
+        packet_id = next(self._packet_ids)
+        record = DeliveryRecord(
+            packet_id=packet_id,
+            target_value=target_value,
+            started_at=self._overlay.sim.now,
+        )
+        self.deliveries[packet_id] = record
+        state = self._state(origin_id)
+        if target_value in state.table or self._holds_value(
+            origin_id, target_value
+        ):
+            packet = DataPacket(
+                packet_id=packet_id,
+                target_value=target_value,
+                payload=payload,
+                hops=0,
+                ttl=self._data_ttl,
+            )
+            self._forward_data(origin_id, packet)
+        else:
+            self._pending.setdefault(target_value, []).append(
+                (origin_id, payload, record)
+            )
+            # Piggyback one discovery per pending batch.
+            if len(self._pending[target_value]) == 1:
+                self.discover(origin_id, target_value)
+        return record
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _state(self, node_id: int) -> _NodeRoutingState:
+        try:
+            return self._states[node_id]
+        except KeyError:
+            # Node added after router construction (trust-graph growth).
+            state = _NodeRoutingState()
+            self._states[node_id] = state
+            return state
+
+    def _holds_value(self, node_id: int, target_value: int) -> bool:
+        own = self._overlay.nodes[node_id].own
+        return own is not None and own.value == target_value
+
+    def _channels(self, node_id: int) -> List[Tuple[str, Any]]:
+        """The node's current overlay channels (see dissemination)."""
+        node = self._overlay.nodes[node_id]
+        now = self._overlay.sim.now
+        channels: List[Tuple[str, Any]] = [
+            ("trusted", neighbor) for neighbor in node.links.trusted
+        ]
+        channels.extend(
+            ("out", pseudonym.address)
+            for pseudonym in node.links.pseudonym_links()
+            if not pseudonym.is_expired(now)
+        )
+        return channels
+
+    def _flood(self, node_id: int, request: RouteRequest) -> None:
+        layer = self._overlay.link_layer
+        for kind, target in self._channels(node_id):
+            if kind == "trusted":
+                layer.send_to_node(node_id, target, request)
+            else:
+                layer.send_to_endpoint(node_id, target, request)
+            self.control_messages += 1
+
+    def _send_via_endpoint(self, node_id: int, address: Address, message) -> None:
+        self._overlay.link_layer.send_to_endpoint(node_id, address, message)
+
+    def _on_message(self, node_id: int, payload: Any) -> None:
+        if isinstance(payload, RouteRequest):
+            self._handle_request(node_id, payload)
+        elif isinstance(payload, RouteReply):
+            self._handle_reply(node_id, payload)
+        elif isinstance(payload, DataPacket):
+            self._handle_data(node_id, payload)
+
+    def _handle_request(self, node_id: int, request: RouteRequest) -> None:
+        state = self._state(node_id)
+        if request.request_id in state.seen_requests:
+            return
+        state.seen_requests.add(request.request_id)
+        state.reverse[request.request_id] = request.upstream
+
+    # The holder answers; everyone else re-floods with itself upstream.
+        node = self._overlay.nodes[node_id]
+        if self._holds_value(node_id, request.target_value):
+            reply = RouteReply(
+                request_id=request.request_id,
+                target_value=request.target_value,
+                downstream=node.own.address,
+                hops=0,
+            )
+            self._send_via_endpoint(node_id, request.upstream, reply)
+            self.control_messages += 1
+            return
+        if request.ttl <= 1 or node.own is None:
+            return
+        forwarded = RouteRequest(
+            request_id=request.request_id,
+            target_value=request.target_value,
+            upstream=node.own.address,
+            hops=request.hops + 1,
+            ttl=request.ttl - 1,
+        )
+        self._flood(node_id, forwarded)
+
+    def _handle_reply(self, node_id: int, reply: RouteReply) -> None:
+        state = self._state(node_id)
+        state.table[reply.target_value] = reply.downstream
+        upstream = state.reverse.get(reply.request_id, "missing")
+        if upstream is None:
+            # This node originated the request: discovery complete.
+            record = self.discoveries.get(reply.request_id)
+            if record is not None and record.completed_at is None:
+                record.completed_at = self._overlay.sim.now
+                record.route_hops = reply.hops + 1
+            self._drain_pending(node_id, reply.target_value)
+            return
+        if upstream == "missing":
+            return  # stale reply; reverse pointer already gone
+        node = self._overlay.nodes[node_id]
+        if node.own is None:
+            return
+        forwarded = RouteReply(
+            request_id=reply.request_id,
+            target_value=reply.target_value,
+            downstream=node.own.address,
+            hops=reply.hops + 1,
+        )
+        self._send_via_endpoint(node_id, upstream, forwarded)
+        self.control_messages += 1
+
+    def _drain_pending(self, node_id: int, target_value: int) -> None:
+        for origin_id, payload, record in self._pending.pop(target_value, []):
+            packet = DataPacket(
+                packet_id=next(self._packet_ids),
+                target_value=target_value,
+                payload=payload,
+                hops=0,
+                ttl=self._data_ttl,
+            )
+            record.packet_id = packet.packet_id
+            self.deliveries[packet.packet_id] = record
+            self._forward_data(origin_id, packet)
+
+    def _handle_data(self, node_id: int, packet: DataPacket) -> None:
+        if self._holds_value(node_id, packet.target_value):
+            record = self.deliveries.get(packet.packet_id)
+            if record is not None and record.delivered_at is None:
+                record.delivered_at = self._overlay.sim.now
+                record.hops = packet.hops
+            return
+        if packet.ttl <= 1:
+            return
+        forwarded = DataPacket(
+            packet_id=packet.packet_id,
+            target_value=packet.target_value,
+            payload=packet.payload,
+            hops=packet.hops + 1,
+            ttl=packet.ttl - 1,
+        )
+        self._forward_data(node_id, forwarded)
+
+    def _forward_data(self, node_id: int, packet: DataPacket) -> None:
+        if self._holds_value(node_id, packet.target_value):
+            self._handle_data(node_id, packet)
+            return
+        state = self._state(node_id)
+        next_hop = state.table.get(packet.target_value)
+        if next_hop is None:
+            return  # no route (pointer rotted away); packet dropped
+        self._send_via_endpoint(node_id, next_hop, packet)
+        self.data_messages += 1

@@ -1,0 +1,75 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events
+are ordered by ``(time, sequence_number)`` so simultaneous events fire
+in scheduling order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventHandle"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created by :meth:`repro.sim.simulator.Simulator.schedule`;
+    user code normally interacts with the returned :class:`EventHandle`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.4f}, seq={self.seq}, {name}{state})"
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,112 @@
+"""Periodic processes on top of the event simulator.
+
+Protocol behaviours such as "each node shuffles once per shuffling
+period" or "sample metrics every k periods" are periodic.
+:class:`PeriodicProcess` encapsulates scheduling, optional random phase
+and jitter (so that nodes do not act in lockstep), and clean start/stop
+semantics — a node going offline stops its shuffle timer; rejoining
+restarts it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from .events import EventHandle
+from .simulator import Simulator
+
+__all__ = ["PeriodicProcess"]
+
+
+class PeriodicProcess:
+    """Repeatedly invoke a callback with a fixed period.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving the process.
+    period:
+        Interval between invocations, in simulated time units.
+    callback:
+        Zero-argument callable invoked on each tick.
+    rng:
+        Optional generator used for the initial phase and per-tick
+        jitter.  Without it the process ticks at exact multiples of the
+        period from its start time.
+    jitter:
+        Half-width of the uniform per-tick jitter as a fraction of the
+        period.  A tick scheduled nominally at ``t`` fires within
+        ``[t - jitter * period, t + jitter * period]`` (never before the
+        current time).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError(f"jitter must be in [0, 1), got {jitter}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._rng = rng
+        self._jitter = jitter
+        self._handle: Optional[EventHandle] = None
+        self._ticks = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the process currently has a pending tick."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin ticking.
+
+        Parameters
+        ----------
+        initial_delay:
+            Delay before the first tick.  Defaults to a random phase in
+            ``[0, period)`` when an RNG was supplied, else one full
+            period.
+        """
+        if self.running:
+            raise SimulationError("process is already running")
+        if initial_delay is None:
+            if self._rng is not None:
+                initial_delay = float(self._rng.uniform(0.0, self._period))
+            else:
+                initial_delay = self._period
+        if initial_delay < 0:
+            raise SimulationError("initial_delay must be non-negative")
+        self._handle = self._sim.schedule_after(initial_delay, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the pending tick.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_delay(self) -> float:
+        if self._rng is not None and self._jitter > 0.0:
+            spread = self._jitter * self._period
+            return max(1e-9, self._period + float(self._rng.uniform(-spread, spread)))
+        return self._period
+
+    def _tick(self) -> None:
+        self._handle = self._sim.schedule_after(self._next_delay(), self._tick)
+        self._ticks += 1
+        self._callback()

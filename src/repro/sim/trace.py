@@ -1,0 +1,87 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` records structured trace records emitted by protocol
+components.  Tracing is opt-in and cheap when disabled; experiments use
+it to audit protocol behaviour, and the attack analyses use a dedicated
+traffic log (:mod:`repro.privlink.traffic`) built on the same idea.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamp, a category, and free-form details."""
+
+    time: float
+    category: str
+    details: Dict[str, Any]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{key}={value}" for key, value in self.details.items())
+        return f"[t={self.time:.3f}] {self.category}: {parts}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally capped in size."""
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._max_records = max_records
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`record` stores entries (always true here)."""
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Number of records discarded due to the size cap."""
+        return self._dropped
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Store one trace record."""
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, details))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category, in emission order."""
+        return [record for record in self._records if record.category == category]
+
+    def counts(self) -> Counter:
+        """Number of records per category."""
+        return Counter(record.category for record in self._records)
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self._records.clear()
+        self._dropped = 0
+
+
+class NullTracer(Tracer):
+    """A tracer that discards everything; the default in hot paths."""
+
+    def __init__(self) -> None:
+        super().__init__(max_records=0)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        return None

@@ -1,0 +1,155 @@
+"""Terminal visualization: sparklines, line plots, bar histograms.
+
+The benchmark harness prints numeric tables; this module renders the
+same series as lightweight ASCII/Unicode graphics so figure shapes are
+visible directly in a terminal (`repro fig8 --plot`).  No plotting
+dependencies are used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .errors import ExperimentError
+
+__all__ = ["sparkline", "line_plot", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render values as a one-line sparkline.
+
+    Parameters
+    ----------
+    values:
+        The series; empty input yields an empty string.
+    lo, hi:
+        Optional fixed scale bounds (defaults: the data's min/max).
+    """
+    if not values:
+        return ""
+    minimum = min(values) if lo is None else lo
+    maximum = max(values) if hi is None else hi
+    if maximum <= minimum:
+        return _SPARK_LEVELS[0] * len(values)
+    span = maximum - minimum
+    chars = []
+    for value in values:
+        clamped = min(max(value, minimum), maximum)
+        index = int((clamped - minimum) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def _resample(xs: Sequence[float], ys: Sequence[float], width: int) -> list:
+    """Average y-values into ``width`` equal x-bins (None for empty bins)."""
+    if not xs:
+        return [None] * width
+    x_min, x_max = min(xs), max(xs)
+    if x_max <= x_min:
+        return [sum(ys) / len(ys)] + [None] * (width - 1)
+    sums = [0.0] * width
+    counts = [0] * width
+    for x, y in zip(xs, ys):
+        index = min(width - 1, int((x - x_min) / (x_max - x_min) * width))
+        sums[index] += y
+        counts[index] += 1
+    return [
+        (sums[index] / counts[index]) if counts[index] else None
+        for index in range(width)
+    ]
+
+
+def line_plot(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more (xs, ys) series on a shared ASCII grid.
+
+    Each series gets a distinct marker; a legend follows the plot.
+    """
+    if not series:
+        raise ExperimentError("need at least one series")
+    if width < 8 or height < 3:
+        raise ExperimentError("plot must be at least 8x3")
+
+    markers = "*o+x#@%&"
+    resampled: Dict[str, list] = {}
+    all_values = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ExperimentError(f"series {name!r} has mismatched lengths")
+        resampled[name] = _resample(list(xs), list(ys), width)
+        all_values.extend(y for y in resampled[name] if y is not None)
+    if not all_values:
+        raise ExperimentError("all series are empty")
+
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(resampled.items()):
+        marker = markers[series_index % len(markers)]
+        for column, value in enumerate(values):
+            if value is None:
+                continue
+            row = int((value - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.3g} "
+        elif row_index == height - 1:
+            label = f"{y_min:8.3g} "
+        else:
+            label = " " * label_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    all_x = [x for xs, _ in series.values() for x in xs]
+    lines.append(
+        " " * label_width
+        + f" x: {min(all_x):g} .. {max(all_x):g}"
+        + (f"   y: {y_label}" if y_label else "")
+    )
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {name}"
+        for index, name in enumerate(resampled)
+    )
+    lines.append(" " * label_width + " " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of label -> value."""
+    if not data:
+        raise ExperimentError("need at least one bar")
+    if width < 1:
+        raise ExperimentError("width must be positive")
+    maximum = max(data.values())
+    label_width = max(len(str(label)) for label in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        if maximum > 0:
+            bar = "█" * max(1 if value > 0 else 0, int(value / maximum * width))
+        else:
+            bar = ""
+        lines.append(f"{str(label):>{label_width}} |{bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import SystemConfig
+from repro.rng import RandomStreams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic stream factory."""
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def small_trust_graph() -> nx.Graph:
+    """A small connected trust graph with hubs and leaves (30 nodes)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(30))
+    # A hub-and-spoke core plus a ring, so both high- and low-degree
+    # nodes exist and the graph is connected but easily partitioned.
+    for node in range(1, 10):
+        graph.add_edge(0, node)
+    for node in range(10, 29):
+        graph.add_edge(node, node + 1)
+    graph.add_edge(9, 10)
+    graph.add_edge(29, 0)
+    for node in range(10, 30, 4):
+        graph.add_edge(node, (node * 7) % 10)
+    return graph
+
+
+@pytest.fixture
+def small_config(small_trust_graph) -> SystemConfig:
+    """A config matched to the small trust graph."""
+    return SystemConfig(
+        num_nodes=small_trust_graph.number_of_nodes(),
+        availability=0.6,
+        mean_offline_time=5.0,
+        lifetime_ratio=3.0,
+        cache_size=40,
+        shuffle_length=8,
+        target_degree=10,
+        seed=99,
+    )

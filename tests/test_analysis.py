@@ -1,0 +1,164 @@
+"""Tests for the structural robustness and convergence analyses."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    articulation_ratio,
+    edge_connectivity_sample,
+    k_core_profile,
+    measure_convergence,
+    targeted_failure_curve,
+)
+from repro.errors import ExperimentError, GraphError
+
+
+class TestTargetedFailure:
+    def test_star_collapses_under_degree_attack(self):
+        star = nx.star_graph(20)  # hub 0 plus 20 leaves
+        points = targeted_failure_curve(star, fractions=(0.0, 0.05))
+        assert points[0].disconnected == 0.0
+        # Removing ~1 node (the hub) shatters the graph completely.
+        assert points[1].disconnected > 0.9
+
+    def test_complete_graph_survives(self):
+        graph = nx.complete_graph(20)
+        points = targeted_failure_curve(graph, fractions=(0.0, 0.3))
+        assert all(point.disconnected == 0.0 for point in points)
+
+    def test_random_strategy(self, rng):
+        graph = nx.erdos_renyi_graph(60, 0.15, seed=1)
+        points = targeted_failure_curve(
+            graph, fractions=(0.0, 0.2), strategy="random", rng=rng
+        )
+        assert points[1].removed_count == 12
+
+    def test_largest_component_fraction(self):
+        graph = nx.path_graph(10)
+        points = targeted_failure_curve(graph, fractions=(0.0,))
+        assert points[0].largest_component_fraction == pytest.approx(1.0)
+
+    def test_curve_monotone_removal(self):
+        graph = nx.erdos_renyi_graph(60, 0.1, seed=2)
+        points = targeted_failure_curve(graph, fractions=(0.0, 0.1, 0.2))
+        counts = [point.removed_count for point in points]
+        assert counts == sorted(counts)
+
+    def test_invalid_inputs(self, rng):
+        graph = nx.path_graph(5)
+        with pytest.raises(GraphError):
+            targeted_failure_curve(graph, strategy="clever")
+        with pytest.raises(GraphError):
+            targeted_failure_curve(graph, fractions=(0.3, 0.1))
+        with pytest.raises(GraphError):
+            targeted_failure_curve(graph, fractions=(0.5, 1.0))
+        with pytest.raises(GraphError):
+            targeted_failure_curve(nx.Graph(), fractions=(0.0,))
+
+
+class TestArticulationRatio:
+    def test_path_graph_mostly_articulation(self):
+        # In P5, the 3 middle nodes are articulation points.
+        assert articulation_ratio(nx.path_graph(5)) == pytest.approx(0.6)
+
+    def test_cycle_has_none(self):
+        assert articulation_ratio(nx.cycle_graph(6)) == 0.0
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert articulation_ratio(graph) == 0.0
+
+    def test_disconnected_components_handled(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2)])  # 1 is articulation
+        graph.add_edges_from([(10, 11), (11, 12), (12, 10)])  # cycle: none
+        assert articulation_ratio(graph) == pytest.approx(1 / 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            articulation_ratio(nx.Graph())
+
+
+class TestKCoreProfile:
+    def test_complete_graph_deep_core(self):
+        profile = k_core_profile(nx.complete_graph(6), max_k=5)
+        assert profile[5] == 1.0
+
+    def test_star_shallow(self):
+        profile = k_core_profile(nx.star_graph(10), max_k=3)
+        assert profile[1] == 1.0
+        assert profile[2] == 0.0
+
+    def test_monotone_in_k(self):
+        graph = nx.erdos_renyi_graph(50, 0.2, seed=3)
+        profile = k_core_profile(graph, max_k=8)
+        values = [profile[k] for k in range(1, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            k_core_profile(nx.path_graph(3), max_k=0)
+        with pytest.raises(GraphError):
+            k_core_profile(nx.Graph())
+
+
+class TestEdgeConnectivity:
+    def test_cycle_is_two(self, rng):
+        mean, minimum = edge_connectivity_sample(nx.cycle_graph(10), pairs=5, rng=rng)
+        assert mean == 2.0
+        assert minimum == 2
+
+    def test_complete_graph(self, rng):
+        mean, minimum = edge_connectivity_sample(
+            nx.complete_graph(6), pairs=5, rng=rng
+        )
+        assert minimum == 5
+
+    def test_invalid(self, rng):
+        with pytest.raises(GraphError):
+            edge_connectivity_sample(nx.path_graph(5), pairs=0, rng=rng)
+        single = nx.Graph()
+        single.add_node(0)
+        with pytest.raises(GraphError):
+            edge_connectivity_sample(single, rng=rng)
+
+
+class TestMeasureConvergence:
+    def test_converges_on_small_system(self, small_trust_graph, small_config):
+        summary = measure_convergence(
+            small_trust_graph,
+            small_config,
+            seeds=(1, 2),
+            threshold=0.2,
+            horizon=40.0,
+        )
+        assert summary.runs == 2
+        assert summary.failures < 2
+        assert summary.mean is not None
+        assert summary.mean < 40.0
+        assert "converged" in str(summary)
+
+    def test_impossible_threshold_counts_failures(
+        self, small_trust_graph, small_config
+    ):
+        summary = measure_convergence(
+            small_trust_graph,
+            small_config,
+            seeds=(3,),
+            threshold=0.0001,
+            horizon=3.0,
+        )
+        # Tiny threshold + tiny horizon: likely failure; either way the
+        # accounting holds.
+        assert summary.runs == 1
+        assert summary.failures + len(summary.times) == 1
+
+    def test_validation(self, small_trust_graph, small_config):
+        with pytest.raises(ExperimentError):
+            measure_convergence(small_trust_graph, small_config, seeds=())
+        with pytest.raises(ExperimentError):
+            measure_convergence(
+                small_trust_graph, small_config, seeds=(1,), threshold=1.5
+            )

@@ -1,0 +1,105 @@
+"""Tests for anti-entropy dissemination."""
+
+import pytest
+
+from repro import Overlay
+from repro.dissemination import AntiEntropyBroadcast, DigestMessage
+from repro.errors import DisseminationError
+from repro.privlink import Address
+
+
+class TestDigestMessage:
+    def test_exactly_one_reply_channel(self):
+        with pytest.raises(DisseminationError):
+            DigestMessage(known_ids=frozenset())
+        with pytest.raises(DisseminationError):
+            DigestMessage(
+                known_ids=frozenset(), reply_node=1, reply_address=Address(1)
+            )
+
+
+class TestAntiEntropy:
+    def _system(self, graph, config, with_churn=False):
+        overlay = Overlay.build(graph, config, with_churn=with_churn)
+        protocol = AntiEntropyBroadcast(overlay, period=1.0)
+        protocol.install()
+        overlay.start()
+        return overlay, protocol
+
+    def test_eventual_full_coverage(self, small_trust_graph, small_config):
+        overlay, protocol = self._system(small_trust_graph, small_config)
+        overlay.run_until(10.0)
+        record = protocol.broadcast(0, payload="digest me")
+        overlay.run_until(overlay.sim.now + 40.0)
+        assert record.deliveries() == small_config.num_nodes
+
+    def test_rejoining_node_catches_up(self, small_trust_graph, small_config):
+        """The property flooding lacks: offline nodes sync on rejoin."""
+        overlay, protocol = self._system(small_trust_graph, small_config)
+        overlay.run_until(10.0)
+        # Take node 17 offline, broadcast while it is away.
+        overlay.nodes[17].go_offline()
+        record = protocol.broadcast(0, payload="missed news")
+        overlay.run_until(overlay.sim.now + 15.0)
+        assert 17 not in record.delivery_times
+        # It rejoins and synchronizes via digest exchange.
+        overlay.nodes[17].come_online()
+        overlay.run_until(overlay.sim.now + 25.0)
+        assert 17 in record.delivery_times
+        assert record.message_id in protocol.store_of(17)
+
+    def test_multiple_messages_converge(self, small_trust_graph, small_config):
+        overlay, protocol = self._system(small_trust_graph, small_config)
+        overlay.run_until(5.0)
+        records = [
+            protocol.broadcast(origin, payload=f"msg-{origin}")
+            for origin in (0, 5, 12)
+        ]
+        overlay.run_until(overlay.sim.now + 50.0)
+        for record in records:
+            assert record.deliveries() == small_config.num_nodes
+
+    def test_coverage_under_churn(self, small_trust_graph, small_config):
+        overlay, protocol = self._system(
+            small_trust_graph, small_config, with_churn=True
+        )
+        overlay.run_until(10.0)
+        online = overlay.online_ids()
+        record = protocol.broadcast(online[0], payload="x")
+        overlay.run_until(overlay.sim.now + 60.0)
+        # Anti-entropy eventually reaches (nearly) everyone, including
+        # nodes offline at broadcast time.
+        assert record.deliveries() > 0.9 * small_config.num_nodes
+
+    def test_push_cap_respected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        protocol = AntiEntropyBroadcast(overlay, period=1.0, max_push=2)
+        protocol.install()
+        overlay.start()
+        overlay.run_until(3.0)
+        for index in range(6):
+            protocol.broadcast(0, payload=index)
+        overlay.run_until(overlay.sim.now + 40.0)
+        # All messages still converge, just over more rounds.
+        assert len(protocol.store_of(29)) == 6
+
+    def test_counters(self, small_trust_graph, small_config):
+        overlay, protocol = self._system(small_trust_graph, small_config)
+        protocol.broadcast(0, payload="x")
+        overlay.run_until(10.0)
+        assert protocol.digests_sent > 0
+        assert protocol.pushes_sent > 0
+
+    def test_offline_origin_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        protocol = AntiEntropyBroadcast(overlay)
+        protocol.install()
+        with pytest.raises(DisseminationError):
+            protocol.broadcast(0, payload="x")
+
+    def test_invalid_parameters(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(DisseminationError):
+            AntiEntropyBroadcast(overlay, period=0.0)
+        with pytest.raises(DisseminationError):
+            AntiEntropyBroadcast(overlay, max_push=0)

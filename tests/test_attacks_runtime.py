@@ -1,0 +1,155 @@
+"""Tests for observer coalitions, size estimation, link detection."""
+
+import pytest
+
+from repro import Overlay
+from repro.attacks import (
+    ObserverCoalition,
+    estimate_overlay_size,
+    inject_marked_pseudonym,
+    run_link_detection_trials,
+    watch_for_marked_value,
+)
+from repro.errors import ExperimentError
+
+
+def _running_overlay(graph, config, horizon=10.0, with_churn=False):
+    overlay = Overlay.build(graph, config, with_churn=with_churn)
+    overlay.start()
+    overlay.run_until(horizon)
+    return overlay
+
+
+class TestObserverCoalition:
+    def test_collects_sightings(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        coalition = ObserverCoalition(overlay, [0, 5])
+        coalition.install()
+        overlay.start()
+        overlay.run_until(10.0)
+        assert len(coalition.sightings()) > 0
+        assert len(coalition.distinct_values()) > 0
+
+    def test_first_sighting_time_monotone(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        coalition = ObserverCoalition(overlay, [0])
+        coalition.install()
+        overlay.start()
+        overlay.run_until(10.0)
+        for value in list(coalition.distinct_values())[:10]:
+            first = coalition.first_sighting_time(value)
+            sightings = coalition.sightings_of(value)
+            assert first == min(s.time for s in sightings)
+
+    def test_sightings_only_from_members(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        coalition = ObserverCoalition(overlay, [3, 7])
+        coalition.install()
+        overlay.start()
+        overlay.run_until(8.0)
+        assert {s.observer_id for s in coalition.sightings()} <= {3, 7}
+
+    def test_double_install_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        coalition = ObserverCoalition(overlay, [0])
+        coalition.install()
+        with pytest.raises(ExperimentError):
+            coalition.install()
+
+    def test_empty_members_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(ExperimentError):
+            ObserverCoalition(overlay, [])
+
+    def test_unknown_member_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(ExperimentError):
+            ObserverCoalition(overlay, [999])
+
+
+class TestSizeEstimation:
+    def test_estimate_close_without_churn(self, small_trust_graph, small_config):
+        """Paper III-E4: in a small system observers eventually see all
+        pseudonyms, so the estimate approaches the true size."""
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        coalition = ObserverCoalition(overlay, [0, 1, 2])
+        coalition.install()
+        overlay.start()
+        # 28 periods: pseudonyms renewed at t=15 are still valid (expire
+        # at t=30), so the live-value estimator has a full population.
+        overlay.run_until(28.0)
+        estimate = estimate_overlay_size(overlay, coalition, window=28.0)
+        assert estimate.true_size == small_config.num_nodes
+        assert estimate.relative_error < 0.35
+        assert estimate.all_values_seen >= estimate.live_value_estimate
+
+    def test_window_limits_estimate(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        coalition = ObserverCoalition(overlay, [0])
+        coalition.install()
+        overlay.start()
+        overlay.run_until(20.0)
+        wide = estimate_overlay_size(overlay, coalition, window=20.0)
+        narrow = estimate_overlay_size(overlay, coalition, window=0.5)
+        assert narrow.live_value_estimate <= wide.live_value_estimate
+
+    def test_invalid_window(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        coalition = ObserverCoalition(overlay, [0])
+        with pytest.raises(ExperimentError):
+            estimate_overlay_size(overlay, coalition, window=0.0)
+
+
+class TestLinkDetection:
+    def test_marked_pseudonym_requires_trust_edge(
+        self, small_trust_graph, small_config
+    ):
+        overlay = _running_overlay(small_trust_graph, small_config, horizon=2.0)
+        # Nodes 11 and 25 share no trust edge in the fixture graph.
+        assert not small_trust_graph.has_edge(11, 25)
+        with pytest.raises(ExperimentError):
+            inject_marked_pseudonym(overlay, 11, 25)
+
+    def test_marked_value_propagates_to_target(
+        self, small_trust_graph, small_config
+    ):
+        overlay = _running_overlay(small_trust_graph, small_config, horizon=5.0)
+        marked = inject_marked_pseudonym(overlay, 1, 0)  # 1 trusts 0 (hub)
+        overlay.run_until(overlay.sim.now + 3.0)
+        hub = overlay.nodes[0]
+        values = {p.value for p in hub.cache.pseudonyms()}
+        assert marked in values
+
+    def test_watcher_attribution(self, small_trust_graph, small_config):
+        overlay = _running_overlay(small_trust_graph, small_config, horizon=5.0)
+        # Observers 1 and 2 are both adjacent to hub 0 in the fixture.
+        marked = inject_marked_pseudonym(overlay, 1, 0)
+        watcher = watch_for_marked_value(overlay, 2, 0, marked)
+        overlay.run_until(overlay.sim.now + 30.0)
+        # Node 0 gossips with its neighbors; 2 should eventually see the
+        # marked value (the non-expiring mark saturates all caches).
+        assert watcher.seen_anywhere_at is not None
+        holders = sum(
+            1
+            for node in overlay.nodes
+            if marked in {p.value for p in node.cache.pseudonyms()}
+        )
+        assert holders > overlay.config.num_nodes // 2
+
+    def test_trials_produce_outcomes(self, small_trust_graph, small_config):
+        overlay = _running_overlay(small_trust_graph, small_config, horizon=5.0)
+        # n=1 trusts a=0; o=11 trusts b=10; ground truth: 0-10 is a
+        # trust edge in the fixture, so a-b overlay connectivity exists.
+        assert small_trust_graph.has_edge(0, 10)
+        pairs = [(1, 0, 11, 10), (3, 0, 12, 11)]
+        outcomes = run_link_detection_trials(
+            overlay, pairs, detection_window=5.0
+        )
+        assert len(outcomes) == 2
+        assert outcomes[0].ground_truth_link
+        for outcome in outcomes:
+            assert outcome.marked_value > 0
+            assert isinstance(outcome.detected_via_b, bool)
+            assert outcome.correct == (
+                outcome.detected_via_b == outcome.ground_truth_link
+            )

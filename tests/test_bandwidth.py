@@ -1,0 +1,80 @@
+"""Tests for bandwidth accounting."""
+
+import pytest
+
+from repro import Overlay
+from repro.errors import ExperimentError
+from repro.metrics import WireModel, bandwidth_report
+
+
+class TestWireModel:
+    def test_per_pseudonym_size(self):
+        model = WireModel()
+        assert model.per_pseudonym_bytes == 8 + 32 + 8
+
+    def test_message_size(self):
+        model = WireModel()
+        assert model.message_bytes(0) == 64 + 144
+        assert model.message_bytes(40) == 64 + 144 + 40 * 48
+
+    def test_custom_sizes(self):
+        model = WireModel(
+            pseudonym_value_bytes=16,
+            address_bytes=20,
+            expiry_bytes=4,
+            envelope_bytes=10,
+            onion_overhead_bytes=0,
+        )
+        assert model.message_bytes(2) == 10 + 2 * 40
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            WireModel(address_bytes=-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            WireModel().message_bytes(-1)
+
+
+class TestBandwidthReport:
+    def _overlay(self, graph, config, horizon=20.0):
+        overlay = Overlay.build(graph, config, with_churn=False)
+        overlay.start()
+        overlay.run_until(horizon)
+        return overlay
+
+    def test_report_consistency(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config)
+        report = bandwidth_report(overlay)
+        assert report.total_messages == sum(
+            node.counters.messages_sent for node in overlay.nodes
+        )
+        assert report.total_bytes == (
+            report.total_messages * int(report.mean_message_bytes)
+        )
+        assert report.bytes_per_node_per_period > 0
+
+    def test_rate_scales_with_message_rate(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config)
+        report = bandwidth_report(overlay)
+        # ~2 messages per node per period at full availability.
+        expected = 2.0 * report.mean_message_bytes
+        assert report.bytes_per_node_per_period == pytest.approx(
+            expected, rel=0.4
+        )
+
+    def test_fill_factor_shrinks_messages(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config, horizon=5.0)
+        full = bandwidth_report(overlay, fill_factor=1.0)
+        half = bandwidth_report(overlay, fill_factor=0.5)
+        assert half.total_bytes < full.total_bytes
+
+    def test_invalid_fill_factor(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config, horizon=2.0)
+        with pytest.raises(ExperimentError):
+            bandwidth_report(overlay, fill_factor=0.0)
+
+    def test_str(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config, horizon=5.0)
+        text = str(bandwidth_report(overlay))
+        assert "KiB per node per shuffling period" in text

@@ -1,0 +1,129 @@
+"""Tests for the alternating-renewal churn process."""
+
+import numpy as np
+import pytest
+
+from repro.churn import ChurnProcess, NodeChurnSpec, Exponential, homogeneous_specs
+from repro.errors import ChurnError
+from repro.sim import Simulator
+
+
+class TestHomogeneousSpecs:
+    def test_availability_matches(self):
+        specs = homogeneous_specs(10, availability=0.25, mean_offline_time=30.0)
+        assert len(specs) == 10
+        for spec in specs:
+            assert spec.availability == pytest.approx(0.25)
+            assert spec.offline.mean == 30.0
+            assert spec.online.mean == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5])
+    def test_invalid_availability(self, alpha):
+        with pytest.raises(ChurnError):
+            homogeneous_specs(5, availability=alpha, mean_offline_time=10.0)
+
+    def test_invalid_offline_time(self):
+        with pytest.raises(ChurnError):
+            homogeneous_specs(5, availability=0.5, mean_offline_time=0.0)
+
+
+class TestChurnProcess:
+    def _make(self, alpha=0.5, n=50, seed=0, start_all_online=False):
+        sim = Simulator()
+        specs = homogeneous_specs(n, availability=alpha, mean_offline_time=5.0)
+        process = ChurnProcess(
+            sim,
+            specs,
+            np.random.default_rng(seed),
+            start_all_online=start_all_online,
+        )
+        return sim, process
+
+    def test_stationary_initial_fraction(self):
+        _, process = self._make(alpha=0.7, n=2000)
+        process.start()
+        fraction = process.online_count() / 2000
+        assert fraction == pytest.approx(0.7, abs=0.05)
+
+    def test_start_all_online(self):
+        _, process = self._make(n=20, start_all_online=True)
+        process.start()
+        assert process.online_count() == 20
+
+    def test_transitions_alternate(self):
+        sim, process = self._make(n=1)
+        flips = []
+        process.set_listener(lambda node, online: flips.append(online))
+        process.start()
+        sim.run_until(200.0)
+        assert len(flips) > 5
+        for earlier, later in zip(flips, flips[1:]):
+            assert earlier != later
+
+    def test_listener_sees_consistent_state(self):
+        sim, process = self._make(n=10)
+        mismatches = []
+
+        def listener(node, online):
+            if process.is_online(node) != online:
+                mismatches.append(node)
+
+        process.set_listener(listener)
+        process.start()
+        sim.run_until(50.0)
+        assert mismatches == []
+
+    def test_long_run_availability(self):
+        sim, process = self._make(alpha=0.3, n=1, seed=3)
+        online_time = [0.0]
+        last = {"time": 0.0, "online": None}
+
+        def listener(node, online):
+            if last["online"]:
+                online_time[0] += sim.now - last["time"]
+            last["time"] = sim.now
+            last["online"] = online
+
+        process.set_listener(listener)
+        process.start()
+        last["online"] = process.is_online(0)
+        horizon = 20000.0
+        sim.run_until(horizon)
+        if last["online"]:
+            online_time[0] += horizon - last["time"]
+        assert online_time[0] / horizon == pytest.approx(0.3, abs=0.06)
+
+    def test_double_start_rejected(self):
+        _, process = self._make()
+        process.start()
+        with pytest.raises(ChurnError):
+            process.start()
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ChurnError):
+            ChurnProcess(Simulator(), [], np.random.default_rng(0))
+
+    def test_online_nodes_listing(self):
+        _, process = self._make(n=30, alpha=0.5)
+        process.start()
+        online = process.online_nodes()
+        assert all(process.is_online(node) for node in online)
+        assert len(online) == process.online_count()
+
+    def test_transition_counter(self):
+        sim, process = self._make(n=5)
+        process.start()
+        sim.run_until(100.0)
+        assert process.transitions > 0
+
+    def test_heterogeneous_specs(self):
+        sim = Simulator()
+        specs = [
+            NodeChurnSpec(Exponential(1.0), Exponential(9.0)),  # alpha = 0.1
+            NodeChurnSpec(Exponential(9.0), Exponential(1.0)),  # alpha = 0.9
+        ]
+        assert specs[0].availability == pytest.approx(0.1)
+        assert specs[1].availability == pytest.approx(0.9)
+        process = ChurnProcess(sim, specs, np.random.default_rng(0))
+        process.start()
+        sim.run_until(10.0)  # runs without error

@@ -1,0 +1,98 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro import Overlay
+from repro.errors import ExperimentError
+from repro.metrics import MetricsCollector, mean_messages_per_period
+
+
+class TestCollector:
+    def _run(self, graph, config, horizon=20.0, **kwargs):
+        overlay = Overlay.build(graph, config, with_churn=False)
+        collector = MetricsCollector(overlay, **kwargs)
+        overlay.start()
+        collector.start()
+        overlay.run_until(horizon)
+        return overlay, collector
+
+    def test_samples_on_grid(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=10.0)
+        times = collector.disconnected.times
+        assert len(times) == 10
+        assert times[0] == pytest.approx(1.0)
+        assert times[-1] == pytest.approx(10.0)
+
+    def test_disconnected_goes_to_zero_without_churn(
+        self, small_trust_graph, small_config
+    ):
+        _, collector = self._run(small_trust_graph, small_config, horizon=20.0)
+        assert collector.disconnected.values[-1] == 0.0
+        assert collector.stable_disconnected() < 0.05
+
+    def test_online_count_without_churn(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=5.0)
+        assert all(
+            value == small_config.num_nodes for value in collector.online_count.values
+        )
+
+    def test_path_length_sampling(self, small_trust_graph, small_config):
+        _, collector = self._run(
+            small_trust_graph,
+            small_config,
+            horizon=12.0,
+            path_length_every=4,
+        )
+        assert len(collector.path_length) == 3
+        assert all(value > 0 for value in collector.path_length.values)
+
+    def test_path_length_disabled_by_default(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=8.0)
+        assert len(collector.path_length) == 0
+
+    def test_messages_rate_positive(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=10.0)
+        # Every online node initiates one shuffle per period; with
+        # responses the system-wide rate should be near 2.
+        tail = collector.messages_per_node.tail_mean(0.5)
+        assert 1.0 < tail < 3.0
+
+    def test_replacement_rate_series(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=10.0)
+        assert len(collector.replacements_per_node) == 10
+        assert all(value >= 0 for value in collector.replacements_per_node.values)
+
+    def test_max_out_degree_tracked(self, small_trust_graph, small_config):
+        overlay, collector = self._run(small_trust_graph, small_config, horizon=15.0)
+        degrees = collector.max_out_degrees()
+        assert len(degrees) == small_config.num_nodes
+        for node, max_degree in zip(overlay.nodes, degrees):
+            assert max_degree >= node.links.trusted_degree
+
+    def test_convergence_time(self, small_trust_graph, small_config):
+        _, collector = self._run(small_trust_graph, small_config, horizon=20.0)
+        convergence = collector.convergence_time(threshold=0.05)
+        assert convergence is not None
+        assert convergence <= 20.0
+
+    def test_double_start_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        collector = MetricsCollector(overlay)
+        overlay.start()
+        collector.start()
+        with pytest.raises(ExperimentError):
+            collector.start()
+
+    def test_invalid_interval(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(ExperimentError):
+            MetricsCollector(overlay, interval=0.0)
+
+
+class TestOverheadHelpers:
+    def test_mean_messages_close_to_two(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        overlay.start()
+        overlay.run_until(30.0)
+        mean = mean_messages_per_period(overlay)
+        assert mean == pytest.approx(2.0, abs=0.4)

@@ -1,0 +1,63 @@
+"""Tests for broadcast coverage reporting."""
+
+import pytest
+
+from repro.dissemination import BroadcastRecord, coverage_report
+from repro.errors import DisseminationError
+
+
+class TestBroadcastRecord:
+    def test_origin_counted(self):
+        record = BroadcastRecord(1, origin=0, started_at=10.0)
+        assert record.deliveries() == 1
+        assert record.latency_of(0) == 0.0
+
+    def test_latency_of_unreached_is_none(self):
+        record = BroadcastRecord(1, origin=0, started_at=0.0)
+        assert record.latency_of(5) is None
+
+    def test_max_latency(self):
+        record = BroadcastRecord(1, origin=0, started_at=10.0)
+        record.delivery_times[1] = 12.0
+        record.delivery_times[2] = 15.0
+        assert record.max_latency() == pytest.approx(5.0)
+
+
+class TestCoverageReport:
+    def _record(self):
+        record = BroadcastRecord(7, origin=0, started_at=10.0)
+        record.delivery_times[1] = 11.0
+        record.delivery_times[2] = 12.0
+        record.forwards = 9
+        return record
+
+    def test_full_population(self):
+        report = coverage_report(self._record(), [0, 1, 2])
+        assert report.reached == 3
+        assert report.coverage == 1.0
+        assert report.forwards == 9
+
+    def test_partial_population(self):
+        report = coverage_report(self._record(), [0, 1, 2, 3, 4])
+        assert report.reached == 3
+        assert report.coverage == pytest.approx(0.6)
+
+    def test_latency_statistics(self):
+        report = coverage_report(self._record(), [1, 2])
+        assert report.mean_latency == pytest.approx(1.5)
+        assert report.max_latency == pytest.approx(2.0)
+        assert report.p95_latency <= report.max_latency
+
+    def test_unreached_population(self):
+        report = coverage_report(self._record(), [8, 9])
+        assert report.reached == 0
+        assert report.coverage == 0.0
+        assert report.mean_latency == 0.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(DisseminationError):
+            coverage_report(self._record(), [])
+
+    def test_str(self):
+        text = str(coverage_report(self._record(), [0, 1, 2]))
+        assert "reached 3/3" in text

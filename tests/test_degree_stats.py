@@ -1,0 +1,86 @@
+"""Tests for degree-distribution statistics."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.metrics.degree_stats import (
+    degree_gini,
+    degree_share_entropy,
+    degree_summary,
+)
+
+
+class TestGini:
+    def test_regular_graph_zero(self):
+        assert degree_gini(nx.cycle_graph(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_concentrated(self):
+        assert degree_gini(nx.star_graph(20)) > 0.4
+
+    def test_bounds(self):
+        for graph in (nx.path_graph(10), nx.star_graph(8), nx.complete_graph(5)):
+            value = degree_gini(graph)
+            assert 0.0 <= value < 1.0
+
+    def test_ordering_matches_intuition(self):
+        regular = nx.cycle_graph(30)
+        er = nx.gnm_random_graph(30, 60, seed=1)
+        star = nx.star_graph(29)
+        assert degree_gini(regular) < degree_gini(er) < degree_gini(star)
+
+    def test_edgeless_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        assert degree_gini(graph) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_gini(nx.Graph())
+
+
+class TestEntropy:
+    def test_regular_graph_is_one(self):
+        assert degree_share_entropy(nx.cycle_graph(12)) == pytest.approx(1.0)
+
+    def test_star_below_regular(self):
+        assert degree_share_entropy(nx.star_graph(20)) < degree_share_entropy(
+            nx.cycle_graph(21)
+        )
+
+    def test_edgeless_convention(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        assert degree_share_entropy(graph) == 1.0
+
+    def test_overlay_sits_between_trust_and_er(self):
+        """The library's core claim, in scalar form."""
+        from repro import Overlay
+        from repro.experiments import SMOKE, make_config, make_trust_graph
+        from repro.graphs import erdos_renyi_gnm
+
+        import numpy as np
+
+        trust = make_trust_graph(SMOKE, f=0.5, seed=2)
+        config = make_config(SMOKE, alpha=0.5, f=0.5, seed=2)
+        overlay = Overlay.build(trust, config, with_churn=False)
+        overlay.start()
+        overlay.run_until(20.0)
+        snapshot = overlay.snapshot()
+        er = erdos_renyi_gnm(
+            snapshot.number_of_nodes(),
+            snapshot.number_of_edges(),
+            rng=np.random.default_rng(0),
+        )
+        assert (
+            degree_gini(er)
+            < degree_gini(snapshot)
+            < degree_gini(trust)
+        )
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = degree_summary(nx.star_graph(5))
+        assert set(summary) == {"mean", "std", "max", "gini", "entropy"}
+        assert summary["max"] == 5.0

@@ -1,0 +1,87 @@
+"""Tests for churn duration distributions."""
+
+import numpy as np
+import pytest
+
+from repro.churn import (
+    Exponential,
+    Pareto,
+    Weibull,
+    distribution_from_name,
+)
+from repro.errors import ChurnError
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert Exponential(30.0).mean == 30.0
+
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(10.0)
+        samples = dist.sample_many(rng, 20000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_samples_positive(self, rng):
+        dist = Exponential(5.0)
+        assert (dist.sample_many(rng, 1000) >= 0).all()
+
+    def test_invalid_mean(self):
+        with pytest.raises(ChurnError):
+            Exponential(0.0)
+
+
+class TestPareto:
+    def test_mean_converges(self, rng):
+        dist = Pareto(10.0, shape=3.0)
+        samples = dist.sample_many(rng, 50000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.15)
+
+    def test_heavy_tail(self, rng):
+        exp_samples = Exponential(10.0).sample_many(rng, 20000)
+        par_samples = Pareto(10.0, shape=2.0).sample_many(rng, 20000)
+        # Pareto has far larger extreme values at the same mean.
+        assert np.percentile(par_samples, 99.9) > np.percentile(exp_samples, 99.9)
+
+    def test_shape_must_exceed_one(self):
+        with pytest.raises(ChurnError):
+            Pareto(10.0, shape=1.0)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ChurnError):
+            Pareto(-1.0)
+
+
+class TestWeibull:
+    def test_mean_converges(self, rng):
+        dist = Weibull(10.0, shape=0.7)
+        samples = dist.sample_many(rng, 50000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ChurnError):
+            Weibull(0.0)
+        with pytest.raises(ChurnError):
+            Weibull(1.0, shape=0.0)
+
+
+class TestFactory:
+    def test_exponential(self):
+        dist = distribution_from_name("exponential", 5.0)
+        assert isinstance(dist, Exponential)
+        assert dist.mean == 5.0
+
+    def test_pareto_with_shape(self):
+        dist = distribution_from_name("Pareto", 5.0, shape=2.5)
+        assert isinstance(dist, Pareto)
+        assert dist.shape == 2.5
+
+    def test_weibull(self):
+        assert isinstance(distribution_from_name("weibull", 5.0), Weibull)
+
+    def test_unknown_name(self):
+        with pytest.raises(ChurnError):
+            distribution_from_name("cauchy", 5.0)
+
+    def test_single_sample_positive(self, rng):
+        for name in ("exponential", "pareto", "weibull"):
+            assert distribution_from_name(name, 2.0).sample(rng) >= 0

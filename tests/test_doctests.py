@@ -1,0 +1,17 @@
+"""Run the doctests embedded in module and class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.config
+import repro.rng
+import repro.sim.simulator
+
+_MODULES = [repro.rng, repro.sim.simulator, repro.config]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

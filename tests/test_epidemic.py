@@ -1,0 +1,80 @@
+"""Tests for epidemic push gossip."""
+
+import pytest
+
+from repro import Overlay
+from repro.dissemination import EpidemicBroadcast, coverage_report
+from repro.errors import DisseminationError
+
+
+def _converged_overlay(graph, config, warmup=15.0):
+    overlay = Overlay.build(graph, config, with_churn=False)
+    overlay.start()
+    overlay.run_until(warmup)
+    return overlay
+
+
+class TestEpidemicBroadcast:
+    def test_high_fanout_reaches_most_nodes(self, small_trust_graph, small_config):
+        overlay = _converged_overlay(small_trust_graph, small_config)
+        epidemic = EpidemicBroadcast(overlay, fanout=6, ttl=12)
+        epidemic.install()
+        record = epidemic.broadcast(0, payload="x")
+        overlay.run_until(overlay.sim.now + 5.0)
+        report = coverage_report(record, overlay.online_ids())
+        assert report.coverage >= 0.85
+
+    def test_fanout_one_reaches_few(self, small_trust_graph, small_config):
+        overlay = _converged_overlay(small_trust_graph, small_config)
+        epidemic = EpidemicBroadcast(overlay, fanout=1, ttl=3)
+        epidemic.install()
+        record = epidemic.broadcast(0, payload="x")
+        overlay.run_until(overlay.sim.now + 5.0)
+        # At most 1 + 1 + 1 + 1 nodes along a fanout-1, ttl-3 chain.
+        assert record.deliveries() <= 4
+
+    def test_infect_forever_reaches_at_least_as_many(
+        self, small_trust_graph, small_config
+    ):
+        results = {}
+        for forever in (False, True):
+            overlay = _converged_overlay(small_trust_graph, small_config)
+            epidemic = EpidemicBroadcast(
+                overlay, fanout=2, ttl=8, infect_forever=forever
+            )
+            epidemic.install()
+            record = epidemic.broadcast(0, payload="x")
+            overlay.run_until(overlay.sim.now + 5.0)
+            results[forever] = (record.deliveries(), record.forwards)
+        assert results[True][0] >= results[False][0]
+        assert results[True][1] > results[False][1]
+
+    def test_fewer_forwards_than_flooding(self, small_trust_graph, small_config):
+        from repro.dissemination import FloodBroadcast
+
+        overlay = _converged_overlay(small_trust_graph, small_config)
+        flood = FloodBroadcast(overlay, ttl=8)
+        flood.install()
+        flood_record = flood.broadcast(0, payload="x")
+        overlay.run_until(overlay.sim.now + 5.0)
+
+        overlay2 = _converged_overlay(small_trust_graph, small_config)
+        epidemic = EpidemicBroadcast(overlay2, fanout=3, ttl=8)
+        epidemic.install()
+        epidemic_record = epidemic.broadcast(0, payload="x")
+        overlay2.run_until(overlay2.sim.now + 5.0)
+
+        assert epidemic_record.forwards < flood_record.forwards
+
+    @pytest.mark.parametrize("kwargs", [{"fanout": 0}, {"ttl": 0}])
+    def test_invalid_parameters(self, small_trust_graph, small_config, kwargs):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(DisseminationError):
+            EpidemicBroadcast(overlay, **kwargs)
+
+    def test_offline_origin_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        epidemic = EpidemicBroadcast(overlay)
+        epidemic.install()
+        with pytest.raises(DisseminationError):
+            epidemic.broadcast(0, payload="x")

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.SimulationError,
+            errors.SchedulerError,
+            errors.GraphError,
+            errors.SamplingError,
+            errors.ChurnError,
+            errors.LinkLayerError,
+            errors.PseudonymError,
+            errors.MixnetError,
+            errors.ReplayDetectedError,
+            errors.ProtocolError,
+            errors.NodeOfflineError,
+            errors.DisseminationError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_scheduler_is_simulation_error(self):
+        assert issubclass(errors.SchedulerError, errors.SimulationError)
+
+    def test_pseudonym_is_link_layer_error(self):
+        assert issubclass(errors.PseudonymError, errors.LinkLayerError)
+
+    def test_replay_is_mixnet_error(self):
+        assert issubclass(errors.ReplayDetectedError, errors.MixnetError)
+
+    def test_sampling_is_graph_error(self):
+        assert issubclass(errors.SamplingError, errors.GraphError)
+
+    def test_node_offline_is_protocol_error(self):
+        assert issubclass(errors.NodeOfflineError, errors.ProtocolError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MixnetError("boom")

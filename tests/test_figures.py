@@ -1,0 +1,110 @@
+"""Smoke-scale tests for the per-figure harnesses.
+
+These verify the harness mechanics (structure of results, table
+rendering, qualitative ordering) at SMOKE scale; the quantitative
+reproduction runs in benchmarks/ at QUICK or PAPER scale.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    availability_sweep,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return availability_sweep(SMOKE, f=0.5, seed=1, alphas=(0.25, 0.6))
+
+
+class TestAvailabilitySweep:
+    def test_points_structured(self, sweep):
+        assert [point.alpha for point in sweep.points] == [0.25, 0.6]
+        for point in sweep.points:
+            assert 0.0 <= point.overlay_disconnected <= 1.0
+            assert point.overlay_path_length > 0.0
+
+    def test_overlay_beats_trust_at_moderate_alpha(self, sweep):
+        point = sweep.points[1]  # alpha = 0.6
+        assert point.overlay_disconnected <= point.trust_disconnected
+
+    def test_format_disconnected_table(self, sweep):
+        table = sweep.format_table("disconnected")
+        assert "Figure 3" in table
+        assert "trust_graph" in table and "random_graph" in table
+        assert "0.25" in table
+
+    def test_format_path_table(self, sweep):
+        table = sweep.format_table("path")
+        assert "Figure 4" in table
+
+
+class TestFigure5:
+    def test_histograms(self):
+        results = figure5(SMOKE, seed=1, fs=(0.5,), alpha=0.5)
+        dist = results[0.5]
+        assert sum(dist.overlay_histogram.values()) > 0
+        trust_mean, overlay_mean, random_mean = dist.mean_degrees()
+        # Pseudonym links shift the distribution right.
+        assert overlay_mean > trust_mean
+        table = dist.format_table()
+        assert "Figure 5" in table
+
+
+class TestFigure6:
+    def test_overheads(self):
+        results = figure6(SMOKE, seed=1, fs=(0.5,), alpha=0.5)
+        result = results[0.5]
+        assert len(result.overheads) == SMOKE.num_nodes
+        # Ranked by descending trust degree.
+        degrees = [entry.trust_degree for entry in result.overheads]
+        assert degrees == sorted(degrees, reverse=True)
+        # System-wide mean messages/period should be near 2.
+        assert 1.0 < result.system_mean < 3.0
+        assert "Figure 6" in result.format_table()
+
+
+class TestFigure7:
+    def test_lifetime_ordering(self):
+        result = figure7(
+            SMOKE, seed=1, ratios=(1.0, 9.0), alphas=(0.3, 0.6)
+        )
+        assert set(result.overlay_curves) == {1.0, 9.0}
+        # Longer lifetimes never hurt; allow small noise at smoke scale.
+        for short, long in zip(
+            result.overlay_curves[1.0], result.overlay_curves[9.0]
+        ):
+            assert long <= short + 0.15
+        table = result.format_table()
+        assert "Figure 7" in table and "r=9" in table
+
+
+class TestFigure8:
+    def test_series_aligned(self):
+        result = figure8(SMOKE, seed=1, ratios=(3.0,))
+        series = result.overlay_series[3.0]
+        assert len(series) == len(result.trust_series)
+        assert "Figure 8" in result.format_table()
+
+    def test_convergence_recorded(self):
+        result = figure8(SMOKE, seed=1, ratios=(9.0,))
+        assert 9.0 in result.convergence_times
+
+
+class TestFigure9:
+    def test_replacement_series(self):
+        result = figure9(SMOKE, seed=1, ratios=(3.0, math.inf))
+        assert set(result.series) == {3.0, math.inf}
+        # Non-expiring pseudonyms stabilize at a (near-)zero replacement
+        # rate; expiring ones keep replacing links.
+        assert result.stable_rates[math.inf] < result.stable_rates[3.0]
+        table = result.format_table()
+        assert "Figure 9" in table and "Infinite" in table

@@ -1,0 +1,71 @@
+"""Tests for edge-list persistence."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import load_edge_list, save_edge_list
+
+
+class TestRoundTrip:
+    def test_simple_graph(self, tmp_path):
+        graph = nx.path_graph(5)
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(graph.edges())
+        assert loaded.number_of_nodes() == 5
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.number_of_nodes() == 4
+        assert loaded.number_of_edges() == 1
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        save_edge_list(nx.Graph(), path)
+        loaded = load_edge_list(path)
+        assert loaded.number_of_nodes() == 0
+
+
+class TestMalformedInput:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_bad_node_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=abc\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=3\n0 x\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=3\n0 1 2\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_out_of_range_endpoint(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=3\n0 7\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# nodes=3\n\n# comment\n0 1\n")
+        loaded = load_edge_list(path)
+        assert loaded.number_of_edges() == 1

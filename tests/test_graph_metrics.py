@@ -1,0 +1,137 @@
+"""Tests for graph-structure metrics (Section IV-C definitions)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    average_path_length,
+    degree_histogram,
+    degree_sequence,
+    fraction_disconnected,
+    largest_component,
+    normalized_path_length,
+    powerlaw_exponent_estimate,
+)
+
+
+class TestLargestComponent:
+    def test_connected_graph(self):
+        graph = nx.path_graph(5)
+        assert sorted(largest_component(graph)) == [0, 1, 2, 3, 4]
+
+    def test_picks_largest(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3), (3, 4)])
+        assert sorted(largest_component(graph)) == [2, 3, 4]
+
+    def test_empty_graph(self):
+        assert largest_component(nx.Graph()) == []
+
+
+class TestFractionDisconnected:
+    def test_connected_is_zero(self):
+        assert fraction_disconnected(nx.complete_graph(4)) == 0.0
+
+    def test_partitioned(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2)])
+        graph.add_node(3)
+        graph.add_node(4)
+        assert fraction_disconnected(graph) == pytest.approx(2 / 5)
+
+    def test_empty_graph_is_zero(self):
+        assert fraction_disconnected(nx.Graph()) == 0.0
+
+    def test_two_equal_halves(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert fraction_disconnected(graph) == pytest.approx(0.5)
+
+
+class TestAveragePathLength:
+    def test_path_graph_exact(self):
+        # P3: distances 1,1,2 -> mean 4/3.
+        graph = nx.path_graph(3)
+        assert average_path_length(graph) == pytest.approx(4 / 3)
+
+    def test_complete_graph(self):
+        assert average_path_length(nx.complete_graph(6)) == pytest.approx(1.0)
+
+    def test_single_node_zero(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert average_path_length(graph) == 0.0
+
+    def test_uses_largest_component_only(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])  # P4
+        graph.add_edge(10, 11)
+        expected = average_path_length(nx.path_graph(4))
+        assert average_path_length(graph) == pytest.approx(expected)
+
+    def test_sampled_estimate_close_to_exact(self, rng):
+        graph = nx.erdos_renyi_graph(120, 0.08, seed=1)
+        exact = average_path_length(graph)
+        estimate = average_path_length(graph, sample_sources=60, rng=rng)
+        assert estimate == pytest.approx(exact, rel=0.15)
+
+
+class TestNormalizedPathLength:
+    def test_connected_equals_plain_average(self):
+        graph = nx.path_graph(10)
+        plain = average_path_length(graph)
+        normalized = normalized_path_length(graph, total_nodes=10)
+        assert normalized == pytest.approx(plain / 10 * 10)
+
+    def test_penalizes_partitioning(self):
+        connected = nx.path_graph(10)
+        partitioned = nx.Graph()
+        partitioned.add_edges_from([(index, index + 1) for index in range(4)])  # P5
+        partitioned.add_edges_from([(10 + index, 11 + index) for index in range(4)])
+        value_connected = normalized_path_length(connected, total_nodes=10)
+        value_partitioned = normalized_path_length(partitioned, total_nodes=10)
+        assert value_partitioned > value_connected
+
+    def test_offline_nodes_raise_metric(self):
+        graph = nx.path_graph(5)
+        small_system = normalized_path_length(graph, total_nodes=5)
+        large_system = normalized_path_length(graph, total_nodes=50)
+        assert large_system == pytest.approx(10 * small_system)
+
+    def test_degenerate_component_returns_total(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert normalized_path_length(graph, total_nodes=25) == 25.0
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(GraphError):
+            normalized_path_length(nx.path_graph(3), total_nodes=0)
+
+
+class TestDegreeMetrics:
+    def test_degree_histogram(self):
+        graph = nx.star_graph(4)  # center degree 4, leaves degree 1
+        histogram = degree_histogram(graph)
+        assert histogram == {4: 1, 1: 4}
+
+    def test_degree_sequence_sorted(self):
+        graph = nx.star_graph(3)
+        assert list(degree_sequence(graph)) == [3, 1, 1, 1]
+
+    def test_powerlaw_estimate_on_powerlaw_sample(self):
+        # Continuous sample with density ~ x^-2.5 above x=1: the Hill
+        # estimator should recover an exponent near 2.5.
+        rng = np.random.default_rng(0)
+        degrees = rng.pareto(1.5, size=5000) + 1.0
+        exponent = powerlaw_exponent_estimate(degrees)
+        assert 2.2 < exponent < 2.8
+
+    def test_powerlaw_estimate_rejects_constant(self):
+        with pytest.raises(GraphError):
+            powerlaw_exponent_estimate([3, 3, 3])
+
+    def test_powerlaw_estimate_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            powerlaw_exponent_estimate([5])

@@ -1,0 +1,102 @@
+"""Tests for identities and the simulated layered encryption."""
+
+import pytest
+
+from repro.errors import MixnetError
+from repro.privlink import (
+    KeyPair,
+    KeyRegistry,
+    NodeID,
+    Sealed,
+    message_digest,
+    seal,
+    seal_layers,
+    unseal,
+)
+
+
+class TestNodeID:
+    def test_equality_and_ordering(self):
+        assert NodeID(1) == NodeID(1)
+        assert NodeID(1) != NodeID(2)
+        assert NodeID(1) < NodeID(2)
+
+    def test_realms_distinguish(self):
+        assert NodeID(1, realm="relay") != NodeID(1, realm="node")
+
+    def test_str(self):
+        assert str(NodeID(3, realm="relay")) == "relay:3"
+
+
+class TestKeyRegistry:
+    def test_unique_keys(self):
+        registry = KeyRegistry()
+        keys = [registry.issue() for _ in range(100)]
+        assert len({key.public for key in keys}) == 100
+
+    def test_matches(self):
+        registry = KeyRegistry()
+        a = registry.issue()
+        b = registry.issue()
+        assert a.matches(a.public)
+        assert not a.matches(b.public)
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self):
+        key = KeyRegistry().issue()
+        sealed = seal(key.public, ("deliver", 7), "payload")
+        hint, inner = unseal(key, sealed)
+        assert hint == ("deliver", 7)
+        assert inner == "payload"
+
+    def test_wrong_key_rejected(self):
+        registry = KeyRegistry()
+        key_a = registry.issue()
+        key_b = registry.issue()
+        sealed = seal(key_a.public, "hint", "data")
+        with pytest.raises(MixnetError):
+            unseal(key_b, sealed)
+
+    def test_unseal_non_sealed_rejected(self):
+        key = KeyRegistry().issue()
+        with pytest.raises(MixnetError):
+            unseal(key, "not sealed")  # type: ignore[arg-type]
+
+    def test_layering_order(self):
+        registry = KeyRegistry()
+        keys = [registry.issue() for _ in range(3)]
+        onion = seal_layers(
+            tuple((key.public, f"hop{index}") for index, key in enumerate(keys)),
+            "core",
+        )
+        # Outermost layer belongs to the first hop.
+        current = onion
+        for index, key in enumerate(keys):
+            hint, current = unseal(key, current)
+            assert hint == f"hop{index}"
+        assert current == "core"
+
+    def test_empty_hops_returns_payload(self):
+        assert seal_layers((), "raw") == "raw"
+
+    def test_inner_layers_unreadable_by_outer_relay(self):
+        registry = KeyRegistry()
+        key_a = registry.issue()
+        key_b = registry.issue()
+        onion = seal_layers(
+            ((key_a.public, "first"), (key_b.public, "second")), "secret"
+        )
+        _, inner = unseal(key_a, onion)
+        assert isinstance(inner, Sealed)
+        with pytest.raises(MixnetError):
+            unseal(key_a, inner)
+
+
+class TestDigest:
+    def test_stable(self):
+        sealed = seal(1, "h", "data")
+        assert message_digest(sealed) == message_digest(sealed)
+
+    def test_distinguishes_content(self):
+        assert message_digest(seal(1, "h", "a")) != message_digest(seal(1, "h", "b"))

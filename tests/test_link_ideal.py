@@ -1,0 +1,208 @@
+"""Tests for the ideal link layer (anonymity + pseudonym services)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PseudonymError
+from repro.privlink import (
+    Address,
+    IdealPseudonymService,
+    NodeDirectory,
+    TrafficLog,
+    make_ideal_link_layer,
+)
+from repro.sim import Simulator
+
+
+class _FakeNode:
+    def __init__(self):
+        self.inbox = []
+        self.online = True
+
+    def receive(self, payload):
+        self.inbox.append(payload)
+
+
+def _layer(max_latency=0.05):
+    sim = Simulator()
+    layer = make_ideal_link_layer(
+        sim, np.random.default_rng(0), max_latency=max_latency
+    )
+    return sim, layer
+
+
+class TestAnonymityService:
+    def test_delivers_to_online_node(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "hello")
+        sim.run_until(1.0)
+        assert node.inbox == ["hello"]
+
+    def test_drops_for_offline_node(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        node.online = False
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "hello")
+        sim.run_until(1.0)
+        assert node.inbox == []
+
+    def test_offline_at_delivery_time_matters(self):
+        # Node is online at send time but goes offline before delivery.
+        sim, layer = _layer(max_latency=0.5)
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "x")
+        node.online = False
+        sim.run_until(1.0)
+        assert node.inbox == []
+
+    def test_unregistered_destination_dropped(self):
+        sim, layer = _layer()
+        layer.send_to_node(0, 42, "x")
+        sim.run_until(1.0)  # no exception
+
+    def test_latency_bounded(self):
+        sim, layer = _layer(max_latency=0.1)
+        node = _FakeNode()
+        received_at = []
+        layer.register_node(1, lambda p: received_at.append(sim.now), lambda: True)
+        layer.send_to_node(0, 1, "x")
+        sim.run_until(1.0)
+        assert len(received_at) == 1
+        assert 0.0 <= received_at[0] <= 0.1
+
+
+class TestPseudonymService:
+    def test_endpoint_roundtrip(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(3, node.receive, lambda: node.online)
+        address = layer.create_endpoint(3)
+        layer.send_to_endpoint(0, address, "msg")
+        sim.run_until(1.0)
+        assert node.inbox == ["msg"]
+
+    def test_closed_endpoint_drops(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(3, node.receive, lambda: node.online)
+        address = layer.create_endpoint(3)
+        layer.close_endpoint(address)
+        layer.send_to_endpoint(0, address, "msg")
+        sim.run_until(1.0)
+        assert node.inbox == []
+
+    def test_endpoint_survives_owner_offline(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(3, node.receive, lambda: node.online)
+        address = layer.create_endpoint(3)
+        node.online = False
+        layer.send_to_endpoint(0, address, "lost")
+        sim.run_until(1.0)
+        assert node.inbox == []
+        assert layer.pseudonym.is_active(address)
+        node.online = True
+        layer.send_to_endpoint(0, address, "found")
+        sim.run_until(2.0)
+        assert node.inbox == ["found"]
+
+    def test_addresses_unique(self):
+        _, layer = _layer()
+        addresses = {layer.create_endpoint(0) for _ in range(50)}
+        assert len(addresses) == 50
+
+    def test_owner_of_oracle(self):
+        sim = Simulator()
+        directory = NodeDirectory()
+        service = IdealPseudonymService(sim, directory, np.random.default_rng(0))
+        address = service.create_endpoint(9)
+        assert service.owner_of(address) == 9
+        service.close_endpoint(address)
+        with pytest.raises(PseudonymError):
+            service.owner_of(address)
+
+    def test_counters(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(3, node.receive, lambda: node.online)
+        address = layer.create_endpoint(3)
+        layer.send_to_endpoint(0, address, "a")
+        sim.run_until(0.5)  # deliver "a" before the endpoint closes
+        layer.close_endpoint(address)
+        layer.send_to_endpoint(0, address, "b")
+        sim.run_until(1.0)
+        assert layer.pseudonym.sent_count == 2
+        assert layer.pseudonym.delivered_count == 1
+        assert layer.pseudonym.dropped_closed == 1
+
+
+class TestMessageLoss:
+    def test_lossless_by_default(self):
+        sim, layer = _layer()
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(30):
+            layer.send_to_node(0, 1, index)
+        sim.run_until(1.0)
+        assert len(node.inbox) == 30
+        assert layer.anonymity.loss.dropped == 0
+
+    def test_loss_rate_drops_messages(self):
+        import numpy as np
+
+        from repro.privlink import make_ideal_link_layer
+
+        sim = Simulator()
+        layer = make_ideal_link_layer(
+            sim, np.random.default_rng(0), loss_rate=0.5
+        )
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(200):
+            layer.send_to_node(0, 1, index)
+        sim.run_until(1.0)
+        dropped = layer.anonymity.loss.dropped
+        assert dropped > 0
+        assert len(node.inbox) + dropped == 200
+        assert 60 < dropped < 140  # ~50%
+
+    def test_invalid_loss_rate(self):
+        import numpy as np
+
+        from repro.errors import LinkLayerError
+        from repro.privlink import make_ideal_link_layer
+
+        with pytest.raises(LinkLayerError):
+            make_ideal_link_layer(
+                Simulator(), np.random.default_rng(0), loss_rate=1.0
+            )
+
+
+class TestTrafficRecording:
+    def test_traffic_logged_when_enabled(self):
+        sim = Simulator()
+        traffic = TrafficLog(enabled=True)
+        layer = make_ideal_link_layer(
+            sim, np.random.default_rng(0), traffic=traffic
+        )
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "x")
+        address = layer.create_endpoint(1)
+        layer.send_to_endpoint(2, address, "y")
+        sim.run_until(1.0)
+        channels = traffic.channels()
+        assert ("node:0", "node:1") in channels
+        assert any(src == "node:2" for src, _ in channels)
+
+
+class TestAddress:
+    def test_ordering_and_str(self):
+        a = Address(token=1, kind="ideal")
+        b = Address(token=2, kind="ideal")
+        assert a < b
+        assert str(a) == "ideal:1"

@@ -1,0 +1,141 @@
+"""Tests for pseudonym lifetime policies (fixed and adaptive)."""
+
+import math
+
+import pytest
+
+from repro.core import AdaptiveLifetime, FixedLifetime
+from repro.errors import ProtocolError
+
+
+class TestFixedLifetime:
+    def test_constant(self):
+        policy = FixedLifetime(90.0)
+        assert policy.next_lifetime() == 90.0
+        policy.observe_offline_duration(1000.0)  # ignored
+        assert policy.next_lifetime() == 90.0
+
+    def test_infinite_allowed(self):
+        assert math.isinf(FixedLifetime(math.inf).next_lifetime())
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            FixedLifetime(0.0)
+
+
+class TestAdaptiveLifetime:
+    def test_initial_estimate_used(self):
+        policy = AdaptiveLifetime(ratio=3.0, initial_estimate=30.0)
+        assert policy.next_lifetime() == pytest.approx(90.0)
+        assert policy.observations == 0
+
+    def test_ewma_update(self):
+        policy = AdaptiveLifetime(
+            ratio=3.0, initial_estimate=30.0, smoothing=0.5
+        )
+        policy.observe_offline_duration(10.0)
+        assert policy.estimate == pytest.approx(20.0)
+        assert policy.next_lifetime() == pytest.approx(60.0)
+        policy.observe_offline_duration(20.0)
+        assert policy.estimate == pytest.approx(20.0)
+
+    def test_converges_toward_true_mean(self):
+        policy = AdaptiveLifetime(
+            ratio=3.0, initial_estimate=100.0, smoothing=0.3
+        )
+        for _ in range(50):
+            policy.observe_offline_duration(10.0)
+        assert policy.estimate == pytest.approx(10.0, rel=0.01)
+        assert policy.next_lifetime() == pytest.approx(30.0, rel=0.01)
+
+    def test_floor_and_ceiling(self):
+        policy = AdaptiveLifetime(
+            ratio=3.0, initial_estimate=30.0, smoothing=1.0, floor=5.0, ceiling=50.0
+        )
+        policy.observe_offline_duration(0.1)
+        assert policy.next_lifetime() == 5.0
+        policy.observe_offline_duration(1000.0)
+        assert policy.next_lifetime() == 50.0
+
+    def test_negative_duration_rejected(self):
+        policy = AdaptiveLifetime(ratio=3.0, initial_estimate=30.0)
+        with pytest.raises(ProtocolError):
+            policy.observe_offline_duration(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ratio": 0.0, "initial_estimate": 1.0},
+            {"ratio": 1.0, "initial_estimate": 0.0},
+            {"ratio": 1.0, "initial_estimate": 1.0, "smoothing": 0.0},
+            {"ratio": 1.0, "initial_estimate": 1.0, "smoothing": 1.5},
+            {"ratio": 1.0, "initial_estimate": 1.0, "floor": 0.0},
+            {"ratio": 1.0, "initial_estimate": 1.0, "floor": 5.0, "ceiling": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ProtocolError):
+            AdaptiveLifetime(**kwargs)
+
+
+class TestAdaptiveLifetimeInNode:
+    def test_node_learns_offline_durations(self):
+        import numpy as np
+
+        from repro.core import OverlayNode
+        from repro.privlink import make_ideal_link_layer
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        layer = make_ideal_link_layer(sim, np.random.default_rng(0))
+        policy = AdaptiveLifetime(
+            ratio=2.0, initial_estimate=10.0, smoothing=1.0
+        )
+        node = OverlayNode(
+            node_id=0,
+            trusted_neighbors=[1],
+            slot_count=3,
+            cache_size=10,
+            shuffle_length=4,
+            pseudonym_lifetime=20.0,  # superseded by the policy
+            sim=sim,
+            link_layer=layer,
+            rng=np.random.default_rng(1),
+            lifetime_policy=policy,
+        )
+        node.come_online()
+        first_expiry = node.own.expires_at
+        assert first_expiry == pytest.approx(20.0)  # 2 x initial estimate
+        node.go_offline()
+        sim.run_until(5.0)
+        node.come_online()  # observed a 5-period offline stint
+        assert policy.estimate == pytest.approx(5.0)
+        # Pseudonym still valid; next renewal uses the adapted lifetime.
+        sim.run_until(first_expiry + 0.5)
+        assert node.own.expires_at == pytest.approx(first_expiry + 10.0, abs=1.0)
+
+
+class TestAdaptiveLifetimeInOverlay:
+    def test_config_wiring(self, small_trust_graph, small_config):
+        from repro import Overlay
+
+        config = small_config.replace(adaptive_lifetime=True)
+        overlay = Overlay.build(small_trust_graph, config)
+        overlay.start()
+        overlay.run_until(40.0)
+        policies = [
+            node._lifetime_policy
+            for node in overlay.nodes
+        ]
+        assert all(isinstance(policy, AdaptiveLifetime) for policy in policies)
+        # Under churn, most nodes have observed at least one stint.
+        observed = [policy for policy in policies if policy.observations > 0]
+        assert len(observed) > len(policies) // 2
+
+    def test_adaptive_with_infinite_ratio_rejected(self, small_config):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            small_config.replace(
+                adaptive_lifetime=True, lifetime_ratio=math.inf
+            )

@@ -1,0 +1,217 @@
+"""Tests for the simulated mix network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MixnetError
+from repro.privlink import TrafficLog, make_mixnet_link_layer
+from repro.privlink.mixnet import MixNetwork
+from repro.privlink.link import NodeDirectory
+from repro.sim import Simulator
+
+
+class _FakeNode:
+    def __init__(self):
+        self.inbox = []
+        self.online = True
+
+    def receive(self, payload):
+        self.inbox.append(payload)
+
+
+def _mixnet_layer(num_relays=8, circuit_length=3, traffic=None):
+    sim = Simulator()
+    layer = make_mixnet_link_layer(
+        sim,
+        np.random.default_rng(0),
+        num_relays=num_relays,
+        circuit_length=circuit_length,
+        traffic=traffic,
+    )
+    return sim, layer
+
+
+class TestMixnetDelivery:
+    def test_anonymity_service_delivers(self):
+        sim, layer = _mixnet_layer()
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "secret")
+        sim.run_until(1.0)
+        assert node.inbox == ["secret"]
+
+    def test_offline_destination_drops(self):
+        sim, layer = _mixnet_layer()
+        node = _FakeNode()
+        node.online = False
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "secret")
+        sim.run_until(1.0)
+        assert node.inbox == []
+        assert layer.network.dropped_offline == 1
+
+    def test_rendezvous_endpoint_delivers(self):
+        sim, layer = _mixnet_layer()
+        node = _FakeNode()
+        layer.register_node(2, node.receive, lambda: node.online)
+        address = layer.create_endpoint(2)
+        layer.send_to_endpoint(0, address, "anon")
+        sim.run_until(2.0)
+        assert node.inbox == ["anon"]
+
+    def test_closed_rendezvous_drops(self):
+        sim, layer = _mixnet_layer()
+        node = _FakeNode()
+        layer.register_node(2, node.receive, lambda: node.online)
+        address = layer.create_endpoint(2)
+        layer.close_endpoint(address)
+        layer.send_to_endpoint(0, address, "anon")
+        sim.run_until(2.0)
+        assert node.inbox == []
+
+    def test_endpoint_active_query(self):
+        _, layer = _mixnet_layer()
+        address = layer.create_endpoint(5)
+        assert layer.pseudonym.is_active(address)
+        layer.close_endpoint(address)
+        assert not layer.pseudonym.is_active(address)
+
+
+class TestMixnetPrivacyMechanics:
+    def test_multi_hop_traffic_no_direct_channel(self):
+        """An external observer never sees a sender-to-receiver channel."""
+        traffic = TrafficLog(enabled=True)
+        sim, layer = _mixnet_layer(traffic=traffic)
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "secret")
+        sim.run_until(1.0)
+        assert node.inbox == ["secret"]
+        channels = traffic.channels()
+        assert ("node:0", "node:1") not in channels
+        # The sender only ever talks to a relay.
+        sender_channels = [dst for src, dst in channels if src == "node:0"]
+        assert sender_channels and all(
+            dst.startswith("relay:") for dst in sender_channels
+        )
+        # The receiver only ever hears from a relay.
+        receiver_sources = [src for src, dst in channels if dst == "node:1"]
+        assert receiver_sources and all(
+            src.startswith("relay:") for src in receiver_sources
+        )
+
+    def test_circuit_hop_count(self):
+        traffic = TrafficLog(enabled=True)
+        sim, layer = _mixnet_layer(circuit_length=4, traffic=traffic)
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "m")
+        sim.run_until(1.0)
+        # node->r1, r1->r2, r2->r3, r3->r4, r4->node = circuit_length + 1.
+        assert len(traffic) == 5
+
+    def test_replay_dropped_at_relay(self):
+        sim, layer = _mixnet_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        circuit = network.build_circuit()
+        onion = network.wrap_for_node(circuit, 1, "replay-me")
+        network.inject("node:0", circuit[0], onion)
+        sim.run_until(1.0)
+        network.inject("node:0", circuit[0], onion)  # replay the same onion
+        sim.run_until(2.0)
+        assert node.inbox == ["replay-me"]
+        assert circuit[0].replays_dropped == 1
+
+    def test_replay_cache_flush(self):
+        sim, layer = _mixnet_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        circuit = network.build_circuit()
+        onion = network.wrap_for_node(circuit, 1, "again")
+        network.inject("node:0", circuit[0], onion)
+        sim.run_until(1.0)
+        for relay in network.relays:
+            relay.flush_replay_cache()
+            assert relay.replay_cache_size() == 0
+        network.inject("node:0", circuit[0], onion)
+        sim.run_until(2.0)
+        assert node.inbox == ["again", "again"]
+
+
+class TestRelayAvailability:
+    def test_lossy_relays_drop_some_messages(self):
+        sim = Simulator()
+        directory = NodeDirectory()
+        network = MixNetwork(
+            sim,
+            directory,
+            np.random.default_rng(0),
+            num_relays=8,
+            relay_availability=0.5,
+        )
+        node = _FakeNode()
+        directory.register(1, node.receive, lambda: node.online)
+        for index in range(100):
+            circuit = network.build_circuit()
+            onion = network.wrap_for_node(circuit, 1, f"msg-{index}")
+            network.inject("node:0", circuit[0], onion)
+        sim.run_until(5.0)
+        # With availability 0.5 over 4 hops, most messages die en route
+        # and every loss is accounted for.
+        assert network.dropped_relay_down > 0
+        assert len(node.inbox) < 100
+        assert len(node.inbox) + network.dropped_relay_down == 100
+
+    def test_full_availability_never_drops(self):
+        sim, layer = _mixnet_layer()
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(20):
+            layer.send_to_node(0, 1, index)
+        sim.run_until(5.0)
+        assert layer.network.dropped_relay_down == 0
+        assert len(node.inbox) == 20
+
+    def test_invalid_availability(self):
+        with pytest.raises(MixnetError):
+            MixNetwork(
+                Simulator(),
+                NodeDirectory(),
+                np.random.default_rng(0),
+                relay_availability=0.0,
+            )
+
+
+class TestMixNetworkConstruction:
+    def test_distinct_relays_per_circuit(self):
+        sim = Simulator()
+        network = MixNetwork(
+            sim, NodeDirectory(), np.random.default_rng(0), num_relays=10
+        )
+        for _ in range(20):
+            circuit = network.build_circuit()
+            ids = [relay.relay_id for relay in circuit]
+            assert len(set(ids)) == len(ids)
+
+    def test_too_few_relays_rejected(self):
+        with pytest.raises(MixnetError):
+            MixNetwork(
+                Simulator(),
+                NodeDirectory(),
+                np.random.default_rng(0),
+                num_relays=2,
+                circuit_length=3,
+            )
+
+    def test_invalid_circuit_length(self):
+        with pytest.raises(MixnetError):
+            MixNetwork(
+                Simulator(),
+                NodeDirectory(),
+                np.random.default_rng(0),
+                num_relays=5,
+                circuit_length=0,
+            )

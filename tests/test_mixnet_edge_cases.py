@@ -1,0 +1,94 @@
+"""Edge-case tests for the mixnet rendezvous machinery."""
+
+import numpy as np
+import pytest
+
+from repro.privlink import Address, TrafficLog
+from repro.privlink.link import NodeDirectory
+from repro.privlink.mixnet import MixNetwork
+from repro.sim import Simulator
+
+
+class _FakeNode:
+    def __init__(self):
+        self.inbox = []
+        self.online = True
+
+    def receive(self, payload):
+        self.inbox.append(payload)
+
+
+def _network(**kwargs):
+    sim = Simulator()
+    directory = NodeDirectory()
+    network = MixNetwork(
+        sim, directory, np.random.default_rng(0), num_relays=8, **kwargs
+    )
+    return sim, directory, network
+
+
+class TestRendezvousEdgeCases:
+    def test_wrong_relay_rendezvous_dropped(self):
+        """A rendezvous payload arriving at the wrong relay is refused
+        (a real relay could not decrypt it)."""
+        sim, directory, network = _network()
+        node = _FakeNode()
+        directory.register(1, node.receive, lambda: node.online)
+        address = network.open_rendezvous(1)
+        right_relay_id = network.rendezvous_relay_of(address)
+        wrong_relay = next(
+            relay for relay in network.relays if relay.relay_id != right_relay_id
+        )
+        before = network.dropped_closed
+        # Craft an onion that terminates at the wrong relay.
+        onion = network.wrap_for_rendezvous([wrong_relay], address, "lost")
+        network.inject("node:0", wrong_relay, onion)
+        sim.run_until(1.0)
+        assert node.inbox == []
+        assert network.dropped_closed == before + 1
+
+    def test_closed_rendezvous_is_inactive(self):
+        _, _, network = _network()
+        address = network.open_rendezvous(2)
+        assert network.is_rendezvous_active(address)
+        network.close_rendezvous(address)
+        assert not network.is_rendezvous_active(address)
+
+    def test_rendezvous_relay_of_unknown_raises(self):
+        from repro.errors import PseudonymError
+
+        _, _, network = _network()
+        with pytest.raises(PseudonymError):
+            network.rendezvous_relay_of(Address(999, "rendezvous"))
+
+    def test_return_path_recorded_in_traffic(self):
+        traffic = TrafficLog(enabled=True)
+        sim, directory, network = _network(traffic=traffic)
+        node = _FakeNode()
+        directory.register(3, node.receive, lambda: node.online)
+        address = network.open_rendezvous(3)
+        relay_id = network.rendezvous_relay_of(address)
+        relay = network.relays[relay_id]
+        onion = network.wrap_for_rendezvous([relay], address, "ping")
+        network.inject("node:9", relay, onion)
+        sim.run_until(2.0)
+        assert node.inbox == ["ping"]
+        # The observer sees the sender reach a relay and the owner hear
+        # from a relay — never a direct channel.
+        channels = traffic.channels()
+        assert ("node:9", relay.name) in channels
+        assert any(dst == "node:3" for _, dst in channels)
+        assert ("node:9", "node:3") not in channels
+
+    def test_rendezvous_owner_offline_drops(self):
+        sim, directory, network = _network()
+        node = _FakeNode()
+        node.online = False
+        directory.register(4, node.receive, lambda: node.online)
+        address = network.open_rendezvous(4)
+        relay = network.relays[network.rendezvous_relay_of(address)]
+        onion = network.wrap_for_rendezvous([relay], address, "x")
+        network.inject("node:0", relay, onion)
+        sim.run_until(2.0)
+        assert node.inbox == []
+        assert network.dropped_offline == 1

@@ -1,0 +1,357 @@
+"""Behavioral tests for OverlayNode."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import OverlayNode, ShuffleRequest, ShuffleResponse
+from repro.privlink import make_ideal_link_layer
+from repro.sim import Simulator
+
+
+def _make_node(
+    sim,
+    layer,
+    node_id=0,
+    neighbors=(),
+    slot_count=5,
+    cache_size=20,
+    shuffle_length=5,
+    lifetime=30.0,
+    seed=0,
+):
+    return OverlayNode(
+        node_id=node_id,
+        trusted_neighbors=neighbors,
+        slot_count=slot_count,
+        cache_size=cache_size,
+        shuffle_length=shuffle_length,
+        pseudonym_lifetime=lifetime,
+        sim=sim,
+        link_layer=layer,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    layer = make_ideal_link_layer(sim, np.random.default_rng(9), max_latency=0.01)
+    return sim, layer
+
+
+class TestLifecycle:
+    def test_starts_offline_without_pseudonym(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer)
+        assert not node.online
+        assert node.own is None
+
+    def test_come_online_mints_pseudonym(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer)
+        node.come_online()
+        assert node.online
+        assert node.own is not None
+        assert node.own.expires_at == pytest.approx(30.0)
+        assert node.counters.pseudonyms_created == 1
+
+    def test_come_online_idempotent(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer)
+        node.come_online()
+        own = node.own
+        node.come_online()
+        assert node.own == own
+        assert node.counters.pseudonyms_created == 1
+
+    def test_go_offline_retains_state(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer)
+        node.come_online()
+        own = node.own
+        node.go_offline()
+        assert not node.online
+        assert node.own == own  # state retained
+
+    def test_rejoin_before_expiry_keeps_pseudonym(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer, lifetime=30.0)
+        node.come_online()
+        own = node.own
+        node.go_offline()
+        sim.run_until(10.0)
+        node.come_online()
+        assert node.own == own
+
+    def test_rejoin_after_expiry_mints_fresh(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer, lifetime=5.0)
+        node.come_online()
+        old = node.own
+        node.go_offline()
+        sim.run_until(10.0)
+        node.come_online()
+        assert node.own != old
+        assert node.counters.pseudonyms_created == 2
+
+    def test_online_renewal_at_expiry(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer, lifetime=5.0)
+        node.come_online()
+        first = node.own
+        sim.run_until(5.5)
+        assert node.own != first
+        assert not node.own.is_expired(sim.now)
+
+    def test_infinite_lifetime_never_renews(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer, lifetime=math.inf)
+        node.come_online()
+        first = node.own
+        sim.run_until(100.0)
+        assert node.own == first
+        assert node.counters.pseudonyms_created == 1
+
+    def test_online_time_accounting(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer)
+        node.come_online()
+        sim.run_until(4.0)
+        node.go_offline()
+        sim.run_until(10.0)
+        node.come_online()
+        sim.run_until(13.0)
+        node.go_offline()
+        assert node.counters.online_time == pytest.approx(7.0)
+
+
+class TestShuffling:
+    def test_two_trusted_nodes_exchange_pseudonyms(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.come_online()
+        b.come_online()
+        sim.run_until(5.0)
+        # Each should have learned the other's pseudonym value.
+        a_values = {p.value for p in a.cache.pseudonyms()} | {
+            p.value for p in a.links.pseudonym_links()
+        }
+        b_values = {p.value for p in b.cache.pseudonyms()} | {
+            p.value for p in b.links.pseudonym_links()
+        }
+        assert b.own.value in a_values
+        assert a.own.value in b_values
+
+    def test_messages_counted(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.come_online()
+        b.come_online()
+        sim.run_until(10.0)
+        assert a.counters.shuffles_initiated >= 8
+        assert a.counters.messages_sent >= a.counters.shuffles_initiated
+        assert b.counters.responses_sent > 0
+
+    def test_no_shuffles_while_offline(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.come_online()
+        b.come_online()
+        sim.run_until(3.0)
+        a.go_offline()
+        sent_before = a.counters.messages_sent
+        sim.run_until(10.0)
+        assert a.counters.messages_sent == sent_before
+
+    def test_offline_peer_request_unanswered(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.come_online()  # b never comes online
+        sim.run_until(10.0)
+        assert a.counters.shuffles_initiated > 0
+        assert b.counters.responses_sent == 0
+        assert a.counters.shuffle_sets_absorbed == 0
+
+    def test_own_pseudonym_never_in_own_cache_or_links(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.come_online()
+        b.come_online()
+        sim.run_until(20.0)
+        assert a.own.value not in {p.value for p in a.cache.pseudonyms()}
+        assert a.own.value not in {p.value for p in a.links.pseudonym_links()}
+
+    def test_shuffle_over_pseudonym_link_uses_reply_address(self, env):
+        """Over pseudonym links, requests never carry the sender's ID."""
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        seen_requests = []
+        b.observer = lambda event, details: (
+            seen_requests.append(details)
+            if event == "shuffle_request_received"
+            else None
+        )
+        a.come_online()
+        b.come_online()
+        sim.run_until(40.0)
+        pseudonym_requests = [
+            details for details in seen_requests if details["reply_node"] is None
+        ]
+        trusted_requests = [
+            details for details in seen_requests if details["reply_node"] is not None
+        ]
+        # Both kinds occur once links are established, and pseudonym-link
+        # requests carry only a reply address.
+        assert trusted_requests
+        if pseudonym_requests:  # a linked to b's pseudonym
+            assert all(
+                details["reply_address"] is not None
+                for details in pseudonym_requests
+            )
+
+
+class TestPopulationEstimate:
+    def test_lower_bound_from_trust(self, env):
+        sim, layer = env
+        node = _make_node(sim, layer, node_id=0, neighbors=[1, 2, 3])
+        node.come_online()
+        # No gossip yet: estimate covers self plus trusted peers.
+        assert node.estimate_population() >= 4
+
+    def test_estimate_grows_with_gossip(self, env):
+        sim, layer = env
+        nodes = [
+            _make_node(
+                sim,
+                layer,
+                node_id=index,
+                neighbors=[(index + 1) % 6, (index - 1) % 6],
+                seed=index,
+                cache_size=30,
+            )
+            for index in range(6)
+        ]
+        for node in nodes:
+            node.come_online()
+        early = nodes[0].estimate_population()
+        sim.run_until(20.0)
+        late = nodes[0].estimate_population()
+        assert late >= early
+        assert late == 6  # small ring: everyone sees everyone
+
+    def test_expired_values_not_counted(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1, lifetime=5.0)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2, lifetime=5.0)
+        a.come_online()
+        b.come_online()
+        sim.run_until(3.0)
+        b.go_offline()
+        sim.run_until(20.0)  # b's pseudonyms expired long ago
+        # a's estimate falls back to the trusted lower bound.
+        assert a.estimate_population() == 2
+
+
+class TestCacheSamplerMode:
+    def test_links_follow_newest_cache_entries(self, env):
+        sim, layer = env
+        nodes = [
+            OverlayNode(
+                node_id=index,
+                trusted_neighbors=[1 - index],
+                slot_count=3,
+                cache_size=20,
+                shuffle_length=5,
+                pseudonym_lifetime=30.0,
+                sim=sim,
+                link_layer=layer,
+                rng=__import__("numpy").random.default_rng(index),
+                sampler_mode="cache",
+            )
+            for index in range(2)
+        ]
+        for node in nodes:
+            node.come_online()
+        sim.run_until(10.0)
+        node = nodes[0]
+        linked = {p.value for p in node.links.pseudonym_links()}
+        newest = {p.value for p in node.cache.newest(3, sim.now)}
+        assert linked == newest
+
+    def test_invalid_mode_rejected(self, env):
+        sim, layer = env
+        import numpy as np
+
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            _make_node(sim, layer)  # baseline ok
+            OverlayNode(
+                node_id=9,
+                trusted_neighbors=[],
+                slot_count=1,
+                cache_size=5,
+                shuffle_length=2,
+                pseudonym_lifetime=10.0,
+                sim=sim,
+                link_layer=layer,
+                rng=np.random.default_rng(0),
+                sampler_mode="magic",
+            )
+
+
+class TestShuffleFilter:
+    def test_filter_applied_to_outgoing_sets(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2)
+        a.shuffle_filter = lambda entries: entries[:1]  # own pseudonym only
+        a.come_online()
+        b.come_online()
+        seen = []
+        b.observer = lambda event, details: (
+            seen.append(details["entries"])
+            if event == "shuffle_request_received"
+            else None
+        )
+        sim.run_until(10.0)
+        assert seen
+        assert all(len(entries) == 1 for entries in seen)
+
+    def test_empty_filter_result_falls_back_to_own(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1)
+        a.shuffle_filter = lambda entries: ()
+        a.come_online()
+        entries = a._build_shuffle_set(sim.now)
+        assert entries == (a.own,)
+
+
+class TestStateExpiry:
+    def test_expired_links_removed_on_state_expiry(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1], seed=1, lifetime=5.0)
+        b = _make_node(sim, layer, node_id=1, neighbors=[0], seed=2, lifetime=5.0)
+        a.come_online()
+        b.come_online()
+        sim.run_until(4.0)
+        b.go_offline()
+        # After b's pseudonym expires, a's links/cache must not hold it.
+        sim.run_until(12.0)
+        values_in_a = {p.value for p in a.cache.pseudonyms()}
+        values_in_a |= {p.value for p in a.links.pseudonym_links()}
+        assert b.own.value not in values_in_a
+
+    def test_out_degree_excludes_expired(self, env):
+        sim, layer = env
+        a = _make_node(sim, layer, node_id=0, neighbors=[1, 2], seed=1, lifetime=5.0)
+        a.come_online()
+        assert a.out_degree() == 2  # only trusted links yet

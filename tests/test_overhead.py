@@ -1,0 +1,65 @@
+"""Tests for per-node overhead statistics (Figure 6 machinery)."""
+
+import pytest
+
+from repro import Overlay
+from repro.errors import ExperimentError
+from repro.metrics import message_overhead_by_rank
+
+
+class TestMessageOverheadByRank:
+    def _overlay(self, graph, config, horizon=25.0):
+        overlay = Overlay.build(graph, config, with_churn=False)
+        overlay.start()
+        overlay.run_until(horizon)
+        return overlay
+
+    def test_sorted_by_trust_degree(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config)
+        entries = message_overhead_by_rank(overlay)
+        degrees = [entry.trust_degree for entry in entries]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_one_entry_per_node(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config)
+        entries = message_overhead_by_rank(overlay)
+        assert len(entries) == small_config.num_nodes
+        assert {entry.node_id for entry in entries} == set(
+            range(small_config.num_nodes)
+        )
+
+    def test_rates_are_reasonable(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config)
+        entries = message_overhead_by_rank(overlay)
+        for entry in entries:
+            assert 0.5 < entry.messages_per_period < 20.0
+
+    def test_hub_sends_more_than_average(self, small_trust_graph, small_config):
+        """Nodes referenced by many peers answer more shuffle requests."""
+        overlay = self._overlay(small_trust_graph, small_config, horizon=40.0)
+        entries = message_overhead_by_rank(overlay)
+        hub_rate = entries[0].messages_per_period  # highest trust degree
+        median_rate = sorted(e.messages_per_period for e in entries)[
+            len(entries) // 2
+        ]
+        assert hub_rate > median_rate
+
+    def test_max_out_degrees_override(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config, horizon=5.0)
+        fake = list(range(small_config.num_nodes))
+        entries = message_overhead_by_rank(overlay, max_out_degrees=fake)
+        by_id = {entry.node_id: entry for entry in entries}
+        for node_id, expected in enumerate(fake):
+            assert by_id[node_id].max_out_degree == expected
+
+    def test_min_online_time_guard(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        overlay.start()
+        overlay.run_until(0.5)  # below the default threshold
+        entries = message_overhead_by_rank(overlay)
+        assert all(entry.messages_per_period == 0.0 for entry in entries)
+
+    def test_invalid_min_online_time(self, small_trust_graph, small_config):
+        overlay = self._overlay(small_trust_graph, small_config, horizon=2.0)
+        with pytest.raises(ExperimentError):
+            message_overhead_by_rank(overlay, min_online_time=0.0)

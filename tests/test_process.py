@@ -1,0 +1,92 @@
+"""Tests for PeriodicProcess."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PeriodicProcess, Simulator
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_fixed_period(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        process.start(initial_delay=0.5)
+        sim.run_until(4.0)
+        assert times == [0.5, 1.5, 2.5, 3.5]
+        assert process.ticks == 4
+
+    def test_default_initial_delay_without_rng_is_one_period(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 2.0, lambda: times.append(sim.now))
+        process.start()
+        sim.run_until(5.0)
+        assert times == [2.0, 4.0]
+
+    def test_random_phase_with_rng(self):
+        sim = Simulator()
+        times = []
+        rng = np.random.default_rng(1)
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now), rng=rng)
+        process.start()
+        sim.run_until(0.9999)
+        # First tick lands within the first period.
+        assert len(times) == 1
+        assert 0.0 <= times[0] < 1.0
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        process = PeriodicProcess(sim, 1.0, tick)
+        process.start(initial_delay=0.0)
+        sim.run_until(2.5)
+        process.stop()
+        sim.run_until(10.0)
+        assert count[0] == 3  # t = 0, 1, 2
+        assert not process.running
+
+    def test_restart_after_stop(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        process.start(initial_delay=0.0)
+        sim.run_until(1.5)
+        process.stop()
+        sim.run_until(5.0)
+        process.start(initial_delay=0.25)
+        sim.run_until(6.5)
+        assert times == [0.0, 1.0, 5.25, 6.25]
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+        process.start()
+        with pytest.raises(SimulationError):
+            process.start()
+
+    def test_jitter_keeps_period_positive(self):
+        sim = Simulator()
+        times = []
+        rng = np.random.default_rng(2)
+        process = PeriodicProcess(
+            sim, 1.0, lambda: times.append(sim.now), rng=rng, jitter=0.2
+        )
+        process.start(initial_delay=0.0)
+        sim.run_until(50.0)
+        gaps = np.diff(times)
+        assert (gaps > 0).all()
+        assert 0.75 <= gaps.mean() <= 1.25
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Simulator(), 0.0, lambda: None)
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Simulator(), 1.0, lambda: None, jitter=1.0)

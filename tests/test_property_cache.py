@@ -1,0 +1,84 @@
+"""Property-based tests for the pseudonym cache."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Pseudonym, PseudonymCache
+from repro.privlink import Address
+from repro.rng import PSEUDONYM_BITS
+
+_VALUE = st.integers(min_value=0, max_value=(1 << PSEUDONYM_BITS) - 1)
+
+
+@st.composite
+def pseudonyms(draw):
+    return Pseudonym(
+        value=draw(_VALUE),
+        address=Address(draw(st.integers(1, 10**6))),
+        expires_at=draw(st.floats(min_value=0.5, max_value=1000.0, allow_nan=False)),
+    )
+
+
+_BATCHES = st.lists(
+    st.tuples(
+        st.lists(pseudonyms(), min_size=0, max_size=15),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestCacheInvariants:
+    @given(capacity=st.integers(1, 30), batches=_BATCHES)
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, batches):
+        cache = PseudonymCache(capacity)
+        for batch, now in batches:
+            cache.merge(batch, now=now)
+            assert len(cache) <= capacity
+
+    @given(batches=_BATCHES)
+    @settings(max_examples=60, deadline=None)
+    def test_no_expired_entry_survives_merge(self, batches):
+        cache = PseudonymCache(50)
+        last_now = 0.0
+        for batch, now in batches:
+            last_now = max(last_now, now)
+            cache.merge(batch, now=last_now)
+        for pseudonym in cache.pseudonyms():
+            assert not pseudonym.is_expired(last_now)
+
+    @given(batches=_BATCHES, own=_VALUE)
+    @settings(max_examples=60, deadline=None)
+    def test_own_value_never_cached(self, batches, own):
+        cache = PseudonymCache(50)
+        for batch, now in batches:
+            cache.merge(batch, now=now, own_value=own)
+        assert own not in {p.value for p in cache.pseudonyms()}
+
+    @given(batches=_BATCHES)
+    @settings(max_examples=60, deadline=None)
+    def test_values_unique(self, batches):
+        cache = PseudonymCache(50)
+        for batch, now in batches:
+            cache.merge(batch, now=now)
+        values = [p.value for p in cache.pseudonyms()]
+        assert len(values) == len(set(values))
+
+    @given(
+        batch=st.lists(pseudonyms(), min_size=1, max_size=20),
+        count=st.integers(1, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_is_subset_without_duplicates(self, batch, count):
+        cache = PseudonymCache(50)
+        cache.merge(batch, now=0.0)
+        rng = np.random.default_rng(0)
+        selection = cache.select_for_shuffle(rng, count, now=0.0)
+        assert len(selection) <= count
+        values = [p.value for p in selection]
+        assert len(values) == len(set(values))
+        cached = {p.value for p in cache.pseudonyms()}
+        assert set(values) <= cached

@@ -1,0 +1,100 @@
+"""Stateful property test: the OverlayNode lifecycle under arbitrary
+interleavings of churn transitions and time advancement.
+
+A hypothesis rule-based state machine drives two trusted nodes through
+random come_online / go_offline / run sequences and checks the
+protocol's safety invariants after every step.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core import OverlayNode
+from repro.privlink import make_ideal_link_layer
+from repro.sim import Simulator
+
+LIFETIME = 12.0
+
+
+class NodeLifecycleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.layer = make_ideal_link_layer(
+            self.sim, np.random.default_rng(7), max_latency=0.01
+        )
+        self.nodes = [
+            OverlayNode(
+                node_id=index,
+                trusted_neighbors=[1 - index],
+                slot_count=4,
+                cache_size=12,
+                shuffle_length=5,
+                pseudonym_lifetime=LIFETIME,
+                sim=self.sim,
+                link_layer=self.layer,
+                rng=np.random.default_rng(100 + index),
+            )
+            for index in range(2)
+        ]
+        self.created = [0, 0]
+
+    @rule(index=st.integers(0, 1))
+    def come_online(self, index):
+        self.nodes[index].come_online()
+
+    @rule(index=st.integers(0, 1))
+    def go_offline(self, index):
+        self.nodes[index].go_offline()
+
+    @rule(delta=st.floats(min_value=0.1, max_value=8.0))
+    def advance(self, delta):
+        self.sim.run_until(self.sim.now + delta)
+
+    @invariant()
+    def online_nodes_have_valid_pseudonyms(self):
+        now = self.sim.now
+        for node in self.nodes:
+            if node.online:
+                assert node.own is not None
+                # Valid, except exactly at the expiry instant before the
+                # renewal event runs (events at t == now may be pending).
+                assert node.own.expires_at >= now
+
+    @invariant()
+    def cache_bounded_and_never_self(self):
+        for node in self.nodes:
+            assert len(node.cache) <= node.cache.capacity
+            if node.own is not None:
+                values = {p.value for p in node.cache.pseudonyms()}
+                assert node.own.value not in values
+
+    @invariant()
+    def counters_consistent(self):
+        for node in self.nodes:
+            counters = node.counters
+            assert counters.messages_sent >= (
+                counters.shuffles_initiated + counters.responses_sent
+            ) - 1  # equality; slack for no reason other than clarity
+            assert counters.online_time >= 0.0
+            assert counters.pseudonyms_created >= (1 if node.own else 0)
+
+    @invariant()
+    def link_counts_consistent(self):
+        for node in self.nodes:
+            assert node.links.trusted_degree == 1
+            assert node.links.pseudonym_degree() <= max(4, 1)
+
+    @invariant()
+    def offline_nodes_do_not_tick(self):
+        for node in self.nodes:
+            if not node.online:
+                assert not node._shuffler.running
+
+
+NodeLifecycleMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestNodeLifecycle = NodeLifecycleMachine.TestCase

@@ -1,0 +1,65 @@
+"""Tests for random-graph baselines."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import erdos_renyi_gnm, matching_random_graph, random_regular
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self, rng):
+        graph = erdos_renyi_gnm(100, 250, rng=rng)
+        assert graph.number_of_nodes() == 100
+        assert graph.number_of_edges() == 250
+
+    def test_zero_edges(self, rng):
+        graph = erdos_renyi_gnm(10, 0, rng=rng)
+        assert graph.number_of_edges() == 0
+        assert graph.number_of_nodes() == 10
+
+    def test_no_self_loops_or_multi_edges(self, rng):
+        graph = erdos_renyi_gnm(50, 300, rng=rng)
+        assert all(u != v for u, v in graph.edges())
+        assert graph.number_of_edges() == 300  # nx.Graph dedups anyway
+
+    def test_complete_graph(self, rng):
+        graph = erdos_renyi_gnm(8, 28, rng=rng)
+        assert graph.number_of_edges() == 28
+
+    def test_dense_regime_path(self, rng):
+        # More than half of max edges triggers the enumerate-and-choose path.
+        graph = erdos_renyi_gnm(10, 40, rng=rng)
+        assert graph.number_of_edges() == 40
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnm(5, 11, rng=rng)
+
+    def test_deterministic(self):
+        a = erdos_renyi_gnm(40, 80, rng=np.random.default_rng(3))
+        b = erdos_renyi_gnm(40, 80, rng=np.random.default_rng(3))
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestMatchingRandomGraph:
+    def test_matches_counts(self, rng):
+        reference = nx.path_graph(30)
+        graph = matching_random_graph(reference, rng=rng)
+        assert graph.number_of_nodes() == 30
+        assert graph.number_of_edges() == 29
+
+
+class TestRandomRegular:
+    def test_degrees_uniform(self, rng):
+        graph = random_regular(30, 4, rng=rng)
+        assert all(degree == 4 for _, degree in graph.degree())
+
+    def test_parity_violation_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_regular(7, 3, rng=rng)
+
+    def test_degree_too_large_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_regular(5, 5, rng=rng)

@@ -1,0 +1,86 @@
+"""Tests for seed replication."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.replication import (
+    ReplicatedValue,
+    replicate,
+    replicate_records,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    alpha: float
+    disconnected: float
+    label: str = "x"
+
+
+class TestReplicate:
+    def test_aggregates(self):
+        value = replicate(lambda seed: float(seed), seeds=(1, 2, 3))
+        assert value.mean == pytest.approx(2.0)
+        assert value.count == 3
+        assert value.std == pytest.approx(0.8165, abs=1e-3)
+
+    def test_stderr(self):
+        value = ReplicatedValue(mean=1.0, std=2.0, count=4)
+        assert value.stderr == pytest.approx(1.0)
+        assert ReplicatedValue(1.0, 2.0, 1).stderr == 0.0
+
+    def test_str(self):
+        assert "±" in str(ReplicatedValue(1.0, 0.5, 3))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate(lambda seed: 1.0, seeds=())
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate(lambda seed: "oops", seeds=(1,))
+
+
+class TestReplicateRecords:
+    def test_aggregates_by_key(self):
+        def experiment(seed):
+            return [
+                _Point(alpha=0.25, disconnected=0.1 * seed),
+                _Point(alpha=0.5, disconnected=0.01 * seed),
+            ]
+
+        result = replicate_records(experiment, seeds=(1, 2, 3), key_field="alpha")
+        assert set(result) == {0.25, 0.5}
+        low = result[0.25]["disconnected"]
+        assert low.mean == pytest.approx(0.2)
+        assert low.count == 3
+
+    def test_non_numeric_fields_skipped(self):
+        result = replicate_records(
+            lambda seed: [_Point(0.5, 0.1)], seeds=(1,), key_field="alpha"
+        )
+        assert "label" not in result[0.5]
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate_records(lambda seed: [{"a": 1}], seeds=(1,), key_field="a")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate_records(lambda seed: [], seeds=(), key_field="alpha")
+
+    def test_with_real_sweep(self):
+        """Replicated smoke-scale sweep: std fields are populated."""
+        from repro.experiments import SMOKE, availability_sweep
+
+        def experiment(seed):
+            return availability_sweep(
+                SMOKE, f=0.5, seed=seed, alphas=(0.5,)
+            ).points
+
+        result = replicate_records(experiment, seeds=(1, 2), key_field="alpha")
+        value = result[0.5]["overlay_disconnected"]
+        assert value.count == 2
+        assert 0.0 <= value.mean <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for the reproduction report builder."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import build_report, collect_result_tables
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig3_f0.5.txt").write_text("Figure 3 table\nrows...\n")
+    (tmp_path / "fig9_replacement.txt").write_text("Figure 9 table\n")
+    (tmp_path / "ablation_cache.txt").write_text("cache sweep\n")
+    (tmp_path / "mystery.txt").write_text("something else\n")
+    (tmp_path / "not_a_table.json").write_text("{}")
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_all_txt(self, results_dir):
+        tables = collect_result_tables(results_dir)
+        assert set(tables) == {
+            "fig3_f0.5",
+            "fig9_replacement",
+            "ablation_cache",
+            "mystery",
+        }
+        assert tables["fig3_f0.5"].startswith("Figure 3")
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            collect_result_tables(tmp_path / "nope")
+
+    def test_empty_dir(self, tmp_path):
+        assert collect_result_tables(tmp_path) == {}
+
+
+class TestBuildReport:
+    def test_sections_in_paper_order(self, results_dir):
+        report = build_report(results_dir)
+        fig3 = report.index("Figure 3 — connectivity")
+        fig9 = report.index("Figure 9 — link replacements")
+        ablations = report.index("## Ablations")
+        other = report.index("## Other results")
+        assert fig3 < fig9 < ablations < other
+
+    def test_tables_embedded(self, results_dir):
+        report = build_report(results_dir)
+        assert "Figure 3 table" in report
+        assert "cache sweep" in report
+        assert "### fig3_f0.5" in report
+
+    def test_title_and_preamble(self, results_dir):
+        report = build_report(results_dir, title="My repro", preamble="Notes.")
+        assert report.startswith("# My repro")
+        assert "Notes." in report
+
+    def test_empty_results(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "No results found" in report

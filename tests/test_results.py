@@ -1,0 +1,46 @@
+"""Tests for result rendering."""
+
+import csv
+
+from repro.experiments import format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [("alpha", 1), ("beta", 22)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        # Separator row of dashes.
+        assert set(lines[2].replace(" ", "")) == {"-"}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(0.123456,)])
+        assert "0.1235" in table
+
+    def test_none_rendered_as_dash(self):
+        table = format_table(["x"], [(None,)])
+        assert "-" in table.splitlines()[-1]
+
+    def test_wide_cells_extend_columns(self):
+        table = format_table(["h"], [("a-very-long-cell",)])
+        header, separator, row = table.splitlines()
+        assert len(separator) >= len("a-very-long-cell")
+
+    def test_no_title(self):
+        table = format_table(["a"], [(1,)])
+        assert table.splitlines()[0].startswith("a")
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["a", "b"], [(1, 2.5), ("x", None)])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+        assert rows[2] == ["x", ""]

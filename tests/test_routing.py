@@ -1,0 +1,151 @@
+"""Tests for the pseudonym routing layer."""
+
+import pytest
+
+from repro import Overlay
+from repro.errors import DisseminationError, ProtocolError
+from repro.routing import DataPacket, PseudonymRouter, RouteRequest
+
+
+def _routed_overlay(graph, config, warmup=15.0):
+    overlay = Overlay.build(graph, config, with_churn=False)
+    router = PseudonymRouter(overlay)
+    router.install()
+    overlay.start()
+    overlay.run_until(warmup)
+    return overlay, router
+
+
+class TestDiscovery:
+    def test_route_found(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[20].own.value
+        record = router.discover(0, target)
+        overlay.run_until(overlay.sim.now + 3.0)
+        assert record.succeeded
+        assert record.route_hops >= 1
+        assert record.latency < 3.0
+
+    def test_origin_learns_next_hop(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[15].own.value
+        router.discover(0, target)
+        overlay.run_until(overlay.sim.now + 3.0)
+        assert target in router.table_of(0)
+
+    def test_path_nodes_learn_routes_too(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[25].own.value
+        record = router.discover(0, target)
+        overlay.run_until(overlay.sim.now + 3.0)
+        assert record.succeeded
+        holders = sum(
+            1
+            for node in overlay.nodes
+            if target in router.table_of(node.node_id)
+        )
+        # At least the origin plus intermediate hops hold pointers.
+        assert holders >= record.route_hops
+
+    def test_unknown_value_never_succeeds(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        record = router.discover(0, target_value=12345)
+        overlay.run_until(overlay.sim.now + 5.0)
+        assert not record.succeeded
+
+    def test_offline_origin_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        router = PseudonymRouter(overlay)
+        router.install()
+        with pytest.raises(DisseminationError):
+            router.discover(0, 1)
+
+
+class TestUnicast:
+    def test_send_with_discovery(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[22].own.value
+        record = router.send(0, target, payload="hello")
+        overlay.run_until(overlay.sim.now + 4.0)
+        assert record.delivered
+        assert record.hops >= 1
+
+    def test_send_with_cached_route_cheaper(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[22].own.value
+        first = router.send(0, target, payload="a")
+        overlay.run_until(overlay.sim.now + 4.0)
+        control_after_first = router.control_messages
+        second = router.send(0, target, payload="b")
+        overlay.run_until(overlay.sim.now + 4.0)
+        assert first.delivered and second.delivered
+        # The cached route avoids a second flood.
+        assert router.control_messages == control_after_first
+
+    def test_invalidate_forces_rediscovery(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        target = overlay.nodes[22].own.value
+        first = router.send(0, target, payload="a")
+        overlay.run_until(overlay.sim.now + 4.0)
+        assert first.delivered
+        assert router.invalidate(0, target)
+        assert target not in router.table_of(0)
+        assert not router.invalidate(0, target)  # already gone
+        control_before = router.control_messages
+        second = router.send(0, target, payload="b")
+        overlay.run_until(overlay.sim.now + 4.0)
+        assert second.delivered
+        assert router.control_messages > control_before  # re-flooded
+
+    def test_send_to_self_value(self, small_trust_graph, small_config):
+        overlay, router = _routed_overlay(small_trust_graph, small_config)
+        own_value = overlay.nodes[0].own.value
+        record = router.send(0, own_value, payload="note to self")
+        overlay.run_until(overlay.sim.now + 1.0)
+        assert record.delivered
+        assert record.hops == 0
+
+    def test_ttl_bounds_flood(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config, with_churn=False)
+        router = PseudonymRouter(overlay, discovery_ttl=1)
+        router.install()
+        overlay.start()
+        overlay.run_until(15.0)
+        # With ttl=1 only direct channel partners can answer.
+        far_value = overlay.nodes[20].own.value
+        near_value = None
+        snapshot = overlay.snapshot()
+        neighbors = set(snapshot.neighbors(0))
+        for neighbor in neighbors:
+            near_value = overlay.nodes[neighbor].own.value
+            break
+        near = router.discover(0, near_value)
+        far = router.discover(0, far_value) if 20 not in neighbors else None
+        overlay.run_until(overlay.sim.now + 3.0)
+        assert near.succeeded
+        if far is not None:
+            assert not far.succeeded
+
+
+class TestValidation:
+    def test_invalid_ttls(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        with pytest.raises(ProtocolError):
+            PseudonymRouter(overlay, discovery_ttl=0)
+        with pytest.raises(ProtocolError):
+            PseudonymRouter(overlay, data_ttl=0)
+
+    def test_double_install_rejected(self, small_trust_graph, small_config):
+        overlay = Overlay.build(small_trust_graph, small_config)
+        router = PseudonymRouter(overlay)
+        router.install()
+        with pytest.raises(ProtocolError):
+            router.install()
+
+    def test_message_validation(self):
+        from repro.privlink import Address
+
+        with pytest.raises(ProtocolError):
+            RouteRequest(1, 2, Address(1), hops=0, ttl=-1)
+        with pytest.raises(ProtocolError):
+            DataPacket(1, 2, "x", hops=0, ttl=-1)

@@ -1,0 +1,114 @@
+"""Tests for TimeSeries."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics import TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        series = TimeSeries("x")
+        series.append(1.0, 0.5)
+        series.append(2.0, 0.7)
+        assert len(series) == 2
+        assert list(series) == [(1.0, 0.5), (2.0, 0.7)]
+
+    def test_monotonic_time_enforced(self):
+        series = TimeSeries()
+        series.append(2.0, 1.0)
+        with pytest.raises(ExperimentError):
+            series.append(1.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.append(1.0, 0.1)
+        series.append(1.0, 0.2)
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries()
+        series.append(1.0, 5.0)
+        assert series.last() == (1.0, 5.0)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries().last()
+
+    def test_tail_mean(self):
+        series = TimeSeries()
+        for index in range(10):
+            series.append(float(index), float(index))
+        # Last 25% = indices 8, 9 (2 samples? int(10*0.25)=2) -> mean 8.5
+        assert series.tail_mean(0.25) == pytest.approx(8.5)
+
+    def test_tail_mean_full(self):
+        series = TimeSeries()
+        for index in range(4):
+            series.append(float(index), 1.0)
+        assert series.tail_mean(1.0) == 1.0
+
+    def test_tail_mean_invalid_fraction(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            series.tail_mean(0.0)
+
+    def test_tail_mean_empty(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries().tail_mean()
+
+    def test_time_to_reach_below(self):
+        series = TimeSeries()
+        series.append(1.0, 0.9)
+        series.append(2.0, 0.4)
+        series.append(3.0, 0.1)
+        assert series.time_to_reach(0.5, below=True) == 2.0
+
+    def test_time_to_reach_above(self):
+        series = TimeSeries()
+        series.append(1.0, 0.1)
+        series.append(2.0, 0.8)
+        assert series.time_to_reach(0.5, below=False) == 2.0
+
+    def test_time_to_reach_never(self):
+        series = TimeSeries()
+        series.append(1.0, 0.9)
+        assert series.time_to_reach(0.5) is None
+
+    def test_stabilized(self):
+        series = TimeSeries()
+        for index in range(20):
+            series.append(float(index), 0.5)
+        assert series.stabilized(window=10, tolerance=0.01)
+
+    def test_not_stabilized_when_varying(self):
+        series = TimeSeries()
+        for index in range(20):
+            series.append(float(index), float(index % 2))
+        assert not series.stabilized(window=10, tolerance=0.1)
+
+    def test_not_stabilized_when_short(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        assert not series.stabilized(window=10)
+
+    def test_average(self):
+        a = TimeSeries("a")
+        b = TimeSeries("b")
+        for index in range(3):
+            a.append(float(index), 1.0)
+            b.append(float(index), 3.0)
+        averaged = TimeSeries.average([a, b], name="avg")
+        assert list(averaged.values) == [2.0, 2.0, 2.0]
+
+    def test_average_mismatched_lengths(self):
+        a = TimeSeries()
+        b = TimeSeries()
+        a.append(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            TimeSeries.average([a, b])
+
+    def test_average_empty_list(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries.average([])

@@ -1,0 +1,93 @@
+"""Tests for churn session traces."""
+
+import numpy as np
+import pytest
+
+from repro.churn import (
+    SessionTrace,
+    Transition,
+    generate_trace,
+    homogeneous_specs,
+    replay_trace,
+)
+from repro.errors import ChurnError
+from repro.sim import Simulator
+
+
+class TestSessionTrace:
+    def test_ordering_enforced(self):
+        with pytest.raises(ChurnError):
+            SessionTrace(
+                2,
+                [True, False],
+                [Transition(5.0, 0, False), Transition(1.0, 1, True)],
+            )
+
+    def test_initial_length_checked(self):
+        with pytest.raises(ChurnError):
+            SessionTrace(3, [True], [])
+
+    def test_online_at(self):
+        trace = SessionTrace(
+            2,
+            [True, False],
+            [Transition(1.0, 0, False), Transition(2.0, 1, True)],
+        )
+        assert trace.online_at(0.5) == [True, False]
+        assert trace.online_at(1.5) == [False, False]
+        assert trace.online_at(2.5) == [False, True]
+
+    def test_horizon(self):
+        trace = SessionTrace(1, [True], [Transition(4.0, 0, False)])
+        assert trace.horizon == 4.0
+        assert SessionTrace(1, [True], []).horizon == 0.0
+
+    def test_empirical_availability(self):
+        trace = SessionTrace(
+            1,
+            [True],
+            [Transition(2.0, 0, False), Transition(6.0, 0, True)],
+        )
+        # Online [0,2) and [6,10): 6 of 10.
+        assert trace.empirical_availability(0, 10.0) == pytest.approx(0.6)
+
+    def test_empirical_availability_invalid_horizon(self):
+        trace = SessionTrace(1, [True], [])
+        with pytest.raises(ChurnError):
+            trace.empirical_availability(0, 0.0)
+
+
+class TestGenerateTrace:
+    def test_trace_respects_horizon(self, rng):
+        specs = homogeneous_specs(20, availability=0.5, mean_offline_time=3.0)
+        trace = generate_trace(specs, horizon=50.0, rng=rng)
+        assert trace.num_nodes == 20
+        assert all(transition.time <= 50.0 for transition in trace)
+
+    def test_empirical_availability_matches_spec(self, rng):
+        specs = homogeneous_specs(1, availability=0.6, mean_offline_time=2.0)
+        trace = generate_trace(specs, horizon=5000.0, rng=rng)
+        assert trace.empirical_availability(0, 5000.0) == pytest.approx(0.6, abs=0.07)
+
+    def test_start_all_online(self, rng):
+        specs = homogeneous_specs(10, availability=0.2, mean_offline_time=5.0)
+        trace = generate_trace(specs, horizon=10.0, rng=rng, start_all_online=True)
+        assert all(trace.initial_online)
+
+    def test_invalid_horizon(self, rng):
+        specs = homogeneous_specs(2, availability=0.5, mean_offline_time=5.0)
+        with pytest.raises(ChurnError):
+            generate_trace(specs, horizon=0.0, rng=rng)
+
+
+class TestReplayTrace:
+    def test_replay_fires_listener_at_times(self, rng):
+        specs = homogeneous_specs(5, availability=0.5, mean_offline_time=2.0)
+        trace = generate_trace(specs, horizon=20.0, rng=rng)
+        sim = Simulator()
+        seen = []
+        replay_trace(sim, trace, lambda node, online: seen.append((sim.now, node, online)))
+        sim.run_until(20.0)
+        assert len(seen) == len(trace)
+        expected = [(t.time, t.node_id, t.online) for t in trace]
+        assert [(pytest.approx(s[0]), s[1], s[2]) for s in seen] == expected

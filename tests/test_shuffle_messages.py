@@ -1,0 +1,71 @@
+"""Tests for shuffle wire types."""
+
+import pytest
+
+from repro.core import Pseudonym, ShuffleRequest, ShuffleResponse, make_shuffle_set
+from repro.errors import ProtocolError
+from repro.privlink import Address
+
+
+def _pseudonym(value):
+    return Pseudonym(value=value, address=Address(value), expires_at=100.0)
+
+
+class TestShuffleRequest:
+    def test_exactly_one_reply_channel(self):
+        entries = (_pseudonym(1),)
+        with pytest.raises(ProtocolError):
+            ShuffleRequest(entries=entries)
+        with pytest.raises(ProtocolError):
+            ShuffleRequest(entries=entries, reply_node=1, reply_address=Address(2))
+
+    def test_trusted_flag(self):
+        entries = (_pseudonym(1),)
+        trusted = ShuffleRequest(entries=entries, reply_node=1)
+        anonymous = ShuffleRequest(entries=entries, reply_address=Address(2))
+        assert trusted.over_trusted_link
+        assert not anonymous.over_trusted_link
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ProtocolError):
+            ShuffleRequest(entries=(), reply_node=1)
+
+
+class TestShuffleResponse:
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ProtocolError):
+            ShuffleResponse(entries=())
+
+    def test_carries_entries(self):
+        response = ShuffleResponse(entries=(_pseudonym(1), _pseudonym(2)))
+        assert len(response.entries) == 2
+
+
+class TestMakeShuffleSet:
+    def test_own_pseudonym_leads(self):
+        own = _pseudonym(1)
+        entries = make_shuffle_set(own, (_pseudonym(2), _pseudonym(3)), limit=5)
+        assert entries[0] == own
+        assert len(entries) == 3
+
+    def test_limit_enforced(self):
+        own = _pseudonym(1)
+        extras = tuple(_pseudonym(value) for value in range(2, 20))
+        entries = make_shuffle_set(own, extras, limit=4)
+        assert len(entries) == 4
+        assert entries[0] == own
+
+    def test_own_value_not_duplicated(self):
+        own = _pseudonym(1)
+        entries = make_shuffle_set(own, (_pseudonym(1), _pseudonym(2)), limit=5)
+        values = [entry.value for entry in entries]
+        assert values.count(1) == 1
+
+    def test_limit_one_sends_only_own(self):
+        own = _pseudonym(1)
+        entries = make_shuffle_set(own, (_pseudonym(2),), limit=1)
+        assert entries == (own,)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ProtocolError):
+            make_shuffle_set(_pseudonym(1), (), limit=0)

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "first")
+        sim.schedule(1.0, fired.append, "second")
+        sim.run_until(2.0)
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run_until(5.0)
+        assert seen == [2.5]
+
+    def test_run_until_sets_clock_to_horizon(self):
+        sim = Simulator()
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_event_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, True)
+        sim.run_until(5.0)
+        assert fired == [True]
+
+    def test_event_after_horizon_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.1, fired.append, True)
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(6.0)
+        assert fired == [True]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SchedulerError):
+            sim.schedule(4.0, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        sim.run_until(2.0)
+        fired = []
+        sim.schedule_after(1.5, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [3.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_horizon_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SchedulerError):
+            sim.run_until(4.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, True)
+        handle.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+
+class TestNestedScheduling:
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth > 0:
+                sim.schedule_after(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(float(index), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 5
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.pending == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,126 @@
+"""Tests for the mailbox storage service and storage-backed pseudonyms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinkLayerError
+from repro.privlink import (
+    Address,
+    MailboxPseudonymService,
+    MailboxStore,
+    NodeDirectory,
+)
+from repro.sim import Simulator
+
+
+class _FakeNode:
+    def __init__(self):
+        self.inbox = []
+        self.online = True
+
+    def receive(self, payload):
+        self.inbox.append(payload)
+
+
+class TestMailboxStore:
+    def test_store_and_poll(self):
+        store = MailboxStore()
+        address = Address(1, "mailbox")
+        store.open_box(address)
+        assert store.store(address, "a", now=0.0)
+        assert store.store(address, "b", now=1.0)
+        assert store.poll(address, now=2.0) == ["a", "b"]
+        assert store.poll(address, now=2.0) == []
+
+    def test_store_to_closed_box_fails(self):
+        store = MailboxStore()
+        assert not store.store(Address(9, "mailbox"), "x", now=0.0)
+
+    def test_capacity_evicts_oldest(self):
+        store = MailboxStore(capacity_per_box=2)
+        address = Address(1, "mailbox")
+        store.open_box(address)
+        for index in range(4):
+            store.store(address, index, now=float(index))
+        assert store.poll(address, now=4.0) == [2, 3]
+        assert store.evicted_count == 2
+
+    def test_retention_expires_messages(self):
+        store = MailboxStore(retention=5.0)
+        address = Address(1, "mailbox")
+        store.open_box(address)
+        store.store(address, "old", now=0.0)
+        store.store(address, "new", now=8.0)
+        assert store.poll(address, now=10.0) == ["new"]
+        assert store.expired_count == 1
+
+    def test_close_box_discards(self):
+        store = MailboxStore()
+        address = Address(1, "mailbox")
+        store.open_box(address)
+        store.store(address, "x", now=0.0)
+        store.close_box(address)
+        assert store.poll(address, now=1.0) == []
+        assert not store.has_box(address)
+
+    def test_pending_count(self):
+        store = MailboxStore()
+        address = Address(1, "mailbox")
+        store.open_box(address)
+        store.store(address, "x", now=0.0)
+        assert store.pending(address) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LinkLayerError):
+            MailboxStore(capacity_per_box=0)
+        with pytest.raises(LinkLayerError):
+            MailboxStore(retention=0.0)
+
+
+class TestMailboxPseudonymService:
+    def _service(self, poll_interval=0.5):
+        sim = Simulator()
+        directory = NodeDirectory()
+        service = MailboxPseudonymService(
+            sim, directory, poll_interval=poll_interval
+        )
+        return sim, directory, service
+
+    def test_delivery_via_polling(self):
+        sim, directory, service = self._service()
+        node = _FakeNode()
+        directory.register(1, node.receive, lambda: node.online)
+        address = service.create_endpoint(1)
+        service.send(0, address, "hello")
+        sim.run_until(2.0)
+        assert node.inbox == ["hello"]
+
+    def test_offline_receiver_gets_message_after_rejoin(self):
+        """The mailbox backend covers offline receivers (paper III-B)."""
+        sim, directory, service = self._service()
+        node = _FakeNode()
+        node.online = False
+        directory.register(1, node.receive, lambda: node.online)
+        address = service.create_endpoint(1)
+        service.send(0, address, "parked")
+        sim.run_until(3.0)
+        assert node.inbox == []
+        node.online = True
+        sim.run_until(6.0)
+        assert node.inbox == ["parked"]
+
+    def test_closed_endpoint_stops_polling_and_drops(self):
+        sim, directory, service = self._service()
+        node = _FakeNode()
+        directory.register(1, node.receive, lambda: node.online)
+        address = service.create_endpoint(1)
+        service.close_endpoint(address)
+        service.send(0, address, "late")
+        sim.run_until(3.0)
+        assert node.inbox == []
+        assert not service.is_active(address)
+
+    def test_invalid_poll_interval(self):
+        sim = Simulator()
+        with pytest.raises(LinkLayerError):
+            MailboxPseudonymService(sim, NodeDirectory(), poll_interval=0.0)

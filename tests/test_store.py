@@ -1,0 +1,107 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.store import ResultStore
+
+
+class TestResultStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        data = {"alphas": [0.25, 0.5], "disconnected": [0.1, 0.01]}
+        store.save("fig3", data, metadata={"seed": 1})
+        assert store.load("fig3") == data
+        assert store.metadata("fig3") == {"seed": 1}
+
+    def test_exists_and_names(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.exists("a")
+        store.save("b", 1)
+        store.save("a", 2)
+        assert store.exists("a")
+        assert store.names() == ["a", "b"]
+
+    def test_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", 1)
+        store.save("x", 2)
+        assert store.load("x") == 2
+
+    def test_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", 1)
+        assert store.delete("x")
+        assert not store.delete("x")
+        assert not store.exists("x")
+
+    def test_missing_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.load("nope")
+        with pytest.raises(ExperimentError):
+            store.metadata("nope")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ExperimentError):
+            store.load("bad")
+
+    def test_wrong_schema_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "old.json").write_text('{"schema": 99, "data": 1}')
+        with pytest.raises(ExperimentError):
+            store.load("old")
+
+    def test_unserializable_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.save("x", object())
+        assert not store.exists("x")
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden", "..\\x"])
+    def test_invalid_names_rejected(self, tmp_path, bad):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.save(bad, 1)
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "deep" / "dir"
+        store = ResultStore(nested)
+        store.save("x", 1)
+        assert nested.exists()
+
+
+class TestGetOrCompute:
+    def test_computes_once(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert store.get_or_compute("x", compute, metadata={"seed": 1}) == 42
+        assert store.get_or_compute("x", compute, metadata={"seed": 1}) == 42
+        assert len(calls) == 1
+
+    def test_metadata_mismatch_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        assert store.get_or_compute("x", compute, metadata={"seed": 1}) == 1
+        assert store.get_or_compute("x", compute, metadata={"seed": 2}) == 2
+        assert len(calls) == 2
+
+    def test_match_disabled_reuses_any(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", 7, metadata={"seed": 1})
+        result = store.get_or_compute(
+            "x", lambda: 99, metadata={"seed": 2}, match_metadata=False
+        )
+        assert result == 7

@@ -1,0 +1,133 @@
+"""Tests for the generic config grid sweep."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.errors import ExperimentError
+from repro.experiments.store import ResultStore
+from repro.experiments.sweeps import SweepPoint, grid_sweep, sweep_table_rows
+
+
+@pytest.fixture
+def base():
+    return SystemConfig(num_nodes=10, cache_size=10, shuffle_length=4, seed=3)
+
+
+class TestGridSweep:
+    def test_cartesian_product_order(self, base):
+        seen = []
+        points = grid_sweep(
+            base,
+            {"cache_size": [5, 10], "shuffle_length": [2, 3]},
+            lambda config: seen.append(
+                (config.cache_size, config.shuffle_length)
+            )
+            or 0,
+        )
+        assert seen == [(5, 2), (5, 3), (10, 2), (10, 3)]
+        assert len(points) == 4
+        assert points[0].override("cache_size") == 5
+
+    def test_base_config_untouched_fields(self, base):
+        points = grid_sweep(
+            base,
+            {"cache_size": [7]},
+            lambda config: config.num_nodes,
+        )
+        assert points[0].outcome == 10  # num_nodes inherited
+
+    def test_unknown_field_rejected(self, base):
+        with pytest.raises(ExperimentError):
+            grid_sweep(base, {"warp_speed": [1]}, lambda config: 0)
+
+    def test_empty_axis_rejected(self, base):
+        with pytest.raises(ExperimentError):
+            grid_sweep(base, {"cache_size": []}, lambda config: 0)
+
+    def test_unknown_override_lookup_rejected(self, base):
+        points = grid_sweep(base, {"cache_size": [5]}, lambda config: 0)
+        with pytest.raises(ExperimentError):
+            points[0].override("availability")
+
+    def test_store_memoizes_points(self, base, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def experiment(config):
+            calls.append(config.cache_size)
+            return {"disc": 0.1}
+
+        grid_sweep(base, {"cache_size": [5, 10]}, experiment, store=store)
+        grid_sweep(base, {"cache_size": [5, 10, 20]}, experiment, store=store)
+        # Only the new point (20) recomputed on the second run.
+        assert calls == [5, 10, 20]
+
+    def test_store_invalidated_by_seed(self, base, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def experiment(config):
+            calls.append(1)
+            return 0
+
+        grid_sweep(base, {"cache_size": [5]}, experiment, store=store)
+        grid_sweep(
+            base.replace(seed=99), {"cache_size": [5]}, experiment, store=store
+        )
+        assert len(calls) == 2
+
+
+class TestSweepTableRows:
+    def test_scalar_outcomes(self):
+        points = [
+            SweepPoint(overrides=(("cache_size", 5),), outcome=0.1),
+            SweepPoint(overrides=(("cache_size", 10),), outcome=0.2),
+        ]
+        headers, rows = sweep_table_rows(points)
+        assert headers == ["cache_size", "outcome"]
+        assert rows == [(5, 0.1), (10, 0.2)]
+
+    def test_dict_outcomes(self):
+        points = [
+            SweepPoint(
+                overrides=(("availability", 0.5),),
+                outcome={"disc": 0.1, "npl": 3.0},
+            )
+        ]
+        headers, rows = sweep_table_rows(points)
+        assert headers == ["availability", "disc", "npl"]
+        assert rows == [(0.5, 0.1, 3.0)]
+
+    def test_selected_fields(self):
+        points = [
+            SweepPoint(
+                overrides=(("availability", 0.5),),
+                outcome={"disc": 0.1, "npl": 3.0},
+            )
+        ]
+        headers, rows = sweep_table_rows(points, outcome_fields=["npl"])
+        assert headers == ["availability", "npl"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_table_rows([])
+
+    def test_end_to_end_with_real_overlay(self):
+        """A tiny real sweep: availability x nothing, smoke scale."""
+        from repro.experiments import SMOKE, make_config, make_trust_graph
+        from repro.experiments import run_overlay_experiment
+
+        trust = make_trust_graph(SMOKE, f=0.5, seed=4)
+        base = make_config(SMOKE, alpha=0.5, f=0.5, seed=4)
+
+        def experiment(config):
+            result = run_overlay_experiment(
+                trust, config, horizon=15.0, measure_window=5.0
+            )
+            return {"disconnected": result.disconnected}
+
+        points = grid_sweep(base, {"availability": [0.4, 0.8]}, experiment)
+        headers, rows = sweep_table_rows(points)
+        assert headers == ["availability", "disconnected"]
+        assert len(rows) == 2
+        assert all(0.0 <= row[1] <= 1.0 for row in rows)

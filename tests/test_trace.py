@@ -1,0 +1,58 @@
+"""Tests for the tracer."""
+
+from repro.sim import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_entries(self):
+        tracer = Tracer()
+        tracer.record(1.0, "shuffle", node=3)
+        tracer.record(2.0, "expiry", node=4)
+        assert len(tracer) == 2
+        records = list(tracer)
+        assert records[0].category == "shuffle"
+        assert records[0].details == {"node": 3}
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b")
+        tracer.record(3.0, "a")
+        assert len(tracer.by_category("a")) == 2
+        assert len(tracer.by_category("missing")) == 0
+
+    def test_counts(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record(0.0, "x")
+        tracer.record(0.0, "y")
+        assert tracer.counts() == {"x": 3, "y": 1}
+
+    def test_max_records_cap(self):
+        tracer = Tracer(max_records=2)
+        for index in range(5):
+            tracer.record(float(index), "c")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer(max_records=1)
+        tracer.record(0.0, "a")
+        tracer.record(0.0, "b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_str_rendering(self):
+        tracer = Tracer()
+        tracer.record(1.5, "evt", key="value")
+        text = str(list(tracer)[0])
+        assert "evt" in text and "key=value" in text
+
+
+class TestNullTracer:
+    def test_discards_everything(self):
+        tracer = NullTracer()
+        tracer.record(1.0, "anything", x=1)
+        assert len(tracer) == 0
+        assert not tracer.enabled

@@ -1,0 +1,81 @@
+"""Tests for trace-driven overlay runs (shared churn schedules)."""
+
+import numpy as np
+import pytest
+
+from repro import Overlay
+from repro.churn import generate_trace, homogeneous_specs, stationary_online_mask
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def trace(small_config):
+    specs = homogeneous_specs(
+        small_config.num_nodes,
+        small_config.availability,
+        small_config.mean_offline_time,
+    )
+    return generate_trace(specs, horizon=40.0, rng=np.random.default_rng(17))
+
+
+class TestTraceDrivenOverlay:
+    def test_online_set_follows_trace(self, small_trust_graph, small_config, trace):
+        overlay = Overlay.build(small_trust_graph, small_config, churn_trace=trace)
+        overlay.start()
+        for time in (5.0, 15.0, 30.0):
+            overlay.run_until(time)
+            expected = {
+                node_id
+                for node_id, online in enumerate(trace.online_at(time))
+                if online
+            }
+            assert set(overlay.online_ids()) == expected
+
+    def test_identical_availability_across_systems(
+        self, small_trust_graph, small_config, trace
+    ):
+        """Two overlays with different protocol seeds see the exact
+        same availability pattern — the point of trace-driven runs."""
+        online_sets = []
+        for seed in (1, 2):
+            overlay = Overlay.build(
+                small_trust_graph,
+                small_config.replace(seed=seed),
+                churn_trace=trace,
+            )
+            overlay.start()
+            overlay.run_until(25.0)
+            online_sets.append(tuple(sorted(overlay.online_ids())))
+        assert online_sets[0] == online_sets[1]
+
+    def test_protocol_runs_normally_under_trace(
+        self, small_trust_graph, small_config, trace
+    ):
+        overlay = Overlay.build(small_trust_graph, small_config, churn_trace=trace)
+        overlay.start()
+        overlay.run_until(40.0)
+        stats = overlay.stats()
+        assert stats.messages_sent > 0
+        assert stats.pseudonyms_created >= small_config.num_nodes // 2
+
+    def test_trace_size_mismatch_rejected(self, small_trust_graph, small_config):
+        specs = homogeneous_specs(5, 0.5, 5.0)
+        short_trace = generate_trace(specs, horizon=10.0, rng=np.random.default_rng(0))
+        with pytest.raises(ProtocolError):
+            Overlay.build(small_trust_graph, small_config, churn_trace=short_trace)
+
+    def test_trace_and_specs_mutually_exclusive(
+        self, small_trust_graph, small_config, trace
+    ):
+        specs = homogeneous_specs(
+            small_config.num_nodes,
+            small_config.availability,
+            small_config.mean_offline_time,
+        )
+        with pytest.raises(ProtocolError):
+            Overlay.build(
+                small_trust_graph,
+                small_config,
+                churn_specs=specs,
+                churn_trace=trace,
+            )

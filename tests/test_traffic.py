@@ -1,0 +1,57 @@
+"""Tests for the observer traffic log."""
+
+from repro.privlink import TrafficLog
+
+
+class TestTrafficLog:
+    def test_records(self):
+        log = TrafficLog()
+        log.record(1.0, "node:0", "relay:1")
+        log.record(2.0, "relay:1", "node:2")
+        assert len(log) == 2
+
+    def test_disabled_log_ignores(self):
+        log = TrafficLog(enabled=False)
+        log.record(1.0, "a", "b")
+        assert len(log) == 0
+
+    def test_channels(self):
+        log = TrafficLog()
+        log.record(1.0, "a", "b")
+        log.record(2.0, "a", "b")
+        log.record(3.0, "b", "c")
+        assert log.channels()[("a", "b")] == 2
+
+    def test_by_endpoint(self):
+        log = TrafficLog()
+        log.record(1.0, "a", "b")
+        log.record(2.0, "b", "c")
+        grouped = log.by_endpoint()
+        assert len(grouped["b"]) == 2
+        assert len(grouped["a"]) == 1
+
+    def test_window(self):
+        log = TrafficLog()
+        for time in (0.5, 1.5, 2.5):
+            log.record(time, "a", "b")
+        assert len(log.window(1.0, 2.0)) == 1
+
+    def test_unique_endpoints(self):
+        log = TrafficLog()
+        log.record(1.0, "a", "b")
+        log.record(2.0, "b", "c")
+        assert log.unique_endpoints() == ("a", "b", "c")
+
+    def test_max_records(self):
+        log = TrafficLog(max_records=1)
+        log.record(1.0, "a", "b")
+        log.record(2.0, "c", "d")
+        assert len(log) == 1
+        assert log.dropped == 1
+
+    def test_clear(self):
+        log = TrafficLog(max_records=1)
+        log.record(1.0, "a", "b")
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0

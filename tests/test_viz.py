@@ -1,0 +1,88 @@
+"""Tests for terminal visualization helpers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.viz import bar_chart, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        result = sparkline([5.0, 5.0, 5.0])
+        assert result == "▁▁▁"
+
+    def test_monotone(self):
+        result = sparkline([0, 1, 2, 3])
+        assert result[0] == "▁"
+        assert result[-1] == "█"
+        assert len(result) == 4
+
+    def test_fixed_bounds_clamp(self):
+        result = sparkline([-1.0, 0.5, 2.0], lo=0.0, hi=1.0)
+        assert result[0] == "▁"
+        assert result[-1] == "█"
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        plot = line_plot(
+            {"up": ([0, 1, 2, 3], [0, 1, 2, 3])},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = plot.splitlines()
+        assert lines[0] == "T"
+        assert "* up" in plot
+        assert any("*" in line for line in lines[1:6])
+
+    def test_multiple_series_distinct_markers(self):
+        plot = line_plot(
+            {
+                "a": ([0, 1], [0, 1]),
+                "b": ([0, 1], [1, 0]),
+            },
+            width=10,
+            height=4,
+        )
+        assert "* a" in plot and "o b" in plot
+
+    def test_axis_labels(self):
+        plot = line_plot({"s": ([0, 10], [2.0, 4.0])}, width=10, height=4)
+        assert "x: 0 .. 10" in plot
+        assert "4" in plot  # y max label
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_plot({"bad": ([0, 1], [0])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_plot({})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_plot({"s": ([0], [0])}, width=4, height=2)
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0})
+        assert "a |" in chart
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="Counts").startswith("Counts")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})

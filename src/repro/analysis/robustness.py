@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import GraphError
 from ..graphs import fraction_disconnected
+from ..rng import fallback_rng
 
 __all__ = [
     "FailurePoint",
@@ -106,7 +107,7 @@ def targeted_failure_curve(
             raise GraphError("removal_order too short for requested fractions")
     else:
         if rng is None:
-            rng = np.random.default_rng()
+            rng = fallback_rng("analysis.robustness.failure")
         order = list(graph.nodes())
         rng.shuffle(order)
 
@@ -191,7 +192,7 @@ def edge_connectivity_sample(
     if len(nodes) < 2:
         raise GraphError("need at least two nodes")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng("analysis.robustness.edge-connectivity")
     values = []
     for _ in range(pairs):
         u, v = rng.choice(len(nodes), size=2, replace=False)

@@ -41,6 +41,8 @@ class _Entry:
 class PseudonymCache:
     """A bounded pseudonym store with CYCLON-style replacement."""
 
+    __slots__ = ("_capacity", "_entries")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ProtocolError(f"cache capacity must be >= 1, got {capacity}")

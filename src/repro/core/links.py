@@ -53,6 +53,14 @@ class LinkTarget:
 class LinkSet:
     """``n.links``: trusted links plus the sampled pseudonym links."""
 
+    __slots__ = (
+        "_trusted",
+        "_trusted_list",
+        "_pseudonym_links",
+        "replacements_total",
+        "additions_total",
+    )
+
     def __init__(self, trusted_neighbors: Iterable[int]) -> None:
         self._trusted = set(trusted_neighbors)
         self._trusted_list: List[int] = sorted(self._trusted)

@@ -33,6 +33,8 @@ __all__ = ["LifetimePolicy", "FixedLifetime", "AdaptiveLifetime"]
 class LifetimePolicy(abc.ABC):
     """Decides the lifetime of each newly minted pseudonym."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def next_lifetime(self) -> float:
         """Lifetime (in shuffling periods) for the next pseudonym."""
@@ -43,6 +45,8 @@ class LifetimePolicy(abc.ABC):
 
 class FixedLifetime(LifetimePolicy):
     """The paper's global setting: every pseudonym lives equally long."""
+
+    __slots__ = ("_lifetime",)
 
     def __init__(self, lifetime: float) -> None:
         if lifetime <= 0:
@@ -78,6 +82,15 @@ class AdaptiveLifetime(LifetimePolicy):
         Clamp on produced lifetimes, so one freak stint cannot produce
         a uselessly short or effectively immortal pseudonym.
     """
+
+    __slots__ = (
+        "_ratio",
+        "_estimate",
+        "_smoothing",
+        "_floor",
+        "_ceiling",
+        "_observations",
+    )
 
     def __init__(
         self,

@@ -86,6 +86,31 @@ class OverlayNode:
         not part of the protocol.
     """
 
+    __slots__ = (
+        "node_id",
+        "links",
+        "cache",
+        "slots",
+        "sampler_mode",
+        "online",
+        "own",
+        "counters",
+        "app_handler",
+        "observer",
+        "shuffle_filter",
+        "_shuffle_length",
+        "_lifetime_policy",
+        "_slot_count",
+        "_went_offline_at",
+        "_sim",
+        "_link_layer",
+        "_rng",
+        "_pseudonym_listener",
+        "_renewal_handle",
+        "_last_sent_entries",
+        "_shuffler",
+    )
+
     def __init__(
         self,
         node_id: int,

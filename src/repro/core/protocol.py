@@ -58,6 +58,20 @@ class OverlayStats:
 class Overlay:
     """A complete overlay system over one trust graph."""
 
+    __slots__ = (
+        "trust_graph",
+        "config",
+        "sim",
+        "link_layer",
+        "churn",
+        "nodes",
+        "_streams",
+        "_churn_trace",
+        "_value_owner",
+        "_address_owner",
+        "_started",
+    )
+
     def __init__(
         self,
         trust_graph: nx.Graph,

@@ -51,6 +51,8 @@ class SamplerSlots:
         Randomness for the immutable reference values.
     """
 
+    __slots__ = ("_size", "_references", "_distances", "_expiries", "_entries")
+
     def __init__(self, size: int, rng: np.random.Generator) -> None:
         if size < 0:
             raise ProtocolError(f"slot count must be non-negative, got {size}")

@@ -25,6 +25,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import GraphError
+from ..rng import fallback_rng
 
 __all__ = [
     "largest_component",
@@ -94,8 +95,8 @@ def average_path_length(
         estimate is unbiased; experiments use it to keep large sweeps
         affordable.
     rng:
-        Randomness for source sampling (required with ``sample_sources``
-        only for reproducibility; defaults to a fresh generator).
+        Randomness for source sampling; defaults to a seeded fallback
+        generator so estimates stay reproducible without it.
 
     Returns
     -------
@@ -111,7 +112,7 @@ def average_path_length(
     adjacency = {node: list(graph.neighbors(node)) for node in component}
     if sample_sources is not None and sample_sources < size:
         if rng is None:
-            rng = np.random.default_rng()
+            rng = fallback_rng("graphs.metrics.path-sources")
         indices = rng.choice(size, size=sample_sources, replace=False)
         sources = [component[int(index)] for index in indices]
     else:

@@ -15,6 +15,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import GraphError
+from ..rng import fallback_rng
 
 __all__ = ["erdos_renyi_gnm", "matching_random_graph", "random_regular"]
 
@@ -30,7 +31,7 @@ def erdos_renyi_gnm(
     rejection sampling (fast in the sparse regime this library uses).
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng("graphs.random_graphs.gnm")
     if num_nodes < 1:
         raise GraphError("num_nodes must be at least 1")
     max_edges = num_nodes * (num_nodes - 1) // 2
@@ -90,7 +91,7 @@ def random_regular(
     falls back to edge swaps if stubs cannot be matched.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng("graphs.random_graphs.regular")
     if degree >= num_nodes:
         raise GraphError("degree must be smaller than num_nodes")
     if (num_nodes * degree) % 2 != 0:

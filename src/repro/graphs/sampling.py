@@ -28,6 +28,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import SamplingError
+from ..rng import fallback_rng
 
 __all__ = ["sample_trust_graph", "TrustGraphSampler"]
 
@@ -71,7 +72,8 @@ class TrustGraphSampler:
         f:
             Invitation fraction in ``[0, 1]``.
         rng:
-            Source of randomness (fresh default generator when omitted).
+            Source of randomness (a seeded fallback generator derived
+            from :data:`repro.config.DEFAULT_SEED` when omitted).
         start:
             Optional fixed start node; random when omitted.
 
@@ -83,7 +85,7 @@ class TrustGraphSampler:
             node attribute).
         """
         if rng is None:
-            rng = np.random.default_rng()
+            rng = fallback_rng("graphs.sampling")
         if not 0.0 <= f <= 1.0:
             raise SamplingError(f"f must be in [0, 1], got {f}")
         if target_size < 1:
@@ -144,9 +146,11 @@ class TrustGraphSampler:
         self, sampled: Set[int], rng: np.random.Generator
     ) -> Optional[int]:
         """A sampled node that still has unsampled neighbors, or None."""
+        # Iterate in sorted order: set order would couple the restart
+        # choice to hash-dependent iteration (lint rule DET004).
         candidates = [
             node
-            for node in sampled
+            for node in sorted(sampled)
             if any(neighbor not in sampled for neighbor in self._source.neighbors(node))
         ]
         if not candidates:

@@ -32,6 +32,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import GraphError
+from ..rng import fallback_rng
 
 __all__ = [
     "generate_social_graph",
@@ -90,7 +91,8 @@ def generate_social_graph(
         preferentially.  High values yield the strong clustering real
         friendship graphs exhibit.
     rng:
-        Source of randomness; a fresh default generator when omitted.
+        Source of randomness; a seeded fallback generator (derived from
+        :data:`repro.config.DEFAULT_SEED`) when omitted.
 
     Returns
     -------
@@ -98,7 +100,7 @@ def generate_social_graph(
         A connected graph with power-law degrees and high clustering.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng("graphs.social")
     if num_nodes <= edges_per_node:
         raise GraphError(
             f"num_nodes ({num_nodes}) must exceed edges_per_node ({edges_per_node})"
@@ -173,7 +175,7 @@ def generate_community_social_graph(
     components through random inter-community edges.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng("graphs.social.community")
     if num_communities < 1:
         raise GraphError("num_communities must be at least 1")
     if num_nodes < num_communities * (edges_per_node + 1):

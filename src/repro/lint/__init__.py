@@ -1,0 +1,43 @@
+"""repro.lint — determinism & simulation-hygiene static analysis.
+
+The paper's figures are reproducible only if every random draw flows
+from a single root seed and every timestamp comes from the simulator.
+This package machine-checks those conventions over the source tree:
+
+* an :mod:`ast`-visitor engine with a rule registry
+  (:mod:`repro.lint.rules`),
+* ``# lint: disable=RULE`` / ``# lint: disable-file=RULE`` suppression
+  comments (:mod:`repro.lint.suppressions`),
+* text and JSON reporters (:mod:`repro.lint.reporters`),
+* a CLI: ``repro lint [paths]``, ``python -m repro.lint``, or the
+  ``repro-lint`` console script.
+
+See ``docs/linting.md`` for the rule catalog and rationale.
+"""
+
+from .engine import LintError, LintResult, lint_paths, lint_source, select_rules
+from .findings import Finding
+from .reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+from .rules import RULES, Rule, register, rule_codes
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+    "Rule",
+    "RULES",
+    "register",
+    "rule_codes",
+    "render_text",
+    "render_json",
+    "render_rule_catalog",
+    "JSON_SCHEMA_VERSION",
+]

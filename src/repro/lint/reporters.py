@@ -1,0 +1,63 @@
+"""Finding reporters: plain text and JSON.
+
+The JSON schema (version 1)::
+
+    {
+      "version": 1,
+      "checked_files": 74,
+      "counts": {"DET001": 2},
+      "findings": [
+        {"path": "...", "line": 10, "column": 4,
+         "rule": "DET001", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+from .rules import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_catalog", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary line."""
+    lines = [finding.format_text() for finding in result.findings]
+    if result.findings:
+        counts = ", ".join(
+            f"{rule} x{count}" for rule, count in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"{len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"in {result.checked_files} files ({counts})"
+        )
+    else:
+        lines.append(f"{result.checked_files} files clean")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The versioned JSON document described in the module docstring."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "checked_files": result.checked_files,
+        "counts": result.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """Human-readable list of registered rules (``--list-rules``)."""
+    lines = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {rule.name}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Suppression comments: ``# lint: disable=RULE[,RULE...]``.
+
+Two scopes are supported:
+
+* **Line scope** — a trailing comment on the offending line::
+
+      started = time.perf_counter()  # lint: disable=DET003
+
+* **File scope** — a ``disable-file`` comment anywhere in the file
+  (conventionally near the top)::
+
+      # lint: disable-file=HYG002
+
+Omitting the rule list (``# lint: disable``) suppresses *every* rule
+for that scope.  Rule codes are comma-separated and case-insensitive.
+
+Comments are found with :mod:`tokenize`, not regular expressions, so a
+string literal containing the marker text never triggers a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+__all__ = ["SuppressionTable", "parse_suppressions"]
+
+#: Sentinel rule set meaning "all rules".
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+_COMMENT_RE = re.compile(
+    r"#\s*lint:\s*(?P<scope>disable-file|disable)\s*(?:=\s*(?P<rules>[\w\s,\-]+))?",
+    re.IGNORECASE,
+)
+
+
+def _parse_rule_list(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return _ALL
+    rules = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    return frozenset(rules) if rules else _ALL
+
+
+class SuppressionTable:
+    """Suppressed (line, rule) pairs plus file-wide suppressions."""
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+
+    def add_line(self, line: int, rules: Iterable[str]) -> None:
+        """Suppress ``rules`` (or all, for ``"*"``) on ``line``."""
+        self._by_line.setdefault(line, set()).update(rules)
+
+    def add_file(self, rules: Iterable[str]) -> None:
+        """Suppress ``rules`` (or all, for ``"*"``) in the whole file."""
+        self._file_wide.update(rules)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is suppressed at ``line``."""
+        rule = rule.upper()
+        if "*" in self._file_wide or rule in self._file_wide:
+            return True
+        on_line = self._by_line.get(line)
+        if on_line is None:
+            return False
+        return "*" in on_line or rule in on_line
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line or self._file_wide)
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Extract every suppression comment from ``source``.
+
+    Unreadable files (tokenize errors) yield an empty table — the
+    parser, not the suppression scanner, is responsible for reporting
+    syntax problems.
+    """
+    table = SuppressionTable()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _COMMENT_RE.search(token.string)
+            if match is None:
+                continue
+            rules = _parse_rule_list(match.group("rules"))
+            if match.group("scope").lower() == "disable-file":
+                table.add_file(rules)
+            else:
+                table.add_line(token.start[0], rules)
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return table

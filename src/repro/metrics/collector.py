@@ -25,6 +25,7 @@ import numpy as np
 from ..core import Overlay
 from ..errors import ExperimentError
 from ..graphs import fraction_disconnected, normalized_path_length
+from ..rng import fallback_rng
 from .series import TimeSeries
 
 __all__ = ["MetricsCollector"]
@@ -58,7 +59,10 @@ class MetricsCollector:
         track_trust_baseline:
             Also measure the trust graph restricted to online nodes.
         rng:
-            Randomness for path-length source sampling.
+            Randomness for path-length source sampling.  Prefer an
+            overlay substream (``overlay.substream("collector")``); the
+            default is a seeded fallback generator derived from
+            :data:`repro.config.DEFAULT_SEED`.
         """
         if interval <= 0:
             raise ExperimentError("interval must be positive")
@@ -69,7 +73,7 @@ class MetricsCollector:
         self._path_length_every = path_length_every
         self._path_length_sources = path_length_sources
         self._track_trust = track_trust_baseline
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else fallback_rng("metrics.collector")
 
         self.disconnected = TimeSeries("overlay disconnected fraction")
         self.trust_disconnected = TimeSeries("trust-graph disconnected fraction")

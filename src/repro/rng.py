@@ -23,7 +23,9 @@ from typing import Tuple, Union
 
 import numpy as np
 
-__all__ = ["RandomStreams", "PSEUDONYM_BITS", "random_bits"]
+from .config import DEFAULT_SEED
+
+__all__ = ["RandomStreams", "PSEUDONYM_BITS", "random_bits", "fallback_rng"]
 
 #: Number of bits in a pseudonym / slot-reference value.  The paper calls
 #: pseudonyms "random p-bit sequences"; we use 63 bits so values fit in a
@@ -79,6 +81,27 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomStreams(seed={self._seed})"
+
+
+def fallback_rng(*key: Union[str, int]) -> np.random.Generator:
+    """A deterministic generator for call sites given no explicit RNG.
+
+    Library functions accepting an optional ``rng`` parameter must not
+    fall back to OS entropy (``np.random.default_rng()``) — that would
+    make "forgot to pass rng=" runs unreproducible, which ``repro.lint``
+    rule DET001 rejects.  Instead they call this helper with a key
+    naming the call site::
+
+        if rng is None:
+            rng = fallback_rng("graphs.sampling")
+
+    The generator derives from :data:`repro.config.DEFAULT_SEED`, so two
+    processes hitting the same fallback produce identical draws.  Each
+    call returns a *fresh* generator: repeated rng-less invocations of
+    the same function yield identical results by design (determinism
+    beats variety — pass an explicit rng for independent draws).
+    """
+    return RandomStreams(DEFAULT_SEED).substream("fallback", *(key or ("default",)))
 
 
 def random_bits(rng: np.random.Generator, bits: int = PSEUDONYM_BITS) -> int:

@@ -1,0 +1,130 @@
+"""End-to-end determinism regression tests.
+
+The paper's figures are comparisons between overlay variants; they are
+meaningful only if a (scenario, seed) pair maps to exactly one result.
+These tests pin that property end to end — two independent runs of the
+same small Figure-3-style scenario must produce *byte-identical* metric
+series — and guard the seeded-fallback behavior of the rng-threading
+fixes (lint rule DET001).
+"""
+
+import numpy as np
+
+from repro.experiments import SMOKE, make_config, make_trust_graph
+from repro.experiments.runner import run_overlay_experiment
+from repro.graphs import (
+    erdos_renyi_gnm,
+    generate_social_graph,
+    sample_trust_graph,
+)
+from repro.graphs.metrics import average_path_length
+from repro.metrics import MetricsCollector
+from repro.rng import fallback_rng
+
+
+def _series_bytes(series):
+    """Canonical byte representation of a TimeSeries."""
+    return (
+        np.asarray(series.times, dtype=np.float64).tobytes()
+        + np.asarray(series.values, dtype=np.float64).tobytes()
+    )
+
+
+def _run_fig3_point(seed):
+    trust = make_trust_graph(SMOKE, f=0.5, seed=seed)
+    config = make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
+    return run_overlay_experiment(
+        trust_graph=trust,
+        config=config,
+        horizon=SMOKE.total_horizon,
+        measure_window=SMOKE.measure_window,
+        collector_interval=SMOKE.collector_interval,
+        path_length_every=SMOKE.path_length_every,
+        path_sources=SMOKE.path_sources,
+    )
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_byte_identical_series(self):
+        first = _run_fig3_point(seed=3)
+        second = _run_fig3_point(seed=3)
+        for name in (
+            "disconnected",
+            "trust_disconnected",
+            "path_length",
+            "trust_path_length",
+            "online_count",
+            "replacements_per_node",
+            "messages_per_node",
+        ):
+            series_a = getattr(first.collector, name)
+            series_b = getattr(second.collector, name)
+            assert _series_bytes(series_a) == _series_bytes(series_b), (
+                f"series {name!r} diverged between identical-seed runs"
+            )
+        assert first.collector.max_out_degrees() == second.collector.max_out_degrees()
+        assert first.full_edge_count == second.full_edge_count
+
+    def test_different_seeds_actually_differ(self):
+        first = _run_fig3_point(seed=3)
+        second = _run_fig3_point(seed=4)
+        assert _series_bytes(first.collector.disconnected) != _series_bytes(
+            second.collector.disconnected
+        )
+
+
+class TestSeededFallbacks:
+    """The rng-less entry points must be deterministic, not OS-entropy."""
+
+    def test_fallback_rng_is_reproducible(self):
+        assert fallback_rng("x").random() == fallback_rng("x").random()
+
+    def test_fallback_rng_keys_are_independent(self):
+        assert fallback_rng("x").random() != fallback_rng("y").random()
+
+    def test_social_graph_without_rng_is_deterministic(self):
+        a = generate_social_graph(60, edges_per_node=4)
+        b = generate_social_graph(60, edges_per_node=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_sampling_without_rng_is_deterministic(self):
+        source = generate_social_graph(120, edges_per_node=4)
+        a = sample_trust_graph(source, 40, f=0.5)
+        b = sample_trust_graph(source, 40, f=0.5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnm_without_rng_is_deterministic(self):
+        a = erdos_renyi_gnm(50, 100)
+        b = erdos_renyi_gnm(50, 100)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_sampled_path_length_without_rng_is_deterministic(self):
+        graph = generate_social_graph(80, edges_per_node=4)
+        a = average_path_length(graph, sample_sources=10)
+        b = average_path_length(graph, sample_sources=10)
+        assert a == b
+
+    def test_collector_default_rng_matches_explicit_fallback(self):
+        from repro import Overlay
+
+        trust = make_trust_graph(SMOKE, f=0.5, seed=5)
+        config = make_config(SMOKE, alpha=0.5, f=0.5, seed=5)
+
+        def build_collector(rng):
+            overlay = Overlay.build(trust, config)
+            collector = MetricsCollector(
+                overlay,
+                path_length_every=2,
+                path_length_sources=8,
+                rng=rng,
+            )
+            overlay.start()
+            collector.start()
+            overlay.run_until(10.0)
+            return collector
+
+        implicit = build_collector(None)
+        explicit = build_collector(fallback_rng("metrics.collector"))
+        assert _series_bytes(implicit.path_length) == _series_bytes(
+            explicit.path_length
+        )

@@ -161,7 +161,7 @@ class CentralizedOverlay:
             online = set(range(self.config.num_nodes))
         for node_id in online:
             self._refresh(node_id)
-        self.sim.schedule_after(self._refresh_period, self._periodic_refresh)
+        self.sim.post_after(self._refresh_period, self._periodic_refresh)
 
     def run_until(self, horizon: float) -> None:
         """Advance simulated time."""
@@ -194,7 +194,7 @@ class CentralizedOverlay:
             self.directory.record_link(node_id, peer)
 
     def _periodic_refresh(self) -> None:
-        self.sim.schedule_after(self._refresh_period, self._periodic_refresh)
+        self.sim.post_after(self._refresh_period, self._periodic_refresh)
         for node_id in self.online_ids():
             self._refresh(node_id)
 

@@ -1,0 +1,36 @@
+"""Microbenchmark harness: seeded workloads, JSON reports, CI gate.
+
+``repro bench`` runs a suite of seeded microbenchmarks over the
+simulator and protocol hot paths (event loop under churn, shuffle
+rounds, the Brahms sampler fold, churn trace generation, a miniature
+availability sweep), emits a machine-readable ``BENCH_micro.json``
+(median/p90 over N repeats, ops/sec, peak RSS) next to a human table,
+and can gate CI by comparing against a committed baseline
+(``--compare BASELINE.json --threshold 0.25`` exits non-zero on
+regression).  See ``docs/benchmarking.md``.
+"""
+
+from .compare import BenchComparison, compare_reports, format_comparison, load_report
+from .harness import (
+    SCHEMA,
+    format_report,
+    run_suite,
+    strip_nondeterministic,
+    write_json,
+)
+from .workloads import SUITE, Workload, workload_names
+
+__all__ = [
+    "SCHEMA",
+    "SUITE",
+    "Workload",
+    "BenchComparison",
+    "compare_reports",
+    "format_comparison",
+    "load_report",
+    "format_report",
+    "run_suite",
+    "strip_nondeterministic",
+    "write_json",
+    "workload_names",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — same as ``repro bench``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

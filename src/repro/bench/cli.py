@@ -1,0 +1,104 @@
+"""``repro bench`` — run the microbenchmark suite, emit JSON, gate CI.
+
+Usage::
+
+    repro bench                         # full sizes, human table
+    repro bench --quick --json BENCH_micro.json
+    repro bench --quick --compare benchmarks/results/BENCH_baseline.json \
+        --threshold 0.25                # exit 1 on regression
+    repro bench --only event_loop_churn shuffle_round --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compare import compare_reports, format_comparison, load_report
+from .harness import format_report, run_suite, write_json
+from .workloads import workload_names
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Seeded microbenchmarks of the simulator and protocol "
+        "hot paths, with JSON output and a baseline regression gate.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workloads (default: full sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root seed (default 1)")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per benchmark (default 3)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        choices=workload_names(),
+        help="run only these benchmarks",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable report here (e.g. BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed median slowdown fraction for --compare (default 0.2)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.threshold < 0:
+        print("error: --threshold must be non-negative", file=sys.stderr)
+        return 2
+
+    mode = "quick" if args.quick else "full"
+    report = run_suite(
+        mode=mode,
+        seed=args.seed,
+        repeats=args.repeats,
+        only=args.only,
+        progress=print,
+    )
+    print()
+    print(format_report(report))
+    if args.json:
+        write_json(report, args.json)
+        print(f"\nreport written to {args.json}")
+
+    if args.compare:
+        baseline = load_report(args.compare)
+        comparison = compare_reports(baseline, report, threshold=args.threshold)
+        print()
+        print(format_comparison(comparison))
+        if not comparison.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

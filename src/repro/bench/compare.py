@@ -1,0 +1,141 @@
+"""Baseline comparison: the CI perf-regression gate.
+
+``repro bench --compare BASELINE.json --threshold 0.2`` reruns the
+suite (or takes a just-produced report) and compares per-benchmark
+best-of-repeats wall time against the baseline.  A benchmark regresses
+when
+
+    current_min > baseline_min * (1 + threshold)
+
+The minimum over repeats is the gate statistic because timing noise on
+shared runners is purely additive (scheduler interference only ever
+slows a repeat down), so the fastest repeat is the least-contaminated
+estimate of the true cost; medians of small repeat counts wobble enough
+to trip a coarse threshold on their own.
+
+Any regression makes the comparison fail (process exit code 1), which
+is what stops a PR from silently doubling simulation time.  Benchmarks
+present on only one side are reported but never fail the gate — that
+keeps adding/renaming benchmarks a one-PR change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["BenchComparison", "compare_reports", "load_report", "format_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing one report against a baseline."""
+
+    threshold: float
+    #: name -> (baseline_min_s, current_min_s, ratio)
+    rows: Dict[str, Any]
+    regressions: List[str]
+    improvements: List[str]
+    missing_in_current: List[str]
+    missing_in_baseline: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no benchmark regressed)."""
+        return not self.regressions
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a benchmark report, validating its schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    schema = report.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("repro-bench/"):
+        raise ValueError(f"{path} is not a repro bench report (schema={schema!r})")
+    if "benchmarks" not in report:
+        raise ValueError(f"{path} has no 'benchmarks' section")
+    return report
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = 0.2,
+    improvement_margin: Optional[float] = None,
+) -> BenchComparison:
+    """Compare two reports; see module docstring for the gate rule.
+
+    ``improvement_margin`` (default: the threshold) only labels wins in
+    the summary; it never affects the pass/fail outcome.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if improvement_margin is None:
+        improvement_margin = threshold
+    base_benchmarks = baseline["benchmarks"]
+    cur_benchmarks = current["benchmarks"]
+    rows: Dict[str, Any] = {}
+    regressions: List[str] = []
+    improvements: List[str] = []
+    for name in base_benchmarks:
+        if name not in cur_benchmarks:
+            continue
+        base_min = float(base_benchmarks[name]["timing"]["min_s"])
+        cur_min = float(cur_benchmarks[name]["timing"]["min_s"])
+        ratio = (cur_min / base_min) if base_min > 0 else float("inf")
+        rows[name] = {
+            "baseline_min_s": base_min,
+            "current_min_s": cur_min,
+            "ratio": ratio,
+        }
+        if ratio > 1.0 + threshold:
+            regressions.append(name)
+        elif ratio < 1.0 - improvement_margin:
+            improvements.append(name)
+    return BenchComparison(
+        threshold=threshold,
+        rows=rows,
+        regressions=sorted(regressions),
+        improvements=sorted(improvements),
+        missing_in_current=sorted(set(base_benchmarks) - set(cur_benchmarks)),
+        missing_in_baseline=sorted(set(cur_benchmarks) - set(base_benchmarks)),
+    )
+
+
+def format_comparison(comparison: BenchComparison) -> str:
+    """Human-readable comparison table plus verdict line."""
+    lines = [
+        "benchmark comparison on best-of-repeats time "
+        f"(fail when ratio > {1.0 + comparison.threshold:.2f})",
+    ]
+    if comparison.rows:
+        name_width = max(len(name) for name in comparison.rows)
+        lines.append(
+            f"{'benchmark':<{name_width}}  {'baseline':>10}  {'current':>10}  "
+            f"{'ratio':>6}  verdict"
+        )
+        for name, row in comparison.rows.items():
+            if name in comparison.regressions:
+                verdict = "REGRESSION"
+            elif name in comparison.improvements:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{name:<{name_width}}  "
+                f"{row['baseline_min_s'] * 1e3:>8.1f}ms  "
+                f"{row['current_min_s'] * 1e3:>8.1f}ms  "
+                f"{row['ratio']:>6.2f}  {verdict}"
+            )
+    for name in comparison.missing_in_current:
+        lines.append(f"warning: {name} present in baseline only (not compared)")
+    for name in comparison.missing_in_baseline:
+        lines.append(f"warning: {name} present in current run only (not compared)")
+    if comparison.ok:
+        lines.append("PASS: no benchmark regressed beyond the threshold")
+    else:
+        lines.append(
+            "FAIL: regressed benchmark(s): " + ", ".join(comparison.regressions)
+        )
+    return "\n".join(lines)

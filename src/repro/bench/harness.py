@@ -1,0 +1,197 @@
+"""Benchmark runner: repeats, statistics, JSON report, human table.
+
+The harness runs each :class:`~repro.bench.workloads.Workload` for N
+repeats, recording wall-clock time per repeat and the deterministic
+workload facts the timed callable returns.  Everything nondeterministic
+(wall times, derived throughput, peak RSS, environment) lives under
+keys a determinism check can strip — see :func:`strip_nondeterministic`
+— so two same-seed runs compare equal on the rest.
+
+Host-clock reads are the point of a benchmark harness; they never feed
+simulation results, hence the explicit DET003 suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .workloads import SUITE, Workload
+
+__all__ = [
+    "SCHEMA",
+    "run_suite",
+    "strip_nondeterministic",
+    "format_report",
+    "write_json",
+]
+
+#: Schema identifier stamped into every report.
+SCHEMA = "repro-bench/1"
+
+#: Report keys that may differ between identical-seed runs.
+NONDETERMINISTIC_KEYS = ("timing", "peak_rss_kb", "environment", "generated_by")
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KiB, or None where unavailable (Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(usage // 1024)
+    return int(usage)
+
+
+def _percentile(sorted_times: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    rank = max(1, int(math.ceil(fraction * len(sorted_times))))
+    return sorted_times[rank - 1]
+
+
+def run_suite(
+    mode: str = "quick",
+    seed: int = 1,
+    repeats: int = 3,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the benchmark suite and return the report dict.
+
+    Parameters
+    ----------
+    mode:
+        ``"quick"`` (CI-sized) or ``"full"``.
+    seed:
+        Root seed for every workload's inputs.
+    repeats:
+        Timed repetitions per benchmark (fresh setup each repeat).
+    only:
+        Optional subset of workload names to run.
+    progress:
+        Optional callable fed one line per benchmark as it finishes.
+    """
+    if mode not in ("quick", "full"):
+        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    selected: List[Workload] = list(SUITE)
+    if only:
+        unknown = set(only) - {workload.name for workload in SUITE}
+        if unknown:
+            raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
+        selected = [workload for workload in SUITE if workload.name in set(only)]
+
+    benchmarks: Dict[str, Any] = {}
+    for workload in selected:
+        times: List[float] = []
+        facts: Dict[str, Any] = {}
+        for _ in range(repeats):
+            run_once = workload.prepare(mode, seed)
+            started = time.perf_counter()  # lint: disable=DET003
+            facts = run_once()
+            elapsed = time.perf_counter() - started  # lint: disable=DET003
+            times.append(elapsed)
+        ordered = sorted(times)
+        median_s = _percentile(ordered, 0.5)
+        operations = int(facts.get("operations", 0))
+        workload_facts = {
+            key: value for key, value in facts.items() if key != "operations"
+        }
+        benchmarks[workload.name] = {
+            "description": workload.description,
+            "operations": operations,
+            "workload": workload_facts,
+            "timing": {
+                "median_s": median_s,
+                "p90_s": _percentile(ordered, 0.9),
+                "min_s": ordered[0],
+                "per_repeat_s": times,
+                "ops_per_sec": (operations / median_s) if median_s > 0 else 0.0,
+            },
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        if progress is not None:
+            entry = benchmarks[workload.name]
+            progress(
+                f"{workload.name}: median {median_s * 1e3:.1f} ms, "
+                f"{entry['timing']['ops_per_sec']:,.0f} ops/sec "
+                f"({operations} ops x {repeats} repeats)"
+            )
+
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "seed": seed,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": sys.platform,
+        },
+    }
+
+
+def strip_nondeterministic(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic projection of a report.
+
+    Two same-seed, same-mode runs must compare equal after this strip;
+    ``tests/test_determinism.py`` pins that property.
+    """
+    out = {
+        key: value
+        for key, value in report.items()
+        if key not in NONDETERMINISTIC_KEYS
+    }
+    out["benchmarks"] = {
+        name: {
+            key: value
+            for key, value in entry.items()
+            if key not in NONDETERMINISTIC_KEYS
+        }
+        for name, entry in report.get("benchmarks", {}).items()
+    }
+    return out
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of one report."""
+    header = (
+        f"repro bench — mode={report['mode']} seed={report['seed']} "
+        f"repeats={report['repeats']}"
+    )
+    lines = [header, "=" * len(header)]
+    name_width = max(
+        [len(name) for name in report["benchmarks"]] + [len("benchmark")]
+    )
+    lines.append(
+        f"{'benchmark':<{name_width}}  {'median':>10}  {'p90':>10}  "
+        f"{'ops':>9}  {'ops/sec':>12}  {'rss_kb':>8}"
+    )
+    for name, entry in report["benchmarks"].items():
+        timing = entry["timing"]
+        rss = entry.get("peak_rss_kb")
+        lines.append(
+            f"{name:<{name_width}}  "
+            f"{timing['median_s'] * 1e3:>8.1f}ms  "
+            f"{timing['p90_s'] * 1e3:>8.1f}ms  "
+            f"{entry['operations']:>9}  "
+            f"{timing['ops_per_sec']:>12,.0f}  "
+            f"{rss if rss is not None else '-':>8}"
+        )
+    return "\n".join(lines)
+
+
+def write_json(report: Dict[str, Any], path: str) -> None:
+    """Write a report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

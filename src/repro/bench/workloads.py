@@ -1,0 +1,306 @@
+"""Seeded microbenchmark workloads for the ``repro bench`` harness.
+
+Each workload is a :class:`Workload`: a named, seeded recipe whose
+:meth:`~Workload.prepare` builds all inputs (untimed) and returns a
+zero-argument callable that executes one timed iteration and returns a
+dict of *deterministic* facts about what it did (operation counts,
+digests of results).  The harness times the callable and merges the
+facts into the JSON report, so two runs with the same seed must return
+identical dicts — that property is pinned by a regression test.
+
+The suite covers the hot paths the ROADMAP cares about: raw event-loop
+throughput under churn-heavy cancel/reschedule traffic, a full shuffle
+round, the Brahms sampler's batch fold, churn session generation, and a
+small availability sweep exercising everything end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..churn import generate_trace, homogeneous_specs
+from ..core import Pseudonym, SamplerSlots
+from ..experiments import SMOKE, availability_sweep, make_config, make_trust_graph
+from ..experiments.runner import run_overlay_experiment
+from ..privlink import Address
+from ..rng import RandomStreams
+from ..sim import Simulator
+
+__all__ = ["Workload", "SUITE", "workload_names"]
+
+#: Index mask for the precomputed random-delay tables; keeping the
+#: tables power-of-two sized makes the per-event lookup a cheap AND.
+_MASK = 8191
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One named benchmark: seeded setup plus a timed iteration."""
+
+    name: str
+    description: str
+    #: ``prepare(mode, seed) -> run`` where ``run()`` executes one timed
+    #: iteration and returns deterministic workload facts including an
+    #: ``"operations"`` count (the events/sec denominator).
+    prepare: Callable[[str, int], Callable[[], Dict[str, Any]]]
+
+
+def _digest(*parts: Any) -> str:
+    """Stable short digest of deterministic workload outputs."""
+    text = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# event loop
+# ----------------------------------------------------------------------
+
+
+def _prepare_event_loop_churn(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Scheduler-bound churn traffic: schedule, cancel, reschedule.
+
+    Models the paper's churn runs at the event-queue level: hundreds of
+    timers that constantly cancel and re-arm each other, leaving
+    tombstones in the heap.  All randomness is precomputed so the timed
+    region measures the simulator, not numpy.
+    """
+    num_timers, horizon = (300, 150.0) if mode == "quick" else (400, 400.0)
+    rng = RandomStreams(seed).substream("bench", "event-loop")
+    delays = [float(x) for x in rng.uniform(0.5, 1.5, size=_MASK + 1)]
+    targets = [int(x) for x in rng.integers(0, num_timers, size=_MASK + 1)]
+
+    def run() -> Dict[str, Any]:
+        sim = Simulator()
+        handles: List[Any] = [None] * num_timers
+        state = [0]
+
+        def tick(i: int) -> None:
+            k = state[0]
+            state[0] = k + 1
+            j = targets[k & _MASK]
+            h = handles[j]
+            if j != i and h is not None and not h.cancelled:
+                h.cancel()
+                handles[j] = sim.schedule(sim.now + delays[(k + 7) & _MASK], tick, j)
+            handles[i] = sim.schedule(sim.now + delays[k & _MASK], tick, i)
+
+        for i in range(num_timers):
+            handles[i] = sim.schedule(delays[i & _MASK] - 0.5, tick, i)
+        sim.run_until(horizon)
+        return {
+            "operations": sim.events_processed,
+            "events_processed": sim.events_processed,
+            "final_pending": sim.pending,
+            "final_queue_size": sim.queue_size,
+            "timers": num_timers,
+            "horizon": horizon,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# shuffle round
+# ----------------------------------------------------------------------
+
+
+def _prepare_shuffle_round(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """A no-churn overlay gossiping for a stretch of shuffling periods."""
+    horizon = 10.0 if mode == "quick" else 30.0
+    trust_graph = make_trust_graph(SMOKE, f=0.5, seed=seed)
+    config = make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
+
+    def run() -> Dict[str, Any]:
+        from ..core import Overlay
+
+        overlay = Overlay.build(trust_graph, config, with_churn=False)
+        overlay.start()
+        overlay.run_until(horizon)
+        stats = overlay.stats()
+        return {
+            "operations": overlay.sim.events_processed,
+            "events_processed": overlay.sim.events_processed,
+            "messages_sent": stats.messages_sent,
+            "link_replacements": stats.link_replacements,
+            "pseudonyms_created": stats.pseudonyms_created,
+            "nodes": config.num_nodes,
+            "horizon": horizon,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Brahms sampler step
+# ----------------------------------------------------------------------
+
+
+def _prepare_brahms_sampler(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Fold many received batches into one node's sampler slots."""
+    batches, batch_size, slots_size = (
+        (300, 40, 50) if mode == "quick" else (1500, 40, 50)
+    )
+    data_rng = RandomStreams(seed).substream("bench", "sampler-data")
+    values = data_rng.integers(0, 1 << 62, size=batches * batch_size)
+    expiries = data_rng.uniform(10.0, 1000.0, size=batches * batch_size)
+    all_batches: List[List[Pseudonym]] = []
+    for b in range(batches):
+        start = b * batch_size
+        all_batches.append(
+            [
+                Pseudonym(
+                    value=int(values[i]),
+                    address=Address(int(values[i]) + 1),
+                    expires_at=float(expiries[i]),
+                )
+                for i in range(start, start + batch_size)
+            ]
+        )
+
+    def run() -> Dict[str, Any]:
+        slots = SamplerSlots(slots_size, RandomStreams(seed).substream("bench", "refs"))
+        changed = 0
+        for batch in all_batches:
+            changed += slots.offer_batch(batch)
+        sample = slots.sample()
+        return {
+            "operations": batches * batch_size,
+            "slots_changed": changed,
+            "final_filled": slots.filled(),
+            "sample_digest": _digest(sorted(p.value for p in sample)),
+            "batches": batches,
+            "batch_size": batch_size,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# churn session generation
+# ----------------------------------------------------------------------
+
+
+def _prepare_churn_sessions(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Pre-generate availability traces for a large population."""
+    num_nodes, horizon = (1500, 150.0) if mode == "quick" else (5000, 300.0)
+    specs = homogeneous_specs(num_nodes, availability=0.4, mean_offline_time=30.0)
+
+    def run() -> Dict[str, Any]:
+        rng = RandomStreams(seed).substream("bench", "churn-trace")
+        trace = generate_trace(specs, horizon, rng)
+        transitions = len(trace)
+        return {
+            "operations": transitions,
+            "transitions": transitions,
+            "initial_online": sum(trace.initial_online),
+            "trace_horizon": trace.horizon,
+            "nodes": num_nodes,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# availability sweep (end to end)
+# ----------------------------------------------------------------------
+
+
+def _prepare_availability_sweep(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """A miniature Figure-3 sweep: the full stack at smoke scale."""
+    alphas: Tuple[float, ...] = (0.5,) if mode == "quick" else (0.25, 0.5)
+
+    def run() -> Dict[str, Any]:
+        sweep = availability_sweep(SMOKE, f=0.5, seed=seed, alphas=alphas)
+        facts = [
+            (
+                point.alpha,
+                round(point.overlay_disconnected, 12),
+                round(point.trust_disconnected, 12),
+                round(point.random_disconnected, 12),
+            )
+            for point in sweep.points
+        ]
+        # operations: one sweep point is the unit of work.
+        return {
+            "operations": len(sweep.points),
+            "points": len(sweep.points),
+            "trust_edges": sweep.trust_edges,
+            "sweep_digest": _digest(facts),
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# convergence run (single overlay under churn)
+# ----------------------------------------------------------------------
+
+
+def _prepare_overlay_churn(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """One overlay under live churn — the Figure 8 inner loop."""
+    horizon = 25.0 if mode == "quick" else 60.0
+    trust_graph = make_trust_graph(SMOKE, f=0.5, seed=seed)
+    config = make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
+
+    def run() -> Dict[str, Any]:
+        result = run_overlay_experiment(
+            trust_graph,
+            config,
+            horizon=horizon,
+            measure_window=horizon / 2,
+            collector_interval=1.0,
+            path_length_every=0,
+        )
+        return {
+            "operations": result.overlay.sim.events_processed,
+            "events_processed": result.overlay.sim.events_processed,
+            "disconnected": round(result.disconnected, 12),
+            "online_fraction": round(result.online_fraction, 12),
+            "full_edge_count": result.full_edge_count,
+            "horizon": horizon,
+        }
+
+    return run
+
+
+SUITE: Tuple[Workload, ...] = (
+    Workload(
+        "event_loop_churn",
+        "event-loop throughput under cancel/reschedule churn (events/sec)",
+        _prepare_event_loop_churn,
+    ),
+    Workload(
+        "shuffle_round",
+        "no-churn overlay gossip rounds at smoke scale",
+        _prepare_shuffle_round,
+    ),
+    Workload(
+        "brahms_sampler",
+        "Brahms sampler slot folding of received batches",
+        _prepare_brahms_sampler,
+    ),
+    Workload(
+        "churn_sessions",
+        "pre-generated churn session traces for a large population",
+        _prepare_churn_sessions,
+    ),
+    Workload(
+        "overlay_churn",
+        "one overlay under live churn (Figure 8 inner loop)",
+        _prepare_overlay_churn,
+    ),
+    Workload(
+        "availability_sweep",
+        "miniature Figure-3 availability sweep, full stack",
+        _prepare_availability_sweep,
+    ),
+)
+
+
+def workload_names() -> List[str]:
+    """Names of every workload in the suite, in run order."""
+    return [workload.name for workload in SUITE]

@@ -152,7 +152,7 @@ class ChurnProcess:
             self._online[node_id] = online
             distribution = spec.online if online else spec.offline
             delay = distribution.sample(self._rng)
-            self._sim.schedule_after(delay, self._transition, node_id)
+            self._sim.post_after(delay, self._transition, node_id)
 
     def add_node(self, spec: NodeChurnSpec, start_online: bool = True) -> int:
         """Grow the population by one node; returns its id.
@@ -168,7 +168,7 @@ class ChurnProcess:
         if self._started:
             distribution = spec.online if start_online else spec.offline
             delay = distribution.sample(self._rng)
-            self._sim.schedule_after(delay, self._transition, node_id)
+            self._sim.post_after(delay, self._transition, node_id)
         return node_id
 
     def _transition(self, node_id: int) -> None:
@@ -178,6 +178,6 @@ class ChurnProcess:
         spec = self._specs[node_id]
         distribution = spec.online if new_state else spec.offline
         delay = distribution.sample(self._rng)
-        self._sim.schedule_after(delay, self._transition, node_id)
+        self._sim.post_after(delay, self._transition, node_id)
         if self._listener is not None:
             self._listener(node_id, new_state)

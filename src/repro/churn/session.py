@@ -143,6 +143,6 @@ def replay_trace(
     before starting the simulation.
     """
     for transition in trace:
-        sim.schedule(
+        sim.post(
             transition.time, listener, transition.node_id, transition.online
         )

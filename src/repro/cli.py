@@ -6,6 +6,7 @@ Usage::
     repro fig8 --plot               # ASCII plot of the time series
     repro all  --scale quick
     repro lint src --format json    # determinism/hygiene linter
+    repro bench --quick --json BENCH_micro.json
     python -m repro.cli fig9
 
 Scales: ``smoke`` (tests), ``quick`` (default), ``paper`` (Table I).
@@ -195,13 +196,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        # Likewise for the microbenchmark harness (--quick, --json,
+        # --compare); see docs/benchmarking.md.
+        from .bench.cli import main as bench_main
+
+        return bench_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures from 'Robust overlays for privacy-"
         "preserving data dissemination over a social graph' (ICDCS 2012).",
         epilog="A 'repro lint [paths]' subcommand runs the determinism/"
-        "hygiene linter (see 'repro lint --help').",
+        "hygiene linter (see 'repro lint --help'); 'repro bench' runs "
+        "the seeded microbenchmark suite (see 'repro bench --help').",
     )
     parser.add_argument(
         "figure",

@@ -20,6 +20,7 @@ the later-expiring copy wins.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
@@ -41,13 +42,17 @@ class _Entry:
 class PseudonymCache:
     """A bounded pseudonym store with CYCLON-style replacement."""
 
-    __slots__ = ("_capacity", "_entries")
+    __slots__ = ("_capacity", "_entries", "_min_expires")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ProtocolError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: Dict[int, _Entry] = {}  # keyed by pseudonym value
+        # Lower bound on the earliest expiry among cached entries; lets
+        # remove_expired() skip its scan until something can actually
+        # expire.  Invariant: _min_expires <= true minimum expiry.
+        self._min_expires = math.inf
 
     @property
     def capacity(self) -> int:
@@ -67,13 +72,19 @@ class PseudonymCache:
 
     def remove_expired(self, now: float) -> int:
         """Drop expired entries; returns how many were removed."""
-        expired = [
-            value
-            for value, entry in self._entries.items()
-            if entry.pseudonym.is_expired(now)
-        ]
+        if now < self._min_expires:
+            return 0
+        expired = []
+        min_expires = math.inf
+        for value, entry in self._entries.items():
+            expires_at = entry.pseudonym.expires_at
+            if expires_at <= now:
+                expired.append(value)
+            elif expires_at < min_expires:
+                min_expires = expires_at
         for value in expired:
             del self._entries[value]
+        self._min_expires = min_expires
         return len(expired)
 
     def remove(self, pseudonym: Pseudonym) -> bool:
@@ -157,6 +168,8 @@ class PseudonymCache:
                     break
                 del self._entries[victim]
             self._entries[pseudonym.value] = _Entry(pseudonym, now)
+            if pseudonym.expires_at < self._min_expires:
+                self._min_expires = pseudonym.expires_at
             inserted += 1
         return inserted
 
@@ -167,10 +180,8 @@ class PseudonymCache:
                 if value in self._entries:
                     sent_values.discard(value)
                     return value
-        oldest_value: Optional[int] = None
-        oldest_time = float("inf")
-        for value, entry in self._entries.items():
-            if entry.inserted_at < oldest_time:
-                oldest_time = entry.inserted_at
-                oldest_value = value
-        return oldest_value
+        # Entries are only ever appended with a non-decreasing ``now``
+        # and never reordered, so dict order is ascending inserted_at:
+        # the first key is the oldest entry (same victim the previous
+        # full scan chose).
+        return next(iter(self._entries), None)

@@ -56,7 +56,9 @@ class LinkSet:
     __slots__ = (
         "_trusted",
         "_trusted_list",
+        "_trusted_frozen",
         "_pseudonym_links",
+        "_pseudonym_list",
         "replacements_total",
         "additions_total",
     )
@@ -64,7 +66,13 @@ class LinkSet:
     def __init__(self, trusted_neighbors: Iterable[int]) -> None:
         self._trusted = set(trusted_neighbors)
         self._trusted_list: List[int] = sorted(self._trusted)
+        self._trusted_frozen: FrozenSet[int] = frozenset(self._trusted)
         self._pseudonym_links: Dict[int, Pseudonym] = {}  # keyed by value
+        # Lazily rebuilt snapshot of the pseudonym links, in dict
+        # insertion order.  Invalidated on every mutation; shared by
+        # pick_random_target / pseudonym_links so the per-shuffle hot
+        # path never walks the dict.
+        self._pseudonym_list: Optional[List[Pseudonym]] = None
         self.replacements_total = 0
         self.additions_total = 0
 
@@ -76,7 +84,7 @@ class LinkSet:
         through :meth:`add_trusted` (node/edge additions, which the
         paper notes raise no privacy concerns).
         """
-        return frozenset(self._trusted)
+        return self._trusted_frozen
 
     def add_trusted(self, neighbor: int) -> bool:
         """Add a trusted link (new friend); returns False if present."""
@@ -84,6 +92,7 @@ class LinkSet:
             return False
         self._trusted.add(neighbor)
         self._trusted_list = sorted(self._trusted)
+        self._trusted_frozen = frozenset(self._trusted)
         return True
 
     @property
@@ -92,8 +101,15 @@ class LinkSet:
         return len(self._trusted)
 
     def pseudonym_links(self) -> List[Pseudonym]:
-        """Current pseudonym-link targets (snapshot)."""
-        return list(self._pseudonym_links.values())
+        """Current pseudonym-link targets.
+
+        Returns a cached snapshot list (rebuilt after any change);
+        treat it as read-only.
+        """
+        snapshot = self._pseudonym_list
+        if snapshot is None:
+            snapshot = self._pseudonym_list = list(self._pseudonym_links.values())
+        return snapshot
 
     def pseudonym_degree(self) -> int:
         """Number of current pseudonym links."""
@@ -117,21 +133,24 @@ class LinkSet:
         sampler found numerically better pseudonyms.
         """
         new_links = {pseudonym.value: pseudonym for pseudonym in sample}
+        current = self._pseudonym_links
         removed = 0
         added = 0
-        for value in list(self._pseudonym_links):
-            replacement = new_links.get(value)
-            if replacement is None:
-                del self._pseudonym_links[value]
+        if len(new_links) != len(current) or new_links.keys() != current.keys():
+            for value in [v for v in current if v not in new_links]:
+                del current[value]
                 removed += 1
-            elif replacement != self._pseudonym_links[value]:
-                self._pseudonym_links[value] = replacement
-                removed += 1
-                added += 1
         for value, pseudonym in new_links.items():
-            if value not in self._pseudonym_links:
-                self._pseudonym_links[value] = pseudonym
+            existing = current.get(value)
+            if existing is None:
+                current[value] = pseudonym
                 added += 1
+            elif existing != pseudonym:
+                current[value] = pseudonym
+                removed += 1
+                added += 1
+        if added or removed:
+            self._pseudonym_list = None
         self.replacements_total += removed
         self.additions_total += added
         return added, removed
@@ -154,14 +173,14 @@ class LinkSet:
         random and executes a shuffling protocol with the node m at the
         other end."  Returns None when the node has no links at all.
         """
-        total = self.out_degree()
+        trusted_list = self._trusted_list
+        snapshot = self._pseudonym_list
+        if snapshot is None:
+            snapshot = self._pseudonym_list = list(self._pseudonym_links.values())
+        total = len(trusted_list) + len(snapshot)
         if total == 0:
             return None
         index = int(rng.integers(0, total))
-        if index < len(self._trusted_list):
-            return LinkTarget(node_id=self._trusted_list[index])
-        pseudonym_index = index - len(self._trusted)
-        for offset, pseudonym in enumerate(self._pseudonym_links.values()):
-            if offset == pseudonym_index:
-                return LinkTarget(pseudonym=pseudonym)
-        raise ProtocolError("link index out of range (concurrent mutation?)")
+        if index < len(trusted_list):
+            return LinkTarget(node_id=trusted_list[index])
+        return LinkTarget(pseudonym=snapshot[index - len(trusted_list)])

@@ -279,8 +279,8 @@ class OverlayNode:
     def _build_shuffle_set(self, now: float) -> Tuple[Pseudonym, ...]:
         if self.own is None:
             raise NodeOfflineError("node has no pseudonym; is it online?")
-        selection = tuple(
-            self.cache.select_for_shuffle(self._rng, self._shuffle_length - 1, now)
+        selection = self.cache.select_for_shuffle(
+            self._rng, self._shuffle_length - 1, now
         )
         entries = make_shuffle_set(self.own, selection, self._shuffle_length)
         if self.shuffle_filter is not None:

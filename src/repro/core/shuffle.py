@@ -21,7 +21,7 @@ that role.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
 from ..privlink import Address
@@ -69,7 +69,7 @@ class ShuffleResponse:
 
 def make_shuffle_set(
     own: Pseudonym,
-    cache_selection: Tuple[Pseudonym, ...],
+    cache_selection: Sequence[Pseudonym],
     limit: int,
 ) -> Tuple[Pseudonym, ...]:
     """Assemble a shuffle set: own pseudonym plus cache entries, capped.

@@ -51,7 +51,15 @@ class SamplerSlots:
         Randomness for the immutable reference values.
     """
 
-    __slots__ = ("_size", "_references", "_distances", "_expiries", "_entries")
+    __slots__ = (
+        "_size",
+        "_references",
+        "_distances",
+        "_expiries",
+        "_entries",
+        "_soonest",
+        "_sample_cache",
+    )
 
     def __init__(self, size: int, rng: np.random.Generator) -> None:
         if size < 0:
@@ -63,6 +71,12 @@ class SamplerSlots:
         self._distances = np.full(size, _EMPTY_DISTANCE, dtype=np.int64)
         self._expiries = np.full(size, -np.inf, dtype=np.float64)
         self._entries: List[Optional[Pseudonym]] = [None] * size
+        # Lower bound on the earliest expiry among occupied slots, so
+        # expire() can skip its scan; invariant: _soonest <= true min.
+        self._soonest = math.inf
+        # Lazily rebuilt sample() result; invalidated whenever any slot
+        # changes.  Treat the returned list as read-only.
+        self._sample_cache: Optional[List[Pseudonym]] = None
 
     @property
     def size(self) -> int:
@@ -85,22 +99,39 @@ class SamplerSlots:
         return self._entries[index]
 
     def sample(self) -> List[Pseudonym]:
-        """Distinct pseudonyms currently held across all slots."""
-        seen = set()
-        result: List[Pseudonym] = []
-        for entry in self._entries:
-            if entry is not None and entry.value not in seen:
-                seen.add(entry.value)
-                result.append(entry)
-        return result
+        """Distinct pseudonyms currently held across all slots.
+
+        Returns a cached snapshot list (rebuilt after any slot change);
+        treat it as read-only.
+        """
+        cached = self._sample_cache
+        if cached is None:
+            seen = set()
+            cached = []
+            for entry in self._entries:
+                if entry is not None and entry.value not in seen:
+                    seen.add(entry.value)
+                    cached.append(entry)
+            self._sample_cache = cached
+        return cached
 
     def expire(self, now: float) -> int:
         """Empty every slot holding an expired pseudonym; returns count."""
+        if now < self._soonest:
+            return 0
         removed = 0
+        soonest = math.inf
         for index, entry in enumerate(self._entries):
-            if entry is not None and entry.is_expired(now):
+            if entry is None:
+                continue
+            if entry.is_expired(now):
                 self._clear_slot(index)
                 removed += 1
+            elif entry.expires_at < soonest:
+                soonest = entry.expires_at
+        self._soonest = soonest
+        if removed:
+            self._sample_cache = None
         return removed
 
     def evict(self, pseudonym: Pseudonym) -> int:
@@ -110,6 +141,8 @@ class SamplerSlots:
             if entry is not None and entry == pseudonym:
                 self._clear_slot(index)
                 removed += 1
+        if removed:
+            self._sample_cache = None
         return removed
 
     def _clear_slot(self, index: int) -> None:
@@ -165,6 +198,7 @@ class SamplerSlots:
         replace = closer | tie_later
 
         changed = 0
+        soonest = self._soonest
         for index in np.flatnonzero(replace):
             index = int(index)
             candidate = pseudonyms[int(best_rows[index])]
@@ -172,8 +206,14 @@ class SamplerSlots:
                 continue
             self._entries[index] = candidate
             self._distances[index] = int(min_distances[index])
-            self._expiries[index] = float(best_expiries[index])
+            expiry = float(best_expiries[index])
+            self._expiries[index] = expiry
+            if expiry < soonest:
+                soonest = expiry
             changed += 1
+        if changed:
+            self._soonest = soonest
+            self._sample_cache = None
         return changed
 
     def refresh_distances(self) -> None:
@@ -182,6 +222,7 @@ class SamplerSlots:
         Not needed in normal operation; exposed so property-based tests
         can verify the cached arrays always match the entries.
         """
+        soonest = math.inf
         for index, entry in enumerate(self._entries):
             if entry is None:
                 self._distances[index] = _EMPTY_DISTANCE
@@ -189,6 +230,10 @@ class SamplerSlots:
             else:
                 self._distances[index] = abs(entry.value - int(self._references[index]))
                 self._expiries[index] = entry.expires_at
+                if entry.expires_at < soonest:
+                    soonest = entry.expires_at
+        self._soonest = soonest
+        self._sample_cache = None
 
     def holds(self, pseudonyms: Iterable[Pseudonym]) -> bool:
         """Whether every given pseudonym occupies at least one slot."""

@@ -102,10 +102,10 @@ class MetricsCollector:
             raise ExperimentError("collector already started")
         self._started = True
         delay = self._interval if initial_delay is None else initial_delay
-        self._overlay.sim.schedule_after(delay, self._sample)
+        self._overlay.sim.post_after(delay, self._sample)
 
     def _sample(self) -> None:
-        self._overlay.sim.schedule_after(self._interval, self._sample)
+        self._overlay.sim.post_after(self._interval, self._sample)
         self._samples += 1
         now = self._overlay.sim.now
         total_nodes = len(self._overlay.nodes)

@@ -209,7 +209,7 @@ class IdealAnonymityService(AnonymityService):
         self._traffic.record(self._sim.now, f"node:{sender_id}", f"node:{dest_id}")
         if self.loss.drop():
             return
-        self._sim.schedule_after(
+        self._sim.post_after(
             self._latency.sample(), self._deliver, dest_id, payload
         )
 
@@ -270,7 +270,7 @@ class IdealPseudonymService(PseudonymServiceBase):
         self._traffic.record(self._sim.now, f"node:{sender_id}", str(address))
         if self.loss.drop():
             return
-        self._sim.schedule_after(
+        self._sim.post_after(
             self._latency.sample(), self._deliver, address, payload
         )
 

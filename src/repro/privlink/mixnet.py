@@ -219,7 +219,7 @@ class MixNetwork:
         self.traffic.record(self._sim.now, sender_name, first_relay.name)
         if not self._relay_up():
             return
-        self._sim.schedule_after(
+        self._sim.post_after(
             self._latency(), first_relay.process, onion, sender_name, self._sim.now
         )
 
@@ -232,7 +232,7 @@ class MixNetwork:
         self.traffic.record(self._sim.now, from_relay.name, next_relay.name)
         if not self._relay_up():
             return
-        self._sim.schedule_after(
+        self._sim.post_after(
             self._latency(), next_relay.process, inner, from_relay.name, self._sim.now
         )
 
@@ -241,7 +241,7 @@ class MixNetwork:
     ) -> None:
         """Last hop of an anonymity-service circuit: relay -> node."""
         self.traffic.record(self._sim.now, from_relay.name, f"node:{dest_node_id}")
-        self._sim.schedule_after(self._latency(), self._deliver_to_node, dest_node_id, payload)
+        self._sim.post_after(self._latency(), self._deliver_to_node, dest_node_id, payload)
 
     def rendezvous_delivery(
         self, from_relay: Relay, address: Address, payload: Any, time: float
@@ -270,7 +270,7 @@ class MixNetwork:
             previous_name = relay_name
         delay += self._latency()
         self.traffic.record(self._sim.now + delay, previous_name, f"node:{owner_id}")
-        self._sim.schedule_after(delay, self._deliver_to_node, owner_id, payload)
+        self._sim.post_after(delay, self._deliver_to_node, owner_id, payload)
 
     def _deliver_to_node(self, node_id: int, payload: Any) -> None:
         if self._directory.deliver(node_id, payload):

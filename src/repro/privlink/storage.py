@@ -142,7 +142,7 @@ class MailboxPseudonymService(PseudonymServiceBase):
         address = Address(token=next(self._tokens), kind="mailbox")
         self._owners[address] = owner_id
         self._store.open_box(address)
-        self._sim.schedule_after(self._poll_interval, self._poll, address)
+        self._sim.post_after(self._poll_interval, self._poll, address)
         return address
 
     def close_endpoint(self, address: Address) -> None:
@@ -161,7 +161,7 @@ class MailboxPseudonymService(PseudonymServiceBase):
         owner = self._owners.get(address)
         if owner is None:
             return  # endpoint closed; stop polling
-        self._sim.schedule_after(self._poll_interval, self._poll, address)
+        self._sim.post_after(self._poll_interval, self._poll, address)
         if not self._directory.is_online(owner):
             return
         for payload in self._store.poll(address, self._sim.now):

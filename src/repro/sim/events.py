@@ -1,22 +1,37 @@
 """Event primitives for the discrete-event simulator.
 
-An :class:`Event` is a callback scheduled at a simulated time.  Events
-are ordered by ``(time, sequence_number)`` so simultaneous events fire
-in scheduling order, which keeps runs deterministic.
+The simulator's heap stores bare list entries ``[time, seq, callback,
+args]``.  Plain lists compare element-wise in C — first by ``time``,
+then by the unique ``seq`` — so heap sifts never call back into Python,
+which is what makes the event loop fast.  Cancelling an event sets its
+callback slot to ``None`` (a *tombstone*); the simulator counts
+tombstones and compacts the heap in place once they outnumber live
+events, so long churn runs cannot accumulate dead entries.
+
+:class:`EventHandle` is the public cancellable reference returned by
+:meth:`~repro.sim.simulator.Simulator.schedule`.  :class:`Event` is a
+read-only record view of one entry, kept for introspection, tracing,
+and debugging; the hot path never allocates one.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
-__all__ = ["Event", "EventHandle"]
+__all__ = ["Event", "EventHandle", "ENTRY_TIME", "ENTRY_SEQ", "ENTRY_CALLBACK", "ENTRY_ARGS"]
+
+#: Indices into a heap entry ``[time, seq, callback, args]``.
+ENTRY_TIME = 0
+ENTRY_SEQ = 1
+ENTRY_CALLBACK = 2
+ENTRY_ARGS = 3
 
 
 class Event:
-    """A scheduled callback.
+    """A read-only record view of one scheduled event.
 
-    Events are created by :meth:`repro.sim.simulator.Simulator.schedule`;
-    user code normally interacts with the returned :class:`EventHandle`.
+    Built on demand from a heap entry (see :meth:`from_entry`); the
+    simulator itself only stores bare list entries.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
@@ -25,7 +40,7 @@ class Event:
         self,
         time: float,
         seq: int,
-        callback: Callable[..., Any],
+        callback: Optional[Callable[..., Any]],
         args: tuple,
         label: Optional[str] = None,
     ) -> None:
@@ -33,8 +48,14 @@ class Event:
         self.seq = seq
         self.callback = callback
         self.args = args
-        self.cancelled = False
+        self.cancelled = callback is None
         self.label = label
+
+    @classmethod
+    def from_entry(cls, entry: List[Any], label: Optional[str] = None) -> "Event":
+        """Snapshot a heap entry into a readable record."""
+        return cls(entry[ENTRY_TIME], entry[ENTRY_SEQ], entry[ENTRY_CALLBACK],
+                   entry[ENTRY_ARGS], label=label)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -43,7 +64,7 @@ class Event:
 
     def fire(self) -> None:
         """Invoke the callback unless the event was cancelled."""
-        if not self.cancelled:
+        if self.callback is not None and not self.cancelled:
             self.callback(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -55,21 +76,52 @@ class Event:
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_sim", "_cancelled", "label")
 
-    def __init__(self, event: Event) -> None:
-        self._event = event
+    def __init__(
+        self,
+        entry: List[Any],
+        sim: Optional[Any] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self._entry = entry
+        self._sim = sim
+        self._cancelled = False
+        self.label = label
 
     @property
     def time(self) -> float:
         """Simulated time at which the event fires."""
-        return self._event.time
+        return self._entry[ENTRY_TIME]
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
-        return self._event.cancelled
+        return self._cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the event from firing.  Idempotent.
+
+        Cancelling leaves a tombstone in the simulator's heap; the
+        simulator reclaims tombstones in bulk once they outnumber live
+        events (see ``Simulator.queue_size`` vs ``Simulator.pending``).
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        entry = self._entry
+        if entry[ENTRY_CALLBACK] is not None:
+            entry[ENTRY_CALLBACK] = None
+            entry[ENTRY_ARGS] = ()
+            if self._sim is not None:
+                self._sim._note_cancelled()
+
+    def as_event(self) -> Event:
+        """Snapshot the underlying entry as a readable :class:`Event`."""
+        event = Event.from_entry(self._entry, label=self.label)
+        event.cancelled = self._cancelled
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self._cancelled else ""
+        return f"EventHandle(t={self.time:.4f}{state})"

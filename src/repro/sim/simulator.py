@@ -7,6 +7,23 @@ monotonic simulated clock, an event queue ordered by time, and helpers
 to run until a horizon or until the queue drains.
 
 Time is a float measured in shuffling periods (the paper's time unit).
+
+Hot-path design (the sweeps in the paper's Section IV are pure
+functions of this loop):
+
+* Heap entries are bare lists ``[time, seq, callback, args]`` so the
+  ``heapq`` sifts compare floats/ints in C and never call back into
+  Python.
+* :meth:`post` / :meth:`post_after` schedule fire-and-forget events
+  with no :class:`~repro.sim.events.EventHandle` allocation — the right
+  choice for message delivery, churn transitions, and metric sampling,
+  which are never cancelled.
+* Cancelled events become counted tombstones; the heap is compacted in
+  place as soon as tombstones outnumber live events, so long churn runs
+  with heavy cancel/reschedule traffic keep the heap (and every
+  ``O(log n)`` sift) small.
+* :meth:`run_until` drains same-timestamp batches without re-checking
+  the horizon between simultaneous events.
 """
 
 from __future__ import annotations
@@ -15,7 +32,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SchedulerError
-from .events import Event, EventHandle
+from .events import EventHandle
 
 __all__ = ["Simulator"]
 
@@ -35,12 +52,22 @@ class Simulator:
     10.0
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_running",
+        "_events_processed",
+        "_tombstones",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[List[Any]] = []
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        self._tombstones = 0
 
     @property
     def now(self) -> float:
@@ -49,7 +76,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued (cancelled ones excluded)."""
+        return len(self._queue) - self._tombstones
+
+    @property
+    def queue_size(self) -> int:
+        """Raw heap size, including cancelled tombstones awaiting compaction."""
         return len(self._queue)
 
     @property
@@ -66,6 +98,10 @@ class Simulator:
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``.
 
+        Returns a cancellable :class:`EventHandle`.  Call sites that
+        never cancel should prefer :meth:`post`, which skips the handle
+        allocation entirely.
+
         Raises
         ------
         SchedulerError
@@ -75,10 +111,10 @@ class Simulator:
             raise SchedulerError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        event = Event(time, self._seq, callback, args, label=label)
+        entry = [time, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry, self, label)
 
     def schedule_after(
         self,
@@ -92,15 +128,67 @@ class Simulator:
             raise SchedulerError(f"delay must be non-negative, got {delay}")
         return self.schedule(self._now + delay, callback, *args, label=label)
 
+    def post(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast-path schedule with no cancellation handle.
+
+        Identical semantics to :meth:`schedule` except that the event
+        cannot be cancelled and nothing is allocated beyond the heap
+        entry itself.  Use for fire-and-forget events (message delivery,
+        churn transitions, periodic measurement) — they dominate event
+        volume in every workload.
+        """
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        heapq.heappush(self._queue, [time, self._seq, callback, args])
+        self._seq += 1
+
+    def post_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast-path :meth:`schedule_after` (see :meth:`post`)."""
+        if delay < 0:
+            raise SchedulerError(f"delay must be non-negative, got {delay}")
+        self.post(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # tombstone accounting
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Record one cancellation; compact once tombstones dominate."""
+        self._tombstones += 1
+        if self._tombstones * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop all tombstones and re-heapify, preserving list identity.
+
+        In-place (slice assignment) so that :meth:`run_until`'s local
+        alias of the queue — and any external observer — stays valid
+        when a callback's cancellations trigger compaction mid-run.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2] is not None]
+        heapq.heapify(queue)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
+                self._tombstones -= 1
                 continue
-            self._now = event.time
+            entry[2] = None  # mark fired: late cancel() must not count a tombstone
+            self._now = entry[0]
             self._events_processed += 1
-            event.fire()
+            callback(*entry[3])
             return True
         return False
 
@@ -117,17 +205,35 @@ class Simulator:
         if self._running:
             raise SchedulerError("simulator is already running (re-entrant run)")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.time > horizon:
+            while queue:
+                entry = queue[0]
+                etime = entry[0]
+                if etime > horizon:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
+                pop(queue)
+                callback = entry[2]
+                if callback is None:
+                    self._tombstones -= 1
                     continue
-                self._now = event.time
+                entry[2] = None
+                self._now = etime
                 self._events_processed += 1
-                event.fire()
+                callback(*entry[3])
+                # Drain the whole same-timestamp batch without touching
+                # the horizon check again; (time, seq) heap order makes
+                # this byte-identical to the one-at-a-time loop.
+                while queue and queue[0][0] == etime:
+                    entry = pop(queue)
+                    callback = entry[2]
+                    if callback is None:
+                        self._tombstones -= 1
+                        continue
+                    entry[2] = None
+                    self._events_processed += 1
+                    callback(*entry[3])
             self._now = horizon
         finally:
             self._running = False

@@ -1,0 +1,216 @@
+"""Tests for the ``repro bench`` microbenchmark harness.
+
+Covers the report schema, the deterministic projection, the baseline
+comparison gate (including the exit code on a deliberately slowed
+baseline — the CI failure path), and the CLI dispatch.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SUITE,
+    compare_reports,
+    format_comparison,
+    format_report,
+    load_report,
+    run_suite,
+    strip_nondeterministic,
+    workload_names,
+    write_json,
+)
+from repro.bench.cli import main as bench_main
+from repro.cli import main as repro_main
+
+#: Fast subset for tests that only exercise harness plumbing.
+FAST = ["event_loop_churn", "brahms_sampler", "churn_sessions"]
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One quick-mode report over the fast subset, shared per module."""
+    return run_suite(mode="quick", seed=1, repeats=1, only=FAST)
+
+
+class TestSuiteDefinition:
+    def test_suite_names_are_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_every_workload_has_description(self):
+        assert all(workload.description for workload in SUITE)
+
+    def test_suite_covers_required_hot_paths(self):
+        names = set(workload_names())
+        assert {
+            "event_loop_churn",
+            "shuffle_round",
+            "brahms_sampler",
+            "churn_sessions",
+            "availability_sweep",
+        } <= names
+
+
+class TestRunSuite:
+    def test_report_schema_and_structure(self, quick_report):
+        assert quick_report["schema"] == SCHEMA
+        assert quick_report["mode"] == "quick"
+        assert quick_report["seed"] == 1
+        assert set(quick_report["benchmarks"]) == set(FAST)
+        for entry in quick_report["benchmarks"].values():
+            assert entry["operations"] > 0
+            timing = entry["timing"]
+            assert timing["median_s"] > 0
+            assert timing["p90_s"] >= timing["min_s"]
+            assert timing["ops_per_sec"] > 0
+            assert len(timing["per_repeat_s"]) == 1
+
+    def test_report_is_json_serializable(self, quick_report):
+        parsed = json.loads(json.dumps(quick_report))
+        assert parsed["schema"] == SCHEMA
+
+    def test_strip_nondeterministic_removes_timing(self, quick_report):
+        stripped = strip_nondeterministic(quick_report)
+        assert "environment" not in stripped
+        for entry in stripped["benchmarks"].values():
+            assert "timing" not in entry
+            assert "peak_rss_kb" not in entry
+            assert "operations" in entry
+
+    def test_only_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_suite(mode="quick", seed=1, repeats=1, only=["nope"])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_suite(mode="fast", seed=1, repeats=1)
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_suite(mode="quick", seed=1, repeats=0)
+
+    def test_format_report_lists_every_benchmark(self, quick_report):
+        table = format_report(quick_report)
+        for name in FAST:
+            assert name in table
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, quick_report, tmp_path):
+        path = tmp_path / "BENCH_micro.json"
+        write_json(quick_report, str(path))
+        loaded = load_report(str(path))
+        assert loaded == json.loads(json.dumps(quick_report))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="not a repro bench report"):
+            load_report(str(path))
+
+    def test_load_rejects_missing_benchmarks(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_report(str(path))
+
+
+class TestCompareGate:
+    def test_identical_reports_pass(self, quick_report):
+        comparison = compare_reports(quick_report, quick_report, threshold=0.2)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert "PASS" in format_comparison(comparison)
+
+    def test_slowed_baseline_fails(self, quick_report):
+        """A baseline that claims to be much faster must trip the gate."""
+        slowed = copy.deepcopy(quick_report)
+        for entry in slowed["benchmarks"].values():
+            entry["timing"]["min_s"] *= 0.1
+        comparison = compare_reports(slowed, quick_report, threshold=0.25)
+        assert not comparison.ok
+        assert set(comparison.regressions) == set(FAST)
+        assert "FAIL" in format_comparison(comparison)
+
+    def test_within_threshold_passes(self, quick_report):
+        near = copy.deepcopy(quick_report)
+        for entry in near["benchmarks"].values():
+            entry["timing"]["min_s"] /= 1.1
+        assert compare_reports(near, quick_report, threshold=0.25).ok
+
+    def test_missing_benchmarks_warn_but_pass(self, quick_report):
+        partial = copy.deepcopy(quick_report)
+        removed = FAST[0]
+        del partial["benchmarks"][removed]
+        forward = compare_reports(partial, quick_report, threshold=0.2)
+        assert forward.ok
+        assert forward.missing_in_baseline == [removed]
+        backward = compare_reports(quick_report, partial, threshold=0.2)
+        assert backward.ok
+        assert backward.missing_in_current == [removed]
+
+    def test_negative_threshold_rejected(self, quick_report):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(quick_report, quick_report, threshold=-0.1)
+
+    def test_improvements_are_labeled(self, quick_report):
+        slower_baseline = copy.deepcopy(quick_report)
+        for entry in slower_baseline["benchmarks"].values():
+            entry["timing"]["min_s"] *= 10.0
+        comparison = compare_reports(slower_baseline, quick_report, threshold=0.2)
+        assert comparison.ok
+        assert set(comparison.improvements) == set(FAST)
+
+
+class TestCli:
+    def test_bench_writes_json_and_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_micro.json"
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST, "--json", str(path)]
+        )
+        assert code == 0
+        report = load_report(str(path))
+        assert set(report["benchmarks"]) == set(FAST)
+        assert "repro bench" in capsys.readouterr().out
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        """Exit 0 against an honest baseline, 1 against a slowed one."""
+        baseline_path = tmp_path / "baseline.json"
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--json", str(baseline_path)]
+        )
+        assert code == 0
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--compare", str(baseline_path), "--threshold", "1000"]
+        )
+        assert code == 0
+
+        baseline = load_report(str(baseline_path))
+        for entry in baseline["benchmarks"].values():
+            entry["timing"]["min_s"] *= 1e-6
+        slowed_path = tmp_path / "slowed.json"
+        write_json(baseline, str(slowed_path))
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--compare", str(slowed_path), "--threshold", "0.25"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_negative_threshold_exit_code(self, capsys):
+        assert bench_main(["--quick", "--threshold", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_repro_cli_dispatches_bench(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_micro.json"
+        code = repro_main(
+            ["bench", "--quick", "--repeats", "1",
+             "--only", "brahms_sampler", "--json", str(path)]
+        )
+        assert code == 0
+        assert load_report(str(path))["benchmarks"]["brahms_sampler"]

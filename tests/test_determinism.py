@@ -8,8 +8,12 @@ series — and guard the seeded-fallback behavior of the rng-threading
 fixes (lint rule DET001).
 """
 
+import hashlib
+import json
+
 import numpy as np
 
+from repro.bench import run_suite, strip_nondeterministic
 from repro.experiments import SMOKE, make_config, make_trust_graph
 from repro.experiments.runner import run_overlay_experiment
 from repro.graphs import (
@@ -71,6 +75,58 @@ class TestEndToEndDeterminism:
         assert _series_bytes(first.collector.disconnected) != _series_bytes(
             second.collector.disconnected
         )
+
+
+#: SHA-256 of every metric series of the seed-3 SMOKE run, captured
+#: BEFORE the event-loop/core hot-path optimizations landed.  Matching
+#: them pins the optimized simulator and core byte-identical to the
+#: pre-optimization implementation: no rng draw sequence, event order,
+#: or cache-eviction choice may change.  If an *intentional* semantic
+#: change moves these, regenerate via the expression in the test.
+_GOLDEN_SERIES_SHA256 = {
+    "disconnected": "fc4633f096a332b63f8ef349a34be9ba63b39228534203e0b75e7e44d8da83e8",
+    "trust_disconnected": "6aa551e671be34eb37269a90318c37815efb5bfe7a627f657c6569b385b44ad2",
+    "path_length": "63165e137aa84cb5ac2b991bd3bde05ed973da6f5e7f7a37d0a3b65b0c631649",
+    "trust_path_length": "094ab5816edfb308b5230acb1e216828ad0b38938d325d0417f4fd504e1e8de3",
+    "online_count": "549dee2e5a7ad90807b4cc9ac0f07ffb145dc22035faffe9dafb2d002b768285",
+    "replacements_per_node": "69c038cfcb5be1ba52ffdba45d955eb8153dd03f356ca08cdb97fd35e344ea7d",
+    "messages_per_node": "a672ccc95271bad7b52ed8a41941b527cf2886350a8cf81b4c79d822f1f0383a",
+}
+
+
+class TestGoldenHashes:
+    """Pin the optimized hot paths to the pre-optimization output."""
+
+    def test_metric_series_match_pre_optimization_run(self):
+        result = _run_fig3_point(seed=3)
+        for name, expected in _GOLDEN_SERIES_SHA256.items():
+            digest = hashlib.sha256(
+                _series_bytes(getattr(result.collector, name))
+            ).hexdigest()
+            assert digest == expected, (
+                f"series {name!r} diverged from the pre-optimization golden "
+                f"run (got {digest}); a hot-path change altered rng draw "
+                "order or event ordering"
+            )
+        assert result.full_edge_count == 603
+
+
+class TestBenchDeterminism:
+    """Two same-seed bench runs must agree on everything but timing."""
+
+    def test_same_seed_reports_identical_after_strip(self):
+        kwargs = dict(mode="quick", seed=7, repeats=1)
+        first = strip_nondeterministic(run_suite(**kwargs))
+        second = strip_nondeterministic(run_suite(**kwargs))
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_different_seeds_change_workload_facts(self):
+        only = ["churn_sessions"]
+        a = strip_nondeterministic(run_suite(mode="quick", seed=7, repeats=1, only=only))
+        b = strip_nondeterministic(run_suite(mode="quick", seed=8, repeats=1, only=only))
+        assert a != b
 
 
 class TestSeededFallbacks:

@@ -97,6 +97,137 @@ class TestCancellation:
         handle.cancel()
         assert handle.cancelled
 
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending == 4
+        handles[0].cancel()
+        assert sim.pending == 3
+        assert handles[0].cancelled
+
+    def test_queue_size_reports_raw_heap_length(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        handles[0].cancel()
+        handles[1].cancel()
+        # Two tombstones out of five entries: below the half-full
+        # compaction trigger, so the raw heap keeps both.
+        assert sim.pending == 3
+        assert sim.queue_size == 5
+
+    def test_tombstone_majority_triggers_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        for handle in handles[:5]:
+            handle.cancel()
+        # 5 of 8 cancelled: tombstones exceed half the heap, so the
+        # queue compacts down to the live events.
+        assert sim.pending == 3
+        assert sim.queue_size == 3
+
+    def test_events_survive_compaction_in_order(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), fired.append, i) for i in range(10)
+        ]
+        for handle in handles[1::2]:
+            handle.cancel()
+        for handle in handles[0:4:2]:
+            handle.cancel()
+        sim.run_until(20.0)
+        assert fired == [4, 6, 8]
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, True)
+        sim.run_until(2.0)
+        assert fired == [True]
+        handle.cancel()
+        assert handle.cancelled
+        assert sim.pending == 0
+        assert sim.queue_size == 0
+
+
+class TestPost:
+    """Fast-path scheduling without an EventHandle."""
+
+    def test_post_fires_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.post(2.0, fired.append, "x")
+        sim.run_until(5.0)
+        assert fired == ["x"]
+
+    def test_post_after_fires_relative_to_now(self):
+        sim = Simulator()
+        sim.run_until(3.0)
+        fired = []
+        sim.post_after(1.5, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [4.5]
+
+    def test_post_returns_nothing(self):
+        sim = Simulator()
+        assert sim.post(1.0, lambda: None) is None
+        assert sim.post_after(1.0, lambda: None) is None
+
+    def test_post_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SchedulerError):
+            sim.post(4.0, lambda: None)
+
+    def test_post_after_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Simulator().post_after(-0.5, lambda: None)
+
+    def test_post_interleaves_with_schedule_in_seq_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.post(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+
+
+class TestBatchedDrain:
+    """Same-timestamp events drain in one batch, in schedule order."""
+
+    def test_large_same_time_batch_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        for index in range(50):
+            sim.post(1.0, fired.append, index)
+        sim.run_until(1.0)
+        assert fired == list(range(50))
+
+    def test_batch_callback_scheduling_same_time_still_fires(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.post(sim.now, lambda: fired.append("nested"))
+
+        sim.post(1.0, first)
+        sim.post(1.0, fired.append, "second")
+        sim.run_until(2.0)
+        assert fired == ["first", "second", "nested"]
+
+    def test_cancelled_events_skipped_inside_batch(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, "a")
+        handle = sim.schedule(1.0, fired.append, "b")
+        sim.post(1.0, fired.append, "c")
+        handle.cancel()
+        sim.run_until(2.0)
+        assert fired == ["a", "c"]
+        assert sim.pending == 0
+
 
 class TestNestedScheduling:
     def test_callback_can_schedule_more_events(self):

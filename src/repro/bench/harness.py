@@ -144,19 +144,34 @@ def strip_nondeterministic(report: Dict[str, Any]) -> Dict[str, Any]:
     """The deterministic projection of a report.
 
     Two same-seed, same-mode runs must compare equal after this strip;
-    ``tests/test_determinism.py`` pins that property.
+    ``tests/test_determinism.py`` pins that property.  Workload facts
+    whose keys start with ``wall_`` are wall-clock measurements by
+    convention (e.g. the parallel-sweep scaling facts) and are stripped
+    along with the harness timing blocks.
     """
+
+    def strip_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+        out = {
+            key: value
+            for key, value in entry.items()
+            if key not in NONDETERMINISTIC_KEYS
+        }
+        workload = out.get("workload")
+        if isinstance(workload, dict):
+            out["workload"] = {
+                key: value
+                for key, value in workload.items()
+                if not key.startswith("wall_")
+            }
+        return out
+
     out = {
         key: value
         for key, value in report.items()
         if key not in NONDETERMINISTIC_KEYS
     }
     out["benchmarks"] = {
-        name: {
-            key: value
-            for key, value in entry.items()
-            if key not in NONDETERMINISTIC_KEYS
-        }
+        name: strip_entry(entry)
         for name, entry in report.get("benchmarks", {}).items()
     }
     return out

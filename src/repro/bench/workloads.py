@@ -18,14 +18,24 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
+import time
 from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ..churn import generate_trace, homogeneous_specs
 from ..core import Pseudonym, SamplerSlots
-from ..experiments import SMOKE, availability_sweep, make_config, make_trust_graph
+from ..errors import ParallelError
+from ..experiments import (
+    SMOKE,
+    availability_sweep,
+    grid_sweep,
+    make_config,
+    make_trust_graph,
+)
 from ..experiments.runner import run_overlay_experiment
+from ..parallel import OverlayPointExperiment, outcome_digest, parallel_grid_sweep
 from ..privlink import Address
 from ..rng import RandomStreams
 from ..sim import Simulator
@@ -236,6 +246,67 @@ def _prepare_availability_sweep(mode: str, seed: int) -> Callable[[], Dict[str, 
 
 
 # ----------------------------------------------------------------------
+# parallel sweep (serial vs worker pool, digest-checked)
+# ----------------------------------------------------------------------
+
+
+def _prepare_parallel_sweep(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """The same grid swept serially and on the worker pool.
+
+    The timed iteration runs ``grid_sweep`` (workers=1) and
+    ``parallel_grid_sweep`` (one worker per core, at least two so the
+    multiprocess path is exercised even on single-core CI) over the
+    same grid and *raises* if their outcome digests differ — the bench
+    suite doubles as a continuous serial/parallel equivalence check.
+    Wall-clock scaling facts live under ``wall_``-prefixed keys, which
+    the determinism strip removes (timings vary; digests must not).
+    """
+    if mode == "quick":
+        axes: Dict[str, List[Any]] = {"availability": [0.3, 0.6]}
+        horizon, window = 10.0, 5.0
+    else:
+        axes = {"availability": [0.3, 0.6], "lifetime_ratio": [3.0, 9.0]}
+        horizon, window = 20.0, 10.0
+    experiment = OverlayPointExperiment(
+        scale_name="smoke", f=0.5, horizon=horizon, measure_window=window
+    )
+    workers = max(2, os.cpu_count() or 1)
+    # Memoize the trust graph before the fork so workers inherit it.
+    make_trust_graph(SMOKE, f=0.5, seed=seed)
+
+    def run() -> Dict[str, Any]:
+        base = make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
+        started = time.perf_counter()  # lint: disable=DET003
+        serial = grid_sweep(base, axes, experiment)
+        wall_serial = time.perf_counter() - started  # lint: disable=DET003
+        started = time.perf_counter()  # lint: disable=DET003
+        parallel = parallel_grid_sweep(base, axes, experiment, workers=workers)
+        wall_parallel = time.perf_counter() - started  # lint: disable=DET003
+        serial_digest = outcome_digest([point.outcome for point in serial])
+        parallel_digest = outcome_digest([point.outcome for point in parallel])
+        if serial_digest != parallel_digest or serial != parallel:
+            raise ParallelError(
+                "parallel sweep diverged from serial: "
+                f"{serial_digest} != {parallel_digest}"
+            )
+        speedup = wall_serial / wall_parallel if wall_parallel > 0 else 0.0
+        return {
+            # Every grid point ran twice (once per path).
+            "operations": len(serial) + len(parallel),
+            "points": len(serial),
+            "workers": workers,
+            "digest": serial_digest,
+            "digests_match": True,
+            "wall_serial_s": wall_serial,
+            "wall_parallel_s": wall_parallel,
+            "wall_speedup": speedup,
+            "wall_efficiency": speedup / workers,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # convergence run (single overlay under churn)
 # ----------------------------------------------------------------------
 
@@ -297,6 +368,11 @@ SUITE: Tuple[Workload, ...] = (
         "availability_sweep",
         "miniature Figure-3 availability sweep, full stack",
         _prepare_availability_sweep,
+    ),
+    Workload(
+        "parallel_sweep",
+        "serial vs multiprocess grid sweep (digest-checked equivalence)",
+        _prepare_parallel_sweep,
     ),
 )
 

@@ -5,8 +5,10 @@ Usage::
     repro fig3 --scale quick --seed 1
     repro fig8 --plot               # ASCII plot of the time series
     repro all  --scale quick
+    repro fig3 --workers 4          # fan points out across processes
     repro lint src --format json    # determinism/hygiene linter
     repro bench --quick --json BENCH_micro.json
+    repro sweep --axis availability=0.25,0.5 --workers 4 --resume
     python -m repro.cli fig9
 
 Scales: ``smoke`` (tests), ``quick`` (default), ``paper`` (Table I).
@@ -43,8 +45,8 @@ _SCALES: Dict[str, ExperimentScale] = {
 }
 
 
-def _run_fig3(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    sweeps = figure3(scale, seed=seed)
+def _run_fig3(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    sweeps = figure3(scale, seed=seed, workers=workers)
     for f, sweep in sweeps.items():
         print(sweep.format_table("disconnected"))
         if plot:
@@ -64,8 +66,8 @@ def _run_fig3(scale: ExperimentScale, seed: int, plot: bool) -> None:
         print()
 
 
-def _run_fig4(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    sweeps = figure3(scale, seed=seed)
+def _run_fig4(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    sweeps = figure3(scale, seed=seed, workers=workers)
     for f, sweep in sweeps.items():
         print(sweep.format_table("path"))
         if plot:
@@ -85,8 +87,8 @@ def _run_fig4(scale: ExperimentScale, seed: int, plot: bool) -> None:
         print()
 
 
-def _run_fig5(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    for f, result in figure5(scale, seed=seed).items():
+def _run_fig5(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    for f, result in figure5(scale, seed=seed, workers=workers).items():
         print(result.format_table())
         trust_mean, overlay_mean, random_mean = result.mean_degrees()
         print(
@@ -107,14 +109,14 @@ def _run_fig5(scale: ExperimentScale, seed: int, plot: bool) -> None:
         print()
 
 
-def _run_fig6(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    for f, result in figure6(scale, seed=seed).items():
+def _run_fig6(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    for f, result in figure6(scale, seed=seed, workers=workers).items():
         print(result.format_table())
         print()
 
 
-def _run_fig7(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    result = figure7(scale, seed=seed)
+def _run_fig7(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    result = figure7(scale, seed=seed, workers=workers)
     print(result.format_table())
     if plot:
         series = {
@@ -132,8 +134,8 @@ def _run_fig7(scale: ExperimentScale, seed: int, plot: bool) -> None:
         )
 
 
-def _run_fig8(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    result = figure8(scale, seed=seed)
+def _run_fig8(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    result = figure8(scale, seed=seed, workers=workers)
     print(result.format_table())
     if plot:
         series = {
@@ -157,8 +159,8 @@ def _run_fig8(scale: ExperimentScale, seed: int, plot: bool) -> None:
         )
 
 
-def _run_fig9(scale: ExperimentScale, seed: int, plot: bool) -> None:
-    result = figure9(scale, seed=seed)
+def _run_fig9(scale: ExperimentScale, seed: int, plot: bool, workers: int) -> None:
+    result = figure9(scale, seed=seed, workers=workers)
     print(result.format_table())
     if plot:
         series = {
@@ -175,7 +177,7 @@ def _run_fig9(scale: ExperimentScale, seed: int, plot: bool) -> None:
         )
 
 
-_FIGURES: Dict[str, Callable[[ExperimentScale, int, bool], None]] = {
+_FIGURES: Dict[str, Callable[[ExperimentScale, int, bool, int], None]] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
@@ -202,6 +204,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.cli import main as bench_main
 
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "sweep":
+        # And for the parallel sweep runner (--axis, --workers,
+        # --resume); see docs/parallel.md.
+        from .parallel.cli import main as sweep_main
+
+        return sweep_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +233,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment scale (default: quick; 'paper' is Table I)",
     )
     parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the figure's independent points "
+        "(results are identical for any count)",
+    )
     parser.add_argument(
         "--plot",
         action="store_true",
@@ -280,7 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # it reports to the human at the terminal, never to results.
         started = time.perf_counter()  # lint: disable=DET003
         print(f"== {target} (scale={scale.name}, seed={args.seed}) ==")
-        _FIGURES[target](scale, args.seed, args.plot)
+        _FIGURES[target](scale, args.seed, args.plot, args.workers)
         elapsed = time.perf_counter() - started  # lint: disable=DET003
         print(f"[{target} done in {elapsed:.1f}s]\n")
     return 0

@@ -66,3 +66,7 @@ class DisseminationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment scenario or runner was misconfigured."""
+
+
+class ParallelError(ExperimentError):
+    """The parallel sweep engine was misconfigured or a run failed."""

@@ -23,7 +23,13 @@ from .replication import ReplicatedValue, replicate, replicate_records
 from .report import build_report, collect_result_tables
 from .results import format_table, write_csv
 from .store import ResultStore
-from .sweeps import SweepPoint, grid_sweep, sweep_table_rows
+from .sweeps import (
+    SweepPoint,
+    grid_sweep,
+    point_store_key,
+    sweep_table_rows,
+    validate_axes,
+)
 from .runner import (
     OverlayRunResult,
     StaticMetrics,
@@ -40,6 +46,7 @@ from .scenarios import (
     lifetime_label,
     make_config,
     make_trust_graph,
+    scale_by_name,
     scale_from_env,
 )
 
@@ -84,4 +91,7 @@ __all__ = [
     "SweepPoint",
     "grid_sweep",
     "sweep_table_rows",
+    "point_store_key",
+    "validate_axes",
+    "scale_by_name",
 ]

@@ -4,6 +4,14 @@ One function per figure of the paper's evaluation (Figures 3-9); each
 returns a structured result object whose ``format_table()`` prints the
 rows/series the corresponding figure plots.  See DESIGN.md §3 for the
 experiment index and expected shapes.
+
+Every harness accepts ``workers=``: its independent simulation points
+(availability values, lifetime ratios, sampling parameters) are pure
+functions of their inputs, so they fan out across the
+:mod:`repro.parallel` worker pool and merge back in grid order with
+results identical to a serial run.  The per-point bodies live in
+module-level ``_*_task`` functions shared by both paths, so serial and
+parallel cannot drift apart.
 """
 
 from __future__ import annotations
@@ -26,6 +34,21 @@ from .runner import (
     static_churn_metrics,
 )
 from .scenarios import ExperimentScale, lifetime_label, make_config, make_trust_graph
+
+def _map_tasks(func, items, workers: int):
+    """Ordered map over independent figure points, optionally parallel.
+
+    Each ``func(item)`` must be a pure function of ``item`` (the repro
+    determinism contract), so fan-out order cannot change results; the
+    parallel path re-orders by input index before returning.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    from ..parallel import parallel_map
+
+    return parallel_map(func, items, workers=workers)
+
 
 __all__ = [
     "AvailabilityPoint",
@@ -108,57 +131,71 @@ class AvailabilitySweep:
         return format_table(headers, rows, title=title)
 
 
+def _availability_point_task(args) -> AvailabilityPoint:
+    """One Figure-3/4 point: overlay run plus both static baselines.
+
+    A pure function of ``(scale, f, seed, lifetime_ratio, alpha)``: the
+    trust graph derives from (scale, f, seed) and the baseline rng is an
+    independent substream keyed by (alpha, f), so points compute the
+    same values in any order, on any worker.
+    """
+    scale, f, seed, lifetime_ratio, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, lifetime_ratio=lifetime_ratio, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.total_horizon,
+        measure_window=scale.measure_window,
+        collector_interval=scale.collector_interval,
+        path_length_every=scale.path_length_every,
+        path_sources=scale.path_sources,
+    )
+    baseline_rng = RandomStreams(seed).substream("baseline", str(alpha), str(f))
+    trust_static = static_churn_metrics(
+        trust_graph,
+        alpha,
+        scale.mask_draws,
+        baseline_rng,
+        path_sources=scale.path_sources,
+    )
+    random_graph = random_baseline_graph(result, baseline_rng)
+    random_static = static_churn_metrics(
+        random_graph,
+        alpha,
+        scale.mask_draws,
+        baseline_rng,
+        path_sources=scale.path_sources,
+    )
+    return AvailabilityPoint(
+        alpha=alpha,
+        trust_disconnected=trust_static.disconnected,
+        overlay_disconnected=result.disconnected,
+        random_disconnected=random_static.disconnected,
+        trust_path_length=trust_static.path_length,
+        overlay_path_length=result.path_length or 0.0,
+        random_path_length=random_static.path_length,
+    )
+
+
 def availability_sweep(
     scale: ExperimentScale,
     f: float,
     seed: int = 1,
     lifetime_ratio: float = 3.0,
     alphas: Optional[Sequence[float]] = None,
+    workers: int = 1,
 ) -> AvailabilitySweep:
     """Run the overlay and both static baselines across availabilities."""
+    # Build (and memoize) the trust graph before any fan-out so forked
+    # workers inherit it instead of each re-sampling the social graph.
     trust_graph = make_trust_graph(scale, f, seed)
-    streams = RandomStreams(seed)
-    points: List[AvailabilityPoint] = []
-    for alpha in alphas if alphas is not None else scale.alphas:
-        config = make_config(
-            scale, alpha, f=f, lifetime_ratio=lifetime_ratio, seed=seed
-        )
-        result = run_overlay_experiment(
-            trust_graph,
-            config,
-            horizon=scale.total_horizon,
-            measure_window=scale.measure_window,
-            collector_interval=scale.collector_interval,
-            path_length_every=scale.path_length_every,
-            path_sources=scale.path_sources,
-        )
-        baseline_rng = streams.substream("baseline", str(alpha), str(f))
-        trust_static = static_churn_metrics(
-            trust_graph,
-            alpha,
-            scale.mask_draws,
-            baseline_rng,
-            path_sources=scale.path_sources,
-        )
-        random_graph = random_baseline_graph(result, baseline_rng)
-        random_static = static_churn_metrics(
-            random_graph,
-            alpha,
-            scale.mask_draws,
-            baseline_rng,
-            path_sources=scale.path_sources,
-        )
-        points.append(
-            AvailabilityPoint(
-                alpha=alpha,
-                trust_disconnected=trust_static.disconnected,
-                overlay_disconnected=result.disconnected,
-                random_disconnected=random_static.disconnected,
-                trust_path_length=trust_static.path_length,
-                overlay_path_length=result.path_length or 0.0,
-                random_path_length=random_static.path_length,
-            )
-        )
+    alpha_list = list(alphas if alphas is not None else scale.alphas)
+    points = _map_tasks(
+        _availability_point_task,
+        [(scale, f, seed, lifetime_ratio, alpha) for alpha in alpha_list],
+        workers,
+    )
     return AvailabilitySweep(
         f=f,
         scale_name=scale.name,
@@ -168,14 +205,22 @@ def availability_sweep(
 
 
 def figure3(
-    scale: ExperimentScale, seed: int = 1, fs: Sequence[float] = (1.0, 0.5)
+    scale: ExperimentScale,
+    seed: int = 1,
+    fs: Sequence[float] = (1.0, 0.5),
+    workers: int = 1,
 ) -> Dict[float, AvailabilitySweep]:
     """Connectivity for different trust graphs (one sweep per f)."""
-    return {f: availability_sweep(scale, f, seed=seed) for f in fs}
+    return {
+        f: availability_sweep(scale, f, seed=seed, workers=workers) for f in fs
+    }
 
 
 def figure4(
-    scale: ExperimentScale, seed: int = 1, fs: Sequence[float] = (1.0, 0.5)
+    scale: ExperimentScale,
+    seed: int = 1,
+    fs: Sequence[float] = (1.0, 0.5),
+    workers: int = 1,
 ) -> Dict[float, AvailabilitySweep]:
     """Normalized average path length for different trust graphs.
 
@@ -183,7 +228,7 @@ def figure4(
     reruns the sweep, so benches that need both should call
     :func:`figure3` once and format both metrics.
     """
-    return figure3(scale, seed=seed, fs=fs)
+    return figure3(scale, seed=seed, fs=fs, workers=workers)
 
 
 # ----------------------------------------------------------------------
@@ -249,48 +294,53 @@ class DegreeDistributions:
         )
 
 
+def _figure5_task(args) -> DegreeDistributions:
+    """Degree distributions for one sampling parameter f."""
+    from ..churn import online_subgraph, stationary_online_mask
+    from ..graphs import erdos_renyi_gnm
+
+    scale, f, seed, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.total_horizon,
+        measure_window=scale.measure_window,
+        collector_interval=scale.collector_interval,
+    )
+    rng = RandomStreams(seed).substream("fig5", str(f))
+    mask = stationary_online_mask(config.num_nodes, alpha, rng)
+    trust_online = online_subgraph(trust_graph, mask)
+    # The random reference for the degree comparison matches the
+    # *online* overlay snapshot (same node and edge counts), so the
+    # two histograms share their mean and differ only in shape.
+    random_online = erdos_renyi_gnm(
+        max(1, result.snapshot.number_of_nodes()),
+        result.snapshot.number_of_edges(),
+        rng=rng,
+    )
+    return DegreeDistributions(
+        f=f,
+        alpha=alpha,
+        trust_histogram=degree_histogram(trust_online),
+        overlay_histogram=degree_histogram(result.snapshot),
+        random_histogram=degree_histogram(random_online),
+    )
+
+
 def figure5(
     scale: ExperimentScale,
     seed: int = 1,
     fs: Sequence[float] = (1.0, 0.5),
     alpha: float = 0.5,
+    workers: int = 1,
 ) -> Dict[float, DegreeDistributions]:
     """Degree distributions for different trust graphs at alpha=0.5."""
-    from ..churn import online_subgraph, stationary_online_mask
-
-    streams = RandomStreams(seed)
-    results: Dict[float, DegreeDistributions] = {}
-    for f in fs:
-        trust_graph = make_trust_graph(scale, f, seed)
-        config = make_config(scale, alpha, f=f, seed=seed)
-        result = run_overlay_experiment(
-            trust_graph,
-            config,
-            horizon=scale.total_horizon,
-            measure_window=scale.measure_window,
-            collector_interval=scale.collector_interval,
-        )
-        rng = streams.substream("fig5", str(f))
-        mask = stationary_online_mask(config.num_nodes, alpha, rng)
-        trust_online = online_subgraph(trust_graph, mask)
-        # The random reference for the degree comparison matches the
-        # *online* overlay snapshot (same node and edge counts), so the
-        # two histograms share their mean and differ only in shape.
-        from ..graphs import erdos_renyi_gnm
-
-        random_online = erdos_renyi_gnm(
-            max(1, result.snapshot.number_of_nodes()),
-            result.snapshot.number_of_edges(),
-            rng=rng,
-        )
-        results[f] = DegreeDistributions(
-            f=f,
-            alpha=alpha,
-            trust_histogram=degree_histogram(trust_online),
-            overlay_histogram=degree_histogram(result.snapshot),
-            random_histogram=degree_histogram(random_online),
-        )
-    return results
+    distributions = _map_tasks(
+        _figure5_task, [(scale, f, seed, alpha) for f in fs], workers
+    )
+    return dict(zip(fs, distributions))
 
 
 # ----------------------------------------------------------------------
@@ -331,36 +381,43 @@ class MessageOverheadResult:
         return table
 
 
+def _figure6_task(args) -> MessageOverheadResult:
+    """Message overhead by trust-degree rank for one f."""
+    from ..metrics import mean_messages_per_period
+
+    scale, f, seed, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.total_horizon,
+        measure_window=scale.measure_window,
+        collector_interval=scale.collector_interval,
+    )
+    overheads = message_overhead_by_rank(
+        result.overlay, result.collector.max_out_degrees()
+    )
+    return MessageOverheadResult(
+        f=f,
+        alpha=alpha,
+        overheads=overheads,
+        system_mean=mean_messages_per_period(result.overlay),
+    )
+
+
 def figure6(
     scale: ExperimentScale,
     seed: int = 1,
     fs: Sequence[float] = (1.0, 0.5),
     alpha: float = 0.5,
+    workers: int = 1,
 ) -> Dict[float, MessageOverheadResult]:
     """Per-node message overhead, ranked by trust-graph degree."""
-    from ..metrics import mean_messages_per_period
-
-    results: Dict[float, MessageOverheadResult] = {}
-    for f in fs:
-        trust_graph = make_trust_graph(scale, f, seed)
-        config = make_config(scale, alpha, f=f, seed=seed)
-        result = run_overlay_experiment(
-            trust_graph,
-            config,
-            horizon=scale.total_horizon,
-            measure_window=scale.measure_window,
-            collector_interval=scale.collector_interval,
-        )
-        overheads = message_overhead_by_rank(
-            result.overlay, result.collector.max_out_degrees()
-        )
-        results[f] = MessageOverheadResult(
-            f=f,
-            alpha=alpha,
-            overheads=overheads,
-            system_mean=mean_messages_per_period(result.overlay),
-        )
-    return results
+    results = _map_tasks(
+        _figure6_task, [(scale, f, seed, alpha) for f in fs], workers
+    )
+    return dict(zip(fs, results))
 
 
 # ----------------------------------------------------------------------
@@ -400,17 +457,50 @@ class LifetimeSweep:
         )
 
 
+def _figure7_run_task(args) -> Tuple[float, int]:
+    """One Figure-7 overlay run: (disconnected fraction, edge count)."""
+    scale, f, seed, lifetime_ratio, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, lifetime_ratio=lifetime_ratio, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.total_horizon,
+        measure_window=scale.measure_window,
+        collector_interval=scale.collector_interval,
+    )
+    return result.disconnected, result.full_edge_count
+
+
 def figure7(
     scale: ExperimentScale,
     seed: int = 1,
     f: float = 0.5,
     ratios: Sequence[float] = (1.0, 3.0, 9.0, math.inf),
     alphas: Optional[Sequence[float]] = None,
+    workers: int = 1,
 ) -> LifetimeSweep:
     """Connectivity for different pseudonym lifetime ratios."""
+    from ..graphs import erdos_renyi_gnm
+
     trust_graph = make_trust_graph(scale, f, seed)
     streams = RandomStreams(seed)
     alpha_list = list(alphas if alphas is not None else scale.alphas)
+
+    # The overlay runs — the expensive part — are independent per
+    # (alpha, ratio) point and fan out across workers; the static
+    # baselines stay in the parent because the random reference reuses
+    # the edge count of the overall-first overlay run.
+    runs = _map_tasks(
+        _figure7_run_task,
+        [
+            (scale, f, seed, ratio, alpha)
+            for alpha in alpha_list
+            for ratio in ratios
+        ],
+        workers,
+    )
+    run_iter = iter(runs)
 
     overlay_curves: Dict[float, List[float]] = {ratio: [] for ratio in ratios}
     trust_curve: List[float] = []
@@ -424,21 +514,10 @@ def figure7(
         )
         trust_curve.append(trust_static.disconnected)
         for ratio in ratios:
-            config = make_config(
-                scale, alpha, f=f, lifetime_ratio=ratio, seed=seed
-            )
-            result = run_overlay_experiment(
-                trust_graph,
-                config,
-                horizon=scale.total_horizon,
-                measure_window=scale.measure_window,
-                collector_interval=scale.collector_interval,
-            )
-            overlay_curves[ratio].append(result.disconnected)
+            disconnected, full_edge_count = next(run_iter)
+            overlay_curves[ratio].append(disconnected)
             if reference_edges is None:
-                reference_edges = result.full_edge_count
-        from ..graphs import erdos_renyi_gnm
-
+                reference_edges = full_edge_count
         random_graph = erdos_renyi_gnm(
             scale.num_nodes, reference_edges or 0, rng=baseline_rng
         )
@@ -501,31 +580,47 @@ class ConvergenceResult:
         )
 
 
+def _figure8_task(args) -> Tuple[TimeSeries, TimeSeries, Optional[float]]:
+    """One Figure-8 run: (overlay series, trust series, convergence time)."""
+    scale, f, seed, lifetime_ratio, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, lifetime_ratio=lifetime_ratio, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.fig8_horizon,
+        measure_window=max(1.0, scale.fig8_horizon * 0.2),
+        collector_interval=scale.collector_interval,
+    )
+    return (
+        result.collector.disconnected,
+        result.collector.trust_disconnected,
+        result.collector.convergence_time(threshold=0.05),
+    )
+
+
 def figure8(
     scale: ExperimentScale,
     seed: int = 1,
     f: float = 0.5,
     alpha: float = 0.25,
     ratios: Sequence[float] = (3.0, 9.0),
+    workers: int = 1,
 ) -> ConvergenceResult:
     """Connectivity over time starting from a cold overlay."""
-    trust_graph = make_trust_graph(scale, f, seed)
+    runs = _map_tasks(
+        _figure8_task,
+        [(scale, f, seed, ratio, alpha) for ratio in ratios],
+        workers,
+    )
     overlay_series: Dict[float, TimeSeries] = {}
     convergence: Dict[float, Optional[float]] = {}
     trust_series: Optional[TimeSeries] = None
-    for ratio in ratios:
-        config = make_config(scale, alpha, f=f, lifetime_ratio=ratio, seed=seed)
-        result = run_overlay_experiment(
-            trust_graph,
-            config,
-            horizon=scale.fig8_horizon,
-            measure_window=max(1.0, scale.fig8_horizon * 0.2),
-            collector_interval=scale.collector_interval,
-        )
-        overlay_series[ratio] = result.collector.disconnected
-        convergence[ratio] = result.collector.convergence_time(threshold=0.05)
+    for ratio, (series, trust, convergence_time) in zip(ratios, runs):
+        overlay_series[ratio] = series
+        convergence[ratio] = convergence_time
         if trust_series is None:
-            trust_series = result.collector.trust_disconnected
+            trust_series = trust
     assert trust_series is not None
     return ConvergenceResult(
         alpha=alpha,
@@ -577,26 +672,38 @@ class ReplacementResult:
         )
 
 
+def _figure9_task(args) -> TimeSeries:
+    """One Figure-9 run: the replacements-per-node series for one ratio."""
+    scale, f, seed, lifetime_ratio, alpha = args
+    trust_graph = make_trust_graph(scale, f, seed)
+    config = make_config(scale, alpha, f=f, lifetime_ratio=lifetime_ratio, seed=seed)
+    result = run_overlay_experiment(
+        trust_graph,
+        config,
+        horizon=scale.fig9_horizon,
+        measure_window=max(1.0, scale.fig9_horizon * 0.2),
+        collector_interval=scale.collector_interval,
+    )
+    return result.collector.replacements_per_node
+
+
 def figure9(
     scale: ExperimentScale,
     seed: int = 1,
     f: float = 0.5,
     alpha: float = 0.25,
     ratios: Sequence[float] = (3.0, 9.0, math.inf),
+    workers: int = 1,
 ) -> ReplacementResult:
     """Link-replacement overhead over a long horizon."""
-    trust_graph = make_trust_graph(scale, f, seed)
+    runs = _map_tasks(
+        _figure9_task,
+        [(scale, f, seed, ratio, alpha) for ratio in ratios],
+        workers,
+    )
     series: Dict[float, TimeSeries] = {}
     stable: Dict[float, float] = {}
-    for ratio in ratios:
-        config = make_config(scale, alpha, f=f, lifetime_ratio=ratio, seed=seed)
-        result = run_overlay_experiment(
-            trust_graph,
-            config,
-            horizon=scale.fig9_horizon,
-            measure_window=max(1.0, scale.fig9_horizon * 0.2),
-            collector_interval=scale.collector_interval,
-        )
-        series[ratio] = result.collector.replacements_per_node
-        stable[ratio] = result.collector.replacements_per_node.tail_mean(0.25)
+    for ratio, replacement_series in zip(ratios, runs):
+        series[ratio] = replacement_series
+        stable[ratio] = replacement_series.tail_mean(0.25)
     return ReplacementResult(alpha=alpha, series=series, stable_rates=stable)

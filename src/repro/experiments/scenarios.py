@@ -28,6 +28,7 @@ from typing import Dict, Optional, Tuple
 import networkx as nx
 
 from ..config import SystemConfig
+from ..errors import ExperimentError
 from ..graphs import generate_social_graph, sample_trust_graph
 from ..rng import RandomStreams
 
@@ -37,6 +38,7 @@ __all__ = [
     "QUICK",
     "SMOKE",
     "scale_from_env",
+    "scale_by_name",
     "make_config",
     "make_trust_graph",
     "clear_graph_cache",
@@ -145,6 +147,21 @@ def scale_from_env(default: str = "quick") -> ExperimentScale:
         return PAPER
     name = os.environ.get("REPRO_SCALE", default).lower()
     return _SCALES.get(name, _SCALES[default])
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Resolve a scale by name (``paper``/``quick``/``smoke``).
+
+    Worker processes receive scales by name (names pickle smaller and
+    never drift from the canonical parameter sets).
+    """
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment scale {name!r}; expected one of "
+            f"{sorted(_SCALES)}"
+        ) from None
 
 
 def make_config(

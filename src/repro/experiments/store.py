@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import tempfile
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import ExperimentError
@@ -48,7 +49,12 @@ class ResultStore:
     ) -> None:
         """Persist ``data`` (JSON-serializable) under ``name``.
 
-        Overwrites any previous result of the same name.
+        Overwrites any previous result of the same name.  The write is
+        atomic: the document lands in a temp file in the store
+        directory, is flushed to disk, and replaces the target via
+        :func:`os.replace` — so a killed writer (e.g. a sweep worker's
+        parent dying mid-save) or a concurrent writer can never leave a
+        truncated or interleaved ``<name>.json`` behind.
         """
         document = {
             "schema": _SCHEMA_VERSION,
@@ -62,7 +68,21 @@ class ResultStore:
             raise ExperimentError(
                 f"result {name!r} is not JSON-serializable: {exc}"
             ) from exc
-        self._path(name).write_text(text, encoding="utf-8")
+        path = self._path(name)
+        # The ".tmp" suffix keeps in-flight files out of the "*.json"
+        # glob that names() uses.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self._root), prefix=f".{name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, str(path))
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
 
     def load(self, name: str) -> Any:
         """Load the data saved under ``name``.

@@ -18,7 +18,13 @@ from ..config import SystemConfig
 from ..errors import ExperimentError
 from .store import ResultStore
 
-__all__ = ["SweepPoint", "grid_sweep", "sweep_table_rows"]
+__all__ = [
+    "SweepPoint",
+    "grid_sweep",
+    "sweep_table_rows",
+    "point_store_key",
+    "validate_axes",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,7 +42,10 @@ class SweepPoint:
         raise ExperimentError(f"{name!r} is not a swept field")
 
 
-def _validate_fields(axes: Mapping[str, Sequence[Any]]) -> None:
+def validate_axes(axes: Mapping[str, Sequence[Any]]) -> None:
+    """Reject axes naming unknown config fields or holding no values."""
+    if not axes:
+        raise ExperimentError("a sweep needs at least one axis")
     valid = {field.name for field in dataclasses.fields(SystemConfig)}
     for name, values in axes.items():
         if name not in valid:
@@ -45,12 +54,24 @@ def _validate_fields(axes: Mapping[str, Sequence[Any]]) -> None:
             raise ExperimentError(f"axis {name!r} has no values")
 
 
+def point_store_key(store_prefix: str, overrides: Sequence[Tuple[str, Any]]) -> str:
+    """The store key one grid point memoizes under.
+
+    Shared by :func:`grid_sweep` and the parallel engine so serial and
+    parallel runs of the same sweep hit one cache.
+    """
+    return store_prefix + "_" + "_".join(
+        f"{name}-{value}" for name, value in overrides
+    ).replace("/", "-").replace(".", "p")
+
+
 def grid_sweep(
     base_config: SystemConfig,
     axes: Mapping[str, Sequence[Any]],
     experiment: Callable[[SystemConfig], Any],
     store: Optional[ResultStore] = None,
     store_prefix: str = "sweep",
+    workers: int = 1,
 ) -> List[SweepPoint]:
     """Run ``experiment`` over the cartesian product of ``axes``.
 
@@ -71,13 +92,28 @@ def grid_sweep(
         computes the missing points.
     store_prefix:
         Namespace for stored point names.
+    workers:
+        Worker-process count.  Anything above 1 delegates to
+        :func:`repro.parallel.parallel_grid_sweep`, which returns
+        records identical (same values, same order) to the serial path.
 
     Returns
     -------
     list of SweepPoint
         In grid order.
     """
-    _validate_fields(axes)
+    validate_axes(axes)
+    if workers > 1:
+        from ..parallel.sweep import parallel_grid_sweep
+
+        return parallel_grid_sweep(
+            base_config,
+            axes,
+            experiment,
+            workers=workers,
+            store=store,
+            store_prefix=store_prefix,
+        )
     names = list(axes.keys())
     points: List[SweepPoint] = []
     for combo in itertools.product(*(axes[name] for name in names)):
@@ -88,11 +124,8 @@ def grid_sweep(
             return experiment(config)
 
         if store is not None:
-            key = store_prefix + "_" + "_".join(
-                f"{name}-{value}" for name, value in overrides
-            ).replace("/", "-").replace(".", "p")
             outcome = store.get_or_compute(
-                key,
+                point_store_key(store_prefix, overrides),
                 compute,
                 metadata={"seed": base_config.seed, "overrides": repr(overrides)},
             )

@@ -1,0 +1,49 @@
+"""Deterministic multiprocess experiment execution.
+
+The paper's evaluation is a grid of independent simulation points; this
+package runs such grids on a pool of forked worker processes while
+keeping the results byte-identical to a serial run.  Four pieces:
+
+* :mod:`~repro.parallel.tasks` — the task model: per-point specs with
+  deterministically derived seeds, structured failures, task records.
+* :mod:`~repro.parallel.engine` — the fault-tolerant pool: per-task
+  timeouts, bounded retries with backoff, crash isolation.
+* :mod:`~repro.parallel.ledger` — the append-only JSONL run manifest
+  that makes interrupted sweeps resumable and finished ones auditable.
+* :mod:`~repro.parallel.sweep` — :func:`parallel_grid_sweep`, the
+  drop-in parallel twin of :func:`repro.experiments.sweeps.grid_sweep`.
+
+See ``docs/parallel.md`` for the architecture and the determinism and
+resume guarantees.
+"""
+
+from .engine import PoolOptions, fork_available, parallel_map, run_tasks
+from .experiments import OverlayPointExperiment
+from .ledger import LEDGER_SCHEMA, RunLedger, run_fingerprint
+from .sweep import ParallelSweepRun, parallel_grid_sweep, run_parallel_sweep
+from .tasks import (
+    TaskFailure,
+    TaskRecord,
+    TaskSpec,
+    derive_task_seed,
+    outcome_digest,
+)
+
+__all__ = [
+    "TaskSpec",
+    "TaskFailure",
+    "TaskRecord",
+    "derive_task_seed",
+    "outcome_digest",
+    "PoolOptions",
+    "run_tasks",
+    "parallel_map",
+    "fork_available",
+    "RunLedger",
+    "run_fingerprint",
+    "LEDGER_SCHEMA",
+    "ParallelSweepRun",
+    "parallel_grid_sweep",
+    "run_parallel_sweep",
+    "OverlayPointExperiment",
+]

@@ -1,0 +1,190 @@
+"""Resumable on-disk run ledger.
+
+A :class:`RunLedger` is an append-only JSONL manifest of one sweep run,
+written next to the :class:`~repro.experiments.store.ResultStore` that
+holds the point results.  The first line is a header fingerprinting the
+run (schema, prefix, root seed, axes, task count); every subsequent line
+records one task's fate — spec key, status, attempt count, duration,
+and result digest — in completion order.
+
+The ledger is what makes interrupted runs cheap to resume and finished
+runs auditable:
+
+* ``--resume`` replays the ledger, checks the fingerprint matches the
+  requested sweep, and skips every task whose last entry is ``done``
+  (re-verifying that the stored result still digests to the recorded
+  value).  Only missing, failed, or tampered points recompute.
+* A completed ledger documents exactly what ran: per-point attempt
+  counts expose flaky failures, digests pin the results, and failure
+  entries carry structured :class:`~repro.parallel.tasks.TaskFailure`
+  payloads.
+
+Appends are line-buffered single-writer operations from the parent
+process only — workers never touch the ledger — so a crash can at worst
+truncate the final line, which the reader tolerates by ignoring
+unparsable trailing lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ParallelError
+
+__all__ = ["LEDGER_SCHEMA", "RunLedger", "run_fingerprint"]
+
+#: Schema marker stamped into every ledger header.
+LEDGER_SCHEMA = "repro-parallel-ledger/1"
+
+
+def run_fingerprint(
+    store_prefix: str,
+    seed: int,
+    axes: Dict[str, List[Any]],
+    total_tasks: int,
+) -> Dict[str, Any]:
+    """The identity of a sweep, as stable JSON-friendly data.
+
+    Axis values go through ``repr`` so floats (including ``inf``) and
+    ints fingerprint exactly without JSON round-trip surprises.
+    """
+    return {
+        "schema": LEDGER_SCHEMA,
+        "prefix": store_prefix,
+        "seed": seed,
+        "axes": [[name, [repr(value) for value in values]] for name, values in axes.items()],
+        "total_tasks": total_tasks,
+    }
+
+
+@dataclasses.dataclass
+class LedgerState:
+    """Parsed view of a ledger file."""
+
+    header: Dict[str, Any]
+    #: Last entry per task key (later lines win — retried runs append).
+    entries: Dict[str, Dict[str, Any]]
+    #: How many resume markers the file contains.
+    resumes: int
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Entries whose final status produced a result."""
+        return {
+            key: entry
+            for key, entry in self.entries.items()
+            if entry.get("status") in ("done", "reused")
+        }
+
+
+class RunLedger:
+    """Append-only JSONL manifest of one sweep run."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self._path = pathlib.Path(path)
+
+    @property
+    def path(self) -> pathlib.Path:
+        """The backing JSONL file."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether a ledger file is present."""
+        return self._path.exists()
+
+    # -- writing -------------------------------------------------------
+
+    def start(self, fingerprint: Dict[str, Any]) -> None:
+        """Begin a fresh run: truncate and write the header line."""
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        header = dict(fingerprint)
+        header["kind"] = "header"
+        with open(self._path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def mark_resume(self) -> None:
+        """Append a resume marker (audit trail of interruptions)."""
+        self._append({"kind": "resume"})
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Append one task entry (``kind`` must be ``"task"``)."""
+        if entry.get("kind") != "task" or "key" not in entry:
+            raise ParallelError(f"not a task ledger entry: {entry!r}")
+        self._append(entry)
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        if not self._path.exists():
+            raise ParallelError(
+                f"ledger {self._path} was never started; call start() first"
+            )
+        line = json.dumps(entry, sort_keys=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- reading -------------------------------------------------------
+
+    def read(self) -> LedgerState:
+        """Parse the ledger, tolerating a truncated final line.
+
+        Raises
+        ------
+        ParallelError
+            If the file is missing, empty, or its header is not a
+            recognizable ledger header.
+        """
+        if not self._path.exists():
+            raise ParallelError(f"no ledger at {self._path}")
+        lines = self._path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ParallelError(f"ledger {self._path} is empty")
+        header = self._parse_line(lines[0])
+        if header is None or header.get("kind") != "header" or header.get(
+            "schema"
+        ) != LEDGER_SCHEMA:
+            raise ParallelError(
+                f"ledger {self._path} has no valid header line"
+            )
+        entries: Dict[str, Dict[str, Any]] = {}
+        resumes = 0
+        for position, line in enumerate(lines[1:], start=2):
+            entry = self._parse_line(line)
+            if entry is None:
+                # A crash mid-append can truncate only the last line;
+                # anything unparsable earlier means real corruption.
+                if position != len(lines):
+                    raise ParallelError(
+                        f"ledger {self._path} line {position} is corrupt"
+                    )
+                continue
+            kind = entry.get("kind")
+            if kind == "task" and "key" in entry:
+                entries[entry["key"]] = entry
+            elif kind == "resume":
+                resumes += 1
+        return LedgerState(header=header, entries=entries, resumes=resumes)
+
+    def matches(self, fingerprint: Dict[str, Any]) -> bool:
+        """Whether the on-disk header fingerprints the same sweep."""
+        try:
+            state = self.read()
+        except ParallelError:
+            return False
+        header = {
+            key: value for key, value in state.header.items() if key != "kind"
+        }
+        return header == fingerprint
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+        stripped = line.strip()
+        if not stripped:
+            return None
+        try:
+            parsed = json.loads(stripped)
+        except json.JSONDecodeError:
+            return None
+        return parsed if isinstance(parsed, dict) else None

@@ -1,0 +1,307 @@
+"""Parallel grid sweeps, byte-identical to serial ones.
+
+:func:`parallel_grid_sweep` is the drop-in parallel twin of
+:func:`repro.experiments.sweeps.grid_sweep`: same grid construction,
+same store keys and metadata, same returned ``List[SweepPoint]`` in
+grid order — pinned by an equivalence test.  Under the hood it builds
+one :class:`~repro.parallel.tasks.TaskSpec` per grid point, shards them
+across the fault-tolerant worker pool, records every task's fate in a
+:class:`~repro.parallel.ledger.RunLedger` next to the result store, and
+re-orders outcomes by grid position before aggregation.
+
+:func:`run_parallel_sweep` is the richer entry point the CLI uses: it
+returns the full :class:`ParallelSweepRun` — completed points *and*
+structured failures, computed/reused counts, and the ledger path —
+instead of raising on the first failed point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import pathlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..config import SystemConfig
+from ..errors import ParallelError
+from ..experiments.store import ResultStore
+from ..experiments.sweeps import SweepPoint, point_store_key, validate_axes
+from .engine import PoolOptions, run_tasks
+from .ledger import RunLedger, run_fingerprint
+from .tasks import (
+    STATUS_REUSED,
+    Clock,
+    TaskRecord,
+    TaskSpec,
+    derive_task_seed,
+    outcome_digest,
+)
+
+__all__ = ["ParallelSweepRun", "run_parallel_sweep", "parallel_grid_sweep"]
+
+#: Ledger file name template under the result-store root.
+_LEDGER_TEMPLATE = "{prefix}.ledger.jsonl"
+
+
+@dataclasses.dataclass
+class ParallelSweepRun:
+    """Everything one sweep run produced."""
+
+    #: Completed points in grid order (failed points are absent).
+    points: List[SweepPoint]
+    #: One record per grid point, in grid order, including failures.
+    records: List[TaskRecord]
+    #: The subset of ``records`` that ultimately failed.
+    failures: List[TaskRecord]
+    #: Points computed fresh this run.
+    computed: int
+    #: Points reused from the store (memoization or ``--resume``).
+    reused: int
+    ledger_path: Optional[pathlib.Path]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every grid point has a result."""
+        return not self.failures
+
+    def failure_report(self) -> str:
+        """Human-readable summary of every failed point."""
+        if not self.failures:
+            return "all points completed"
+        lines = [f"{len(self.failures)} point(s) failed:"]
+        for record in self.failures:
+            assert record.failure is not None
+            lines.append(
+                f"  {record.spec.key} (attempts={record.attempts}): "
+                f"{record.failure.summary()}"
+            )
+        return "\n".join(lines)
+
+
+def _build_specs(
+    base_config: SystemConfig,
+    axes: Mapping[str, Sequence[Any]],
+    store_prefix: str,
+) -> List[TaskSpec]:
+    """One spec per grid point, in cartesian-product (grid) order."""
+    names = list(axes.keys())
+    specs: List[TaskSpec] = []
+    for index, combo in enumerate(
+        itertools.product(*(axes[name] for name in names))
+    ):
+        overrides = tuple(zip(names, combo))
+        key = point_store_key(store_prefix, overrides)
+        specs.append(
+            TaskSpec(
+                index=index,
+                key=key,
+                payload=base_config.replace(**dict(overrides)),
+                seed=derive_task_seed(base_config.seed, key),
+            )
+        )
+    return specs
+
+
+def _point_metadata(base_config: SystemConfig, overrides) -> Dict[str, Any]:
+    """The store metadata ``grid_sweep`` uses for the same point."""
+    return {"seed": base_config.seed, "overrides": repr(overrides)}
+
+
+def run_parallel_sweep(
+    base_config: SystemConfig,
+    axes: Mapping[str, Sequence[Any]],
+    experiment: Callable[[SystemConfig], Any],
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    store_prefix: str = "sweep",
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    backoff_base: float = 0.05,
+    clock: Optional[Clock] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    write_ledger: bool = True,
+) -> ParallelSweepRun:
+    """Run a grid sweep on a worker pool; return points and records.
+
+    Parameters mirror :func:`~repro.experiments.sweeps.grid_sweep` plus
+    the execution policy of :class:`~repro.parallel.engine.PoolOptions`.
+    With a ``store``, completed points are persisted under the exact
+    keys/metadata ``grid_sweep`` would use (so serial and parallel runs
+    share one cache) and a ledger is written beside them.  ``resume``
+    requires a store and a compatible ledger; completed points whose
+    stored results still match their recorded digests are skipped.
+
+    The experiment must be a pure function of its config; outcomes must
+    be picklable (and JSON-serializable when a store is used).
+    """
+    validate_axes(axes)
+    if resume and store is None:
+        raise ParallelError("resume requires a result store")
+    axes_lists = {name: list(values) for name, values in axes.items()}
+    specs = _build_specs(base_config, axes_lists, store_prefix)
+    overrides_by_index = {}
+    names = list(axes_lists.keys())
+    for spec, combo in zip(
+        specs, itertools.product(*(axes_lists[name] for name in names))
+    ):
+        overrides_by_index[spec.index] = tuple(zip(names, combo))
+
+    fingerprint = run_fingerprint(
+        store_prefix, base_config.seed, axes_lists, len(specs)
+    )
+    ledger: Optional[RunLedger] = None
+    if store is not None and write_ledger:
+        ledger = RunLedger(
+            store.root / _LEDGER_TEMPLATE.format(prefix=store_prefix)
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: decide which points need computing.  A point is reusable
+    # when the store already holds it under matching metadata (the same
+    # rule grid_sweep's memoization applies); on --resume the ledger
+    # additionally documents it and pins its digest.
+    # ------------------------------------------------------------------
+    resumed_entries: Dict[str, Dict[str, Any]] = {}
+    if ledger is not None and resume:
+        if not ledger.exists():
+            raise ParallelError(
+                f"--resume requested but no ledger at {ledger.path}"
+            )
+        if not ledger.matches(fingerprint):
+            raise ParallelError(
+                f"ledger {ledger.path} records a different sweep (prefix, "
+                "seed, axes, or task count changed); rerun without resume"
+            )
+        resumed_entries = ledger.read().completed()
+
+    reused_records: Dict[int, TaskRecord] = {}
+    to_run: List[TaskSpec] = []
+    for spec in specs:
+        outcome = None
+        reusable = False
+        if store is not None and store.exists(spec.key):
+            metadata = _point_metadata(
+                base_config, overrides_by_index[spec.index]
+            )
+            if store.metadata(spec.key) == metadata:
+                outcome = store.load(spec.key)
+                digest = outcome_digest(outcome)
+                ledger_entry = resumed_entries.get(spec.key)
+                if ledger_entry is not None and ledger_entry.get("digest") not in (
+                    None,
+                    digest,
+                ):
+                    # Stored result no longer matches what the ledger
+                    # recorded — treat as tampered and recompute.
+                    outcome = None
+                else:
+                    reusable = True
+        if reusable:
+            reused_records[spec.index] = TaskRecord(
+                spec=spec,
+                status=STATUS_REUSED,
+                outcome=outcome,
+                attempts=0,
+                digest=outcome_digest(outcome),
+            )
+        else:
+            to_run.append(spec)
+
+    # ------------------------------------------------------------------
+    # Phase 2: ledger bookkeeping, then fan out the remaining points.
+    # ------------------------------------------------------------------
+    if ledger is not None:
+        if resume:
+            ledger.mark_resume()
+        else:
+            ledger.start(fingerprint)
+        for index in sorted(reused_records):
+            ledger.append(reused_records[index].to_ledger_entry())
+
+    def on_record(record: TaskRecord) -> None:
+        if record.ok and store is not None:
+            store.save(
+                record.spec.key,
+                record.outcome,
+                metadata=_point_metadata(
+                    base_config, overrides_by_index[record.spec.index]
+                ),
+            )
+        if ledger is not None:
+            ledger.append(record.to_ledger_entry())
+
+    computed_records = run_tasks(
+        experiment,
+        to_run,
+        PoolOptions(
+            workers=workers,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            backoff_base=backoff_base,
+            clock=clock,
+            sleep=sleep,
+        ),
+        on_record=on_record,
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 3: deterministic aggregation — merge by grid index.
+    # ------------------------------------------------------------------
+    all_records = dict(reused_records)
+    for record in computed_records:
+        all_records[record.spec.index] = record
+    ordered = [all_records[spec.index] for spec in specs]
+    failures = [record for record in ordered if not record.ok]
+    points = [
+        SweepPoint(
+            overrides=overrides_by_index[record.spec.index],
+            outcome=record.outcome,
+        )
+        for record in ordered
+        if record.ok
+    ]
+    return ParallelSweepRun(
+        points=points,
+        records=ordered,
+        failures=failures,
+        computed=len(computed_records),
+        reused=len(reused_records),
+        ledger_path=ledger.path if ledger is not None else None,
+    )
+
+
+def parallel_grid_sweep(
+    base_config: SystemConfig,
+    axes: Mapping[str, Sequence[Any]],
+    experiment: Callable[[SystemConfig], Any],
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    store_prefix: str = "sweep",
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    clock: Optional[Clock] = None,
+) -> List[SweepPoint]:
+    """Drop-in parallel :func:`~repro.experiments.sweeps.grid_sweep`.
+
+    Returns exactly what ``grid_sweep(base_config, axes, experiment,
+    store, store_prefix)`` returns — same values, same order — for any
+    worker count; raises :class:`ParallelError` with a per-point report
+    if any grid point ultimately fails.
+    """
+    run = run_parallel_sweep(
+        base_config,
+        axes,
+        experiment,
+        workers=workers,
+        store=store,
+        store_prefix=store_prefix,
+        resume=resume,
+        timeout=timeout,
+        max_attempts=max_attempts,
+        clock=clock,
+    )
+    if not run.complete:
+        raise ParallelError(run.failure_report())
+    return run.points

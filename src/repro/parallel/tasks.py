@@ -1,0 +1,143 @@
+"""Task model for the parallel sweep engine.
+
+A sweep's grid points become self-describing :class:`TaskSpec` objects:
+a stable grid ``index`` (the aggregation order), a canonical ``key``
+naming the point, a picklable ``payload`` the worker hands to the
+experiment function, and a ``seed`` derived deterministically from
+``(root_seed, key)`` via the :mod:`repro.rng` stream conventions.
+Because every task's randomness flows from its own spec — never from
+scheduling order, worker identity, or wall-clock time — a parallel run
+aggregates to exactly the records a serial run produces.
+
+Failures are data, not exceptions: a task that exhausts its attempts
+yields a structured :class:`TaskFailure` inside its :class:`TaskRecord`,
+so one bad grid point never tears down a thousand-point run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Callable, Optional
+
+from ..rng import RandomStreams
+
+__all__ = [
+    "Clock",
+    "TaskSpec",
+    "TaskFailure",
+    "TaskRecord",
+    "derive_task_seed",
+    "outcome_digest",
+]
+
+#: A monotonic-clock callable (e.g. ``time.perf_counter``).  The engine
+#: never reads a host clock itself; callers that want durations and
+#: timeout enforcement inject one (the CLI does), keeping this package
+#: clean under lint rule DET003.
+Clock = Callable[[], float]
+
+#: Statuses a task record can carry.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+STATUS_REUSED = "reused"
+
+
+def derive_task_seed(root_seed: int, key: str) -> int:
+    """Derive a task's seed from ``(root_seed, key)``.
+
+    Uses :meth:`repro.rng.RandomStreams.spawn`, so the mapping is a pure
+    function of its inputs: the same grid point always gets the same
+    seed no matter which worker runs it, when, or after which other
+    points.
+    """
+    return RandomStreams(root_seed).spawn("parallel-task", key).seed
+
+
+def outcome_digest(outcome: Any) -> str:
+    """Stable short digest of a task outcome.
+
+    Canonicalizes through JSON with sorted keys (``repr`` fallback for
+    exotic values), so two byte-identical results always digest equal
+    and the ledger can audit serial/parallel equivalence.
+    """
+    text = json.dumps(outcome, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work: a single grid point."""
+
+    #: Position in the grid; results are re-ordered by this index before
+    #: aggregation, so completion order never leaks into outputs.
+    index: int
+    #: Canonical name of the point (doubles as the ledger/store key).
+    key: str
+    #: Picklable argument handed to the experiment function.
+    payload: Any
+    #: Deterministic per-task seed (see :func:`derive_task_seed`).
+    seed: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """Why a task ultimately failed, as structured data.
+
+    ``kind`` is one of ``"exception"`` (the experiment raised),
+    ``"timeout"`` (the worker exceeded the per-task timeout and was
+    killed), or ``"crash"`` (the worker process died — segfault, OOM
+    kill, ``os._exit``).
+    """
+
+    kind: str
+    message: str
+    exception_type: Optional[str] = None
+    traceback: Optional[str] = None
+
+    def summary(self) -> str:
+        """One-line description for reports and error messages."""
+        prefix = self.exception_type or self.kind
+        return f"[{self.kind}] {prefix}: {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskRecord:
+    """The final fate of one task: outcome or failure, plus bookkeeping."""
+
+    spec: TaskSpec
+    status: str  # STATUS_DONE, STATUS_FAILED, or STATUS_REUSED
+    outcome: Any = None
+    failure: Optional[TaskFailure] = None
+    attempts: int = 0
+    #: Wall-clock seconds of the successful attempt; ``None`` when no
+    #: clock was injected (determinism-first default).
+    duration_s: Optional[float] = None
+    digest: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced an outcome (fresh or reused)."""
+        return self.status in (STATUS_DONE, STATUS_REUSED)
+
+    def to_ledger_entry(self) -> dict:
+        """The JSON-serializable ledger line for this record."""
+        entry = {
+            "kind": "task",
+            "index": self.spec.index,
+            "key": self.spec.key,
+            "task_seed": self.spec.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+            "digest": self.digest,
+        }
+        if self.failure is not None:
+            entry["failure"] = {
+                "kind": self.failure.kind,
+                "message": self.failure.message,
+                "exception_type": self.failure.exception_type,
+                "traceback": self.failure.traceback,
+            }
+        return entry

@@ -51,6 +51,7 @@ class TestSuiteDefinition:
             "brahms_sampler",
             "churn_sessions",
             "availability_sweep",
+            "parallel_sweep",
         } <= names
 
 
@@ -79,6 +80,20 @@ class TestRunSuite:
             assert "timing" not in entry
             assert "peak_rss_kb" not in entry
             assert "operations" in entry
+
+    def test_parallel_sweep_workload_checks_digests(self):
+        """The workload runs both paths and strips its wall_ facts."""
+        report = run_suite(
+            mode="quick", seed=1, repeats=1, only=["parallel_sweep"]
+        )
+        facts = report["benchmarks"]["parallel_sweep"]["workload"]
+        assert facts["digests_match"] is True
+        assert facts["workers"] >= 2
+        assert facts["wall_serial_s"] > 0
+        stripped = strip_nondeterministic(report)
+        stripped_facts = stripped["benchmarks"]["parallel_sweep"]["workload"]
+        assert not any(key.startswith("wall_") for key in stripped_facts)
+        assert stripped_facts["digest"] == facts["digest"]
 
     def test_only_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown benchmark"):

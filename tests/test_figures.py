@@ -108,3 +108,27 @@ class TestFigure9:
         assert result.stable_rates[math.inf] < result.stable_rates[3.0]
         table = result.format_table()
         assert "Figure 9" in table and "Infinite" in table
+
+
+class TestWorkersEquivalence:
+    """The workers= contract: parallel figure points are identical."""
+
+    def test_availability_sweep_parallel_identical(self, sweep):
+        parallel = availability_sweep(
+            SMOKE, f=0.5, seed=1, alphas=(0.25, 0.6), workers=2
+        )
+        assert parallel == sweep
+
+    def test_figure9_parallel_identical(self):
+        import numpy as np
+
+        serial = figure9(SMOKE, seed=1, ratios=(3.0, math.inf))
+        parallel = figure9(SMOKE, seed=1, ratios=(3.0, math.inf), workers=2)
+        assert parallel.stable_rates == serial.stable_rates
+        for ratio in serial.series:
+            assert np.array_equal(
+                parallel.series[ratio].times, serial.series[ratio].times
+            )
+            assert np.array_equal(
+                parallel.series[ratio].values, serial.series[ratio].values
+            )

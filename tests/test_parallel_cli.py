@@ -1,0 +1,102 @@
+"""Tests for the ``repro sweep`` subcommand and figure --workers flag."""
+
+import pytest
+
+from repro.cli import main
+from repro.parallel.cli import parse_axis
+
+
+def _sweep_args(store, extra=()):
+    return [
+        "sweep",
+        "--scale",
+        "smoke",
+        "--seed",
+        "3",
+        "--axis",
+        "availability=0.3,0.6",
+        "--workers",
+        "2",
+        "--store",
+        str(store),
+        *extra,
+    ]
+
+
+class TestParseAxis:
+    def test_numeric_coercion(self):
+        assert parse_axis("availability=0.3,0.6") == ("availability", [0.3, 0.6])
+        assert parse_axis("cache_size=50,100") == ("cache_size", [50, 100])
+
+    def test_string_values_pass_through(self):
+        assert parse_axis("name=a,b") == ("name", ["a", "b"])
+
+    def test_malformed_rejected(self):
+        import argparse
+
+        for bad in ("availability", "=0.3", "availability="):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_axis(bad)
+
+
+class TestSweepCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        code = main(_sweep_args(store))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "2 computed, 0 reused" in out
+        assert (store / "sweep.ledger.jsonl").exists()
+
+    def test_resume_is_noop_after_completion(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(_sweep_args(store)) == 0
+        capsys.readouterr()
+        code = main(_sweep_args(store, ["--resume", "--expect-no-compute"]))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 reused" in out
+
+    def test_expect_no_compute_fails_on_fresh_run(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        code = main(_sweep_args(store, ["--expect-no-compute"]))
+        assert code == 1
+        assert "expected a no-op" in capsys.readouterr().out
+
+    def test_resume_without_ledger_fails(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        code = main(_sweep_args(store, ["--resume"]))
+        assert code == 1
+        assert "no ledger" in capsys.readouterr().out
+
+    def test_unknown_axis_field_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scale",
+                "smoke",
+                "--axis",
+                "warp_speed=1,2",
+                "--store",
+                str(tmp_path / "results"),
+            ]
+        )
+        assert code == 1
+        assert "warp_speed" in capsys.readouterr().out
+
+    def test_malformed_axis_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--axis", "not-an-axis"])
+        assert excinfo.value.code == 2
+
+    def test_axis_required(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scale", "smoke"])
+
+
+class TestFigureWorkersFlag:
+    def test_fig8_with_workers(self, capsys):
+        code = main(["fig8", "--scale", "smoke", "--workers", "2"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Tests for the resumable JSONL run ledger."""
+
+import json
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import LEDGER_SCHEMA, RunLedger, run_fingerprint
+
+
+def _fingerprint(**overrides):
+    base = dict(
+        store_prefix="sweep",
+        seed=3,
+        axes={"availability": [0.3, 0.6]},
+        total_tasks=2,
+    )
+    base.update(overrides)
+    return run_fingerprint(**base)
+
+
+def _entry(key, status="done", **extra):
+    entry = {
+        "kind": "task",
+        "index": 0,
+        "key": key,
+        "task_seed": 42,
+        "status": status,
+        "attempts": 1,
+        "duration_s": None,
+        "digest": "abc123",
+    }
+    entry.update(extra)
+    return entry
+
+
+class TestFingerprint:
+    def test_stable_and_json_safe(self):
+        fp = _fingerprint(axes={"availability": [0.3], "lifetime_ratio": [float("inf")]})
+        assert fp == _fingerprint(
+            axes={"availability": [0.3], "lifetime_ratio": [float("inf")]}
+        )
+        assert fp["schema"] == LEDGER_SCHEMA
+        # inf round-trips through repr, not through JSON floats.
+        assert json.loads(json.dumps(fp)) == fp
+
+    def test_distinguishes_runs(self):
+        assert _fingerprint() != _fingerprint(seed=4)
+        assert _fingerprint() != _fingerprint(store_prefix="other")
+        assert _fingerprint() != _fingerprint(axes={"availability": [0.3]})
+
+
+class TestRunLedger:
+    def test_start_append_read_roundtrip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        assert not ledger.exists()
+        ledger.start(_fingerprint())
+        ledger.append(_entry("p1"))
+        ledger.append(_entry("p2", status="failed"))
+        state = ledger.read()
+        assert state.header["seed"] == 3
+        assert set(state.entries) == {"p1", "p2"}
+        assert state.completed() == {"p1": _entry("p1")}
+        assert state.resumes == 0
+
+    def test_later_entries_win(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        ledger.start(_fingerprint())
+        ledger.append(_entry("p1", status="failed"))
+        ledger.append(_entry("p1", status="done", attempts=2))
+        state = ledger.read()
+        assert state.entries["p1"]["status"] == "done"
+        assert state.entries["p1"]["attempts"] == 2
+
+    def test_resume_markers_counted(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        ledger.start(_fingerprint())
+        ledger.mark_resume()
+        ledger.mark_resume()
+        assert ledger.read().resumes == 2
+
+    def test_start_truncates_previous_run(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        ledger.start(_fingerprint())
+        ledger.append(_entry("old"))
+        ledger.start(_fingerprint(seed=9))
+        state = ledger.read()
+        assert state.entries == {}
+        assert state.header["seed"] == 9
+
+    def test_append_requires_start(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        with pytest.raises(ParallelError):
+            ledger.append(_entry("p1"))
+
+    def test_append_rejects_non_task_entries(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        ledger.start(_fingerprint())
+        with pytest.raises(ParallelError):
+            ledger.append({"kind": "header"})
+        with pytest.raises(ParallelError):
+            ledger.append({"kind": "task"})  # no key
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.start(_fingerprint())
+        ledger.append(_entry("p1"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "task", "key": "p2", "stat')  # killed mid-append
+        state = ledger.read()
+        assert set(state.entries) == {"p1"}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "run.ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.start(_fingerprint())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        ledger.append(_entry("p1"))
+        with pytest.raises(ParallelError, match="corrupt"):
+            ledger.read()
+
+    def test_missing_or_headerless_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        with pytest.raises(ParallelError):
+            ledger.read()
+        ledger.path.write_text('{"kind": "task", "key": "p1"}\n')
+        with pytest.raises(ParallelError, match="header"):
+            ledger.read()
+
+    def test_matches_fingerprint(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.ledger.jsonl")
+        assert not ledger.matches(_fingerprint())
+        ledger.start(_fingerprint())
+        assert ledger.matches(_fingerprint())
+        assert not ledger.matches(_fingerprint(seed=4))
+        assert not ledger.matches(_fingerprint(total_tasks=3))

@@ -1,0 +1,222 @@
+"""Tests for the parallel grid sweep: equivalence, resume, failures.
+
+The serial/parallel equivalence test here is an acceptance criterion:
+``parallel_grid_sweep(..., workers=4)`` must return records identical
+to ``grid_sweep(...)`` for the same root seed, using the real overlay
+experiment.
+"""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.experiments import (
+    ResultStore,
+    SMOKE,
+    grid_sweep,
+    make_config,
+    make_trust_graph,
+    point_store_key,
+)
+from repro.parallel import (
+    OverlayPointExperiment,
+    outcome_digest,
+    parallel_grid_sweep,
+    run_parallel_sweep,
+)
+
+# A real (but short-horizon) overlay experiment: full protocol stack.
+EXPERIMENT = OverlayPointExperiment(
+    scale_name="smoke", f=0.5, horizon=8.0, measure_window=4.0
+)
+AXES = {"availability": [0.3, 0.6], "lifetime_ratio": [3.0, 9.0]}
+
+
+def _base(seed=3):
+    return make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
+
+
+def _count_and_run(config):
+    return {"availability": config.availability, "seed": config.seed}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_trust_graph():
+    # Memoize the trust graph once so forked workers inherit it and the
+    # module's many sweeps share one social-graph build.
+    make_trust_graph(SMOKE, f=0.5, seed=3)
+
+
+class TestEquivalence:
+    def test_parallel_identical_to_serial(self):
+        """Acceptance: workers=4 returns exactly what grid_sweep does."""
+        serial = grid_sweep(_base(), AXES, EXPERIMENT)
+        parallel = parallel_grid_sweep(_base(), AXES, EXPERIMENT, workers=4)
+        assert parallel == serial
+        assert outcome_digest([p.outcome for p in parallel]) == outcome_digest(
+            [p.outcome for p in serial]
+        )
+
+    def test_workers_param_on_grid_sweep_delegates(self):
+        serial = grid_sweep(_base(), AXES, EXPERIMENT)
+        via_param = grid_sweep(_base(), AXES, EXPERIMENT, workers=2)
+        assert via_param == serial
+
+    def test_shared_store_cache(self, tmp_path):
+        """Serial and parallel runs memoize under the same store keys."""
+        store = ResultStore(tmp_path)
+        serial = grid_sweep(_base(), AXES, EXPERIMENT, store=store)
+        run = run_parallel_sweep(
+            _base(), AXES, EXPERIMENT, workers=2, store=store
+        )
+        assert run.computed == 0
+        assert run.reused == len(serial)
+        assert run.points == serial
+
+
+class TestRunParallelSweep:
+    def test_grid_order_and_seeds(self, tmp_path):
+        run = run_parallel_sweep(_base(), AXES, _count_and_run, workers=2)
+        assert [p.overrides for p in run.points] == [
+            (("availability", 0.3), ("lifetime_ratio", 3.0)),
+            (("availability", 0.3), ("lifetime_ratio", 9.0)),
+            (("availability", 0.6), ("lifetime_ratio", 3.0)),
+            (("availability", 0.6), ("lifetime_ratio", 9.0)),
+        ]
+        # Each record carries a per-task seed derived from (root, key).
+        seeds = [record.spec.seed for record in run.records]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_ledger_written_and_audits_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_parallel_sweep(
+            _base(), AXES, _count_and_run, workers=2, store=store
+        )
+        assert run.ledger_path is not None and run.ledger_path.exists()
+        from repro.parallel import RunLedger
+
+        state = RunLedger(run.ledger_path).read()
+        assert len(state.completed()) == 4
+        for key, entry in state.completed().items():
+            assert entry["digest"] == outcome_digest(store.load(key))
+
+    def test_resume_completes_only_missing_points(self, tmp_path):
+        """Kill mid-flight (simulated via a poisoned point), resume,
+        and the merged output equals an uninterrupted run."""
+        store = ResultStore(tmp_path)
+        poison = tmp_path / "poison"
+        poison.write_text("1")
+
+        def sometimes_fails(config):
+            if config.availability == 0.6 and poison.exists():
+                raise RuntimeError("injected mid-run failure")
+            return {"availability": config.availability}
+
+        first = run_parallel_sweep(
+            _base(),
+            AXES,
+            sometimes_fails,
+            workers=2,
+            store=store,
+            max_attempts=1,
+        )
+        assert not first.complete
+        assert len(first.failures) == 2
+        assert first.computed == 4
+
+        poison.unlink()
+        resumed = run_parallel_sweep(
+            _base(),
+            AXES,
+            sometimes_fails,
+            workers=2,
+            store=store,
+            resume=True,
+            max_attempts=1,
+        )
+        assert resumed.complete
+        assert resumed.computed == 2  # only the two failed points
+        assert resumed.reused == 2
+
+        uninterrupted = run_parallel_sweep(
+            _base(), AXES, sometimes_fails, workers=2
+        )
+        assert resumed.points == uninterrupted.points
+
+    def test_resume_noop_when_complete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_parallel_sweep(_base(), AXES, _count_and_run, workers=2, store=store)
+        again = run_parallel_sweep(
+            _base(), AXES, _count_and_run, workers=2, store=store, resume=True
+        )
+        assert again.computed == 0
+        assert again.reused == 4
+        assert again.complete
+
+    def test_resume_requires_store_and_ledger(self, tmp_path):
+        with pytest.raises(ParallelError, match="store"):
+            run_parallel_sweep(_base(), AXES, _count_and_run, resume=True)
+        with pytest.raises(ParallelError, match="no ledger"):
+            run_parallel_sweep(
+                _base(),
+                AXES,
+                _count_and_run,
+                store=ResultStore(tmp_path),
+                resume=True,
+            )
+
+    def test_resume_rejects_different_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_parallel_sweep(_base(), AXES, _count_and_run, store=store)
+        with pytest.raises(ParallelError, match="different sweep"):
+            run_parallel_sweep(
+                _base(),
+                {"availability": [0.3]},
+                _count_and_run,
+                store=store,
+                resume=True,
+            )
+
+    def test_resume_recomputes_tampered_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = _base()
+        run_parallel_sweep(base, AXES, _count_and_run, store=store)
+        # Overwrite one stored point (same metadata, different data):
+        # its digest no longer matches the ledger, so resume recomputes.
+        key = point_store_key(
+            "sweep", (("availability", 0.3), ("lifetime_ratio", 3.0))
+        )
+        overrides = (("availability", 0.3), ("lifetime_ratio", 3.0))
+        store.save(
+            key,
+            {"availability": 999},
+            metadata={"seed": base.seed, "overrides": repr(overrides)},
+        )
+        resumed = run_parallel_sweep(
+            base, AXES, _count_and_run, store=store, resume=True
+        )
+        assert resumed.computed == 1
+        assert resumed.reused == 3
+        assert store.load(key) == {"availability": 0.3, "seed": 3}
+
+    def test_failure_report_and_strict_raise(self):
+        def always_fails(config):
+            raise ValueError("nope")
+
+        run = run_parallel_sweep(
+            _base(),
+            {"availability": [0.3]},
+            always_fails,
+            max_attempts=1,
+        )
+        assert not run.complete
+        assert "1 point(s) failed" in run.failure_report()
+        with pytest.raises(ParallelError, match="failed"):
+            parallel_grid_sweep(
+                _base(), {"availability": [0.3]}, always_fails, max_attempts=1
+            )
+
+    def test_empty_axes_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_parallel_sweep(_base(), {}, _count_and_run)

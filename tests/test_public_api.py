@@ -23,6 +23,7 @@ _PACKAGES = [
     "repro.analysis",
     "repro.baselines",
     "repro.experiments",
+    "repro.parallel",
 ]
 
 

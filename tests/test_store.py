@@ -105,3 +105,78 @@ class TestGetOrCompute:
             "x", lambda: 99, metadata={"seed": 2}, match_metadata=False
         )
         assert result == 7
+
+
+class TestAtomicSave:
+    def test_interrupted_replace_leaves_old_result_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """Simulate the writer dying at the os.replace boundary: the
+        previous result must survive untouched and no temp files leak."""
+        import os as os_module
+
+        store = ResultStore(tmp_path)
+        store.save("x", {"value": 1}, metadata={"seed": 1})
+
+        def crash_replace(src, dst):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr("repro.experiments.store.os.replace", crash_replace)
+        with pytest.raises(OSError):
+            store.save("x", {"value": 2}, metadata={"seed": 2})
+        monkeypatch.undo()
+
+        assert store.load("x") == {"value": 1}
+        assert store.metadata("x") == {"seed": 1}
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "x.json"]
+        assert leftovers == []
+
+    def test_interrupted_write_never_visible(self, tmp_path, monkeypatch):
+        """A crash while writing the temp file must not corrupt or even
+        create the target document."""
+        store = ResultStore(tmp_path)
+
+        real_fdopen = __import__("os").fdopen
+
+        def crash_fdopen(fd, *args, **kwargs):
+            handle = real_fdopen(fd, *args, **kwargs)
+            original_write = handle.write
+
+            def partial_write(text):
+                original_write(text[: len(text) // 2])
+                raise OSError("simulated crash mid-write")
+
+            handle.write = partial_write
+            return handle
+
+        monkeypatch.setattr("repro.experiments.store.os.fdopen", crash_fdopen)
+        with pytest.raises(OSError):
+            store.save("y", {"value": 3})
+        monkeypatch.undo()
+
+        assert not store.exists("y")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temp_files_invisible_to_names(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a", 1)
+        (tmp_path / ".a-pending.tmp").write_text("partial")
+        assert store.names() == ["a"]
+
+    def test_concurrent_writers_never_interleave(self, tmp_path):
+        """Racing writers may drop all but the last document, but the
+        surviving file is always one complete valid JSON document."""
+        import threading
+
+        store = ResultStore(tmp_path)
+        payloads = [{"writer": i, "blob": "x" * 2000} for i in range(8)]
+        threads = [
+            threading.Thread(target=store.save, args=("shared", payload))
+            for payload in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        loaded = store.load("shared")
+        assert loaded in payloads

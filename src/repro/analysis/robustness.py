@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import GraphError
 from ..graphs import fraction_disconnected
+from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis, resolve_graph_backend
 from ..rng import fallback_rng
 
 __all__ = [
@@ -55,6 +56,7 @@ def targeted_failure_curve(
     strategy: str = "degree",
     rng: Optional[np.random.Generator] = None,
     removal_order: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
 ) -> List[FailurePoint]:
     """Connectivity of ``graph`` as nodes are progressively removed.
 
@@ -74,6 +76,11 @@ def targeted_failure_curve(
         Explicit removal sequence for ``strategy="custom"`` — e.g. the
         *trust graph's* hub order applied to the overlay, modeling the
         compromise of the same celebrity users in both topologies.
+    backend:
+        Metric backend override; the default ``"fast"`` path converts
+        the graph to a flat snapshot once and re-induces survivors with
+        a mask per fraction instead of copying and mutating an
+        ``nx.Graph``.  Values are identical either way.
 
     Returns
     -------
@@ -111,9 +118,39 @@ def targeted_failure_curve(
         order = list(graph.nodes())
         rng.shuffle(order)
 
+    # The flat-snapshot path needs non-negative integer labels to index
+    # the survivor mask; anything else falls back to the reference path.
+    use_fast = resolve_graph_backend(backend) == "fast" and all(
+        isinstance(node, (int, np.integer)) and node >= 0
+        for node in graph.nodes()
+    )
     points: List[FailurePoint] = []
-    working = graph.copy()
     removed_so_far = 0
+    if use_fast:
+        base = FlatSnapshot.from_networkx(graph)
+        keep = np.ones(int(base.node_ids[-1]) + 1, dtype=bool)
+        for fraction in fractions:
+            target_removed = int(fraction * total)
+            while removed_so_far < target_removed:
+                keep[order[removed_so_far]] = False
+                removed_so_far += 1
+            survivors = total - removed_so_far
+            if survivors == 0:
+                points.append(FailurePoint(fraction, removed_so_far, 1.0, 0.0))
+                continue
+            analysis = SnapshotAnalysis(base.induced_by_labels(keep))
+            disconnected = analysis.fraction_disconnected()
+            largest = (1.0 - disconnected) * survivors / total
+            points.append(
+                FailurePoint(
+                    removed_fraction=fraction,
+                    removed_count=removed_so_far,
+                    disconnected=disconnected,
+                    largest_component_fraction=largest,
+                )
+            )
+        return points
+    working = graph.copy()
     for fraction in fractions:
         target_removed = int(fraction * total)
         while removed_so_far < target_removed:

@@ -19,13 +19,37 @@ graph algorithms over the trust graph, no simulation required.
 from __future__ import annotations
 
 import dataclasses
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..errors import ExperimentError
+from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis, resolve_graph_backend
 
 __all__ = ["CoalitionExposure", "is_vertex_cut", "cut_components", "coalition_exposure"]
+
+
+def _remainder_analysis(
+    trust_graph: nx.Graph, members: Set[int]
+) -> Optional[SnapshotAnalysis]:
+    """One flat-snapshot labeling of the trust graph minus the coalition.
+
+    Returns None when the fast backend is off or the graph is not
+    non-negative-integer labeled (the reference path handles those).
+    """
+    if resolve_graph_backend() != "fast":
+        return None
+    if not all(
+        isinstance(node, (int, np.integer)) and node >= 0
+        for node in trust_graph.nodes()
+    ):
+        return None
+    base = FlatSnapshot.from_networkx(trust_graph)
+    keep = np.array(
+        [label not in members for label in base.node_ids.tolist()], dtype=bool
+    )
+    return SnapshotAnalysis(base.induced(keep))
 
 
 def is_vertex_cut(trust_graph: nx.Graph, coalition: Sequence[int]) -> bool:
@@ -36,6 +60,11 @@ def is_vertex_cut(trust_graph: nx.Graph, coalition: Sequence[int]) -> bool:
     nodes remain separated, else False.
     """
     members = set(coalition)
+    analysis = _remainder_analysis(trust_graph, members)
+    if analysis is not None:
+        if analysis.snapshot.num_nodes <= 1:
+            return False
+        return analysis.component_count() != 1
     rest = [node for node in trust_graph.nodes() if node not in members]
     if len(rest) <= 1:
         return False
@@ -46,8 +75,15 @@ def is_vertex_cut(trust_graph: nx.Graph, coalition: Sequence[int]) -> bool:
 def cut_components(
     trust_graph: nx.Graph, coalition: Sequence[int]
 ) -> List[FrozenSet[int]]:
-    """Connected components of the trust graph minus the coalition."""
+    """Connected components of the trust graph minus the coalition,
+    ordered by smallest member."""
     members = set(coalition)
+    analysis = _remainder_analysis(trust_graph, members)
+    if analysis is not None:
+        return [
+            frozenset(int(label) for label in component.tolist())
+            for component in analysis.components()
+        ]
     rest = [node for node in trust_graph.nodes() if node not in members]
     remainder = trust_graph.subgraph(rest)
     return [frozenset(component) for component in nx.connected_components(remainder)]
@@ -108,10 +144,24 @@ def coalition_exposure(
             if neighbor not in members:
                 adjacent.add(neighbor)
 
-    forms_cut = is_vertex_cut(trust_graph, list(members))
+    # One remainder labeling answers both the cut question and the
+    # component enumeration on the fast path.
+    analysis = _remainder_analysis(trust_graph, set(members))
+    if analysis is not None:
+        rest = analysis.snapshot.num_nodes
+        forms_cut = rest > 1 and analysis.component_count() != 1
+        components: List[FrozenSet[int]] = [
+            frozenset(int(label) for label in component.tolist())
+            for component in analysis.components()
+        ]
+    else:
+        forms_cut = is_vertex_cut(trust_graph, list(members))
+        components = (
+            cut_components(trust_graph, list(members)) if forms_cut else []
+        )
     isolated: List[Tuple[int, int]] = []
     if forms_cut:
-        for component in cut_components(trust_graph, list(members)):
+        for component in components:
             if len(component) == 2:
                 a, b = sorted(component)
                 if trust_graph.has_edge(a, b):

@@ -24,9 +24,9 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-from ..churn import generate_trace, homogeneous_specs
+from ..churn import generate_trace, homogeneous_specs, stationary_online_mask
 from ..core import Pseudonym, SamplerSlots
-from ..errors import ParallelError
+from ..errors import ExperimentError, ParallelError
 from ..experiments import (
     SMOKE,
     availability_sweep,
@@ -307,6 +307,106 @@ def _prepare_parallel_sweep(mode: str, seed: int) -> Callable[[], Dict[str, Any]
 
 
 # ----------------------------------------------------------------------
+# metric sampling kernels (fast backend vs networkx reference)
+# ----------------------------------------------------------------------
+
+
+def _prepare_metrics_sample(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """One collector sample's metrics on a large churned snapshot.
+
+    Prepares a 2k-node (4k in full mode) social graph restricted to a
+    stationary online set, runs the networkx reference pipeline once
+    (untimed relative to the harness; its wall clock is recorded under
+    a ``wall_`` fact), then times the fast-backend pipeline: CSR
+    snapshot assembly, one shared component labeling, disconnected
+    fraction, sampled normalized path length, and degree histogram.
+    Every fast value is checked against the reference — the bench
+    doubles as a continuous exactness test — and ``wall_speedup``
+    reports the per-sample ratio.
+    """
+    from ..churn import online_subgraph
+    from ..graphs import (
+        degree_histogram,
+        fraction_disconnected,
+        generate_social_graph,
+        normalized_path_length,
+    )
+    from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis
+
+    num_nodes, iters = (2000, 3) if mode == "quick" else (4000, 5)
+    path_sources = 64
+    graph_rng = RandomStreams(seed).substream("bench", "metrics-graph")
+    graph = generate_social_graph(num_nodes, rng=graph_rng)
+    mask = stationary_online_mask(
+        num_nodes, 0.6, RandomStreams(seed).substream("bench", "metrics-mask")
+    )
+    induced = online_subgraph(graph, mask)
+
+    # Reference pass: the pre-fastgraph collector pipeline (the largest
+    # component is recomputed inside each metric, as it used to be).
+    started = time.perf_counter()  # lint: disable=DET003
+    ref_fraction = fraction_disconnected(induced)
+    ref_path = normalized_path_length(
+        induced,
+        num_nodes,
+        sample_sources=path_sources,
+        rng=RandomStreams(seed).substream("bench", "metrics-sources"),
+    )
+    ref_histogram = degree_histogram(induced)
+    wall_networkx = time.perf_counter() - started  # lint: disable=DET003
+
+    # Raw endpoint positions: what the overlay's incremental store hands
+    # to snapshot assembly, so the timed region includes CSR building.
+    base = FlatSnapshot.from_networkx(induced)
+    node_ids = base.node_ids
+    endpoint_a = base.edge_u.copy()
+    endpoint_b = base.edge_v.copy()
+
+    def run() -> Dict[str, Any]:
+        started = time.perf_counter()  # lint: disable=DET003
+        for _ in range(iters):
+            snapshot = FlatSnapshot.from_edge_positions(
+                node_ids, endpoint_a, endpoint_b
+            )
+            analysis = SnapshotAnalysis(snapshot)
+            fraction = analysis.fraction_disconnected()
+            path = analysis.normalized_path_length(
+                num_nodes,
+                sample_sources=path_sources,
+                rng=RandomStreams(seed).substream("bench", "metrics-sources"),
+            )
+            histogram = analysis.degree_histogram()
+            if (
+                fraction != ref_fraction
+                or path != ref_path
+                or histogram != ref_histogram
+            ):
+                raise ExperimentError(
+                    "fast metrics diverged from networkx reference: "
+                    f"({fraction}, {path}) != ({ref_fraction}, {ref_path})"
+                )
+        wall_fast = time.perf_counter() - started  # lint: disable=DET003
+        per_sample = wall_fast / iters
+        return {
+            "operations": iters,
+            "samples": iters,
+            "nodes": num_nodes,
+            "online_nodes": induced.number_of_nodes(),
+            "edges": induced.number_of_edges(),
+            "path_sources": path_sources,
+            "disconnected": round(ref_fraction, 12),
+            "path_length": round(ref_path, 12),
+            "histogram_digest": _digest(sorted(ref_histogram.items())),
+            "values_match": True,
+            "wall_networkx_s": wall_networkx,
+            "wall_fast_s": per_sample,
+            "wall_speedup": wall_networkx / per_sample if per_sample > 0 else 0.0,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # convergence run (single overlay under churn)
 # ----------------------------------------------------------------------
 
@@ -358,6 +458,11 @@ SUITE: Tuple[Workload, ...] = (
         "churn_sessions",
         "pre-generated churn session traces for a large population",
         _prepare_churn_sessions,
+    ),
+    Workload(
+        "metrics_sample",
+        "collector metric kernels on a 2k-node churned snapshot (fast vs networkx)",
+        _prepare_metrics_sample,
     ),
     Workload(
         "overlay_churn",

@@ -5,7 +5,7 @@ Usage::
     repro fig3 --scale quick --seed 1
     repro fig8 --plot               # ASCII plot of the time series
     repro all  --scale quick
-    repro fig3 --workers 4          # fan points out across processes
+    repro fig3 --scale quick --workers 4   # fan points out across processes
     repro lint src --format json    # determinism/hygiene linter
     repro bench --quick --json BENCH_micro.json
     repro sweep --axis availability=0.25,0.5 --workers 4 --resume

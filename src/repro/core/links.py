@@ -61,6 +61,8 @@ class LinkSet:
         "_pseudonym_list",
         "replacements_total",
         "additions_total",
+        "version",
+        "trusted_version",
     )
 
     def __init__(self, trusted_neighbors: Iterable[int]) -> None:
@@ -75,6 +77,13 @@ class LinkSet:
         self._pseudonym_list: Optional[List[Pseudonym]] = None
         self.replacements_total = 0
         self.additions_total = 0
+        #: Change counters: ``version`` bumps whenever the pseudonym
+        #: link set changes, ``trusted_version`` whenever the trusted
+        #: set grows.  The overlay's incremental snapshot store compares
+        #: them against its last-seen values instead of re-reading every
+        #: node's link table on each measurement sample.
+        self.version = 0
+        self.trusted_version = 0
 
     @property
     def trusted(self) -> FrozenSet[int]:
@@ -93,6 +102,7 @@ class LinkSet:
         self._trusted.add(neighbor)
         self._trusted_list = sorted(self._trusted)
         self._trusted_frozen = frozenset(self._trusted)
+        self.trusted_version += 1
         return True
 
     @property
@@ -151,6 +161,7 @@ class LinkSet:
                 added += 1
         if added or removed:
             self._pseudonym_list = None
+            self.version += 1
         self.replacements_total += removed
         self.additions_total += added
         return added, removed

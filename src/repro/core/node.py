@@ -106,6 +106,7 @@ class OverlayNode:
         "_link_layer",
         "_rng",
         "_pseudonym_listener",
+        "online_listener",
         "_renewal_handle",
         "_last_sent_entries",
         "_shuffler",
@@ -153,6 +154,11 @@ class OverlayNode:
         self._link_layer = link_layer
         self._rng = rng
         self._pseudonym_listener = pseudonym_listener
+        #: Measurement hook ``listener(node_id, online)`` fired after
+        #: every actual online/offline transition (suppressed when the
+        #: call is a no-op).  The protocol layer uses it to invalidate
+        #: cached online sets; it is not part of the protocol.
+        self.online_listener: Optional[Callable[[int, bool], None]] = None
 
         self.online = False
         self.own: Optional[Pseudonym] = None
@@ -205,6 +211,8 @@ class OverlayNode:
         self._expire_state(now)
         self._ensure_own_pseudonym(now)
         self._shuffler.start()
+        if self.online_listener is not None:
+            self.online_listener(self.node_id, True)
 
     def go_offline(self) -> None:
         """Leave the system, retaining all protocol state."""
@@ -220,6 +228,8 @@ class OverlayNode:
         if self._renewal_handle is not None:
             self._renewal_handle.cancel()
             self._renewal_handle = None
+        if self.online_listener is not None:
+            self.online_listener(self.node_id, False)
 
     # ------------------------------------------------------------------
     # pseudonym lifecycle (Section III-C)

@@ -20,7 +20,7 @@ simulator, random streams, link layer, and churn from a
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -34,6 +34,7 @@ from ..churn import (
 )
 from ..config import SystemConfig
 from ..errors import GraphError, ProtocolError
+from ..graphs.fastgraph import FlatSnapshot
 from ..privlink import Address, LinkLayer, make_ideal_link_layer
 from ..rng import RandomStreams
 from ..sim import Simulator
@@ -55,6 +56,212 @@ class OverlayStats:
     pseudonyms_created: int
 
 
+class _SnapshotStore:
+    """Incrementally maintained flat edge arrays behind ``snapshot_fast``.
+
+    One row per pseudonym link — ``(holder, resolved owner, expiry)`` —
+    stored in flat numpy arrays with one slot of rows per node.  The
+    store compares each node's :attr:`LinkSet.version` against its
+    last-seen value and rewrites only the slots that changed, so a
+    measurement sample touches the nodes that gossiped since the last
+    sample instead of re-scanning every link table.  Expiry is resolved
+    lazily at query time (rows are written once, filtered by
+    ``expiry > now`` per snapshot), matching
+    :meth:`Pseudonym.is_expired` semantics exactly.
+
+    Slots that outgrow their capacity are relocated to the end of the
+    arrays; the abandoned rows are tombstoned with a negative expiry
+    and the whole store is rebuilt once tombstones dominate.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "link_versions",
+        "trusted_versions",
+        "starts",
+        "lens",
+        "caps",
+        "row_node",
+        "row_owner",
+        "row_expiry",
+        "top",
+        "live",
+        "trusted_u",
+        "trusted_v",
+        "_trusted_stale",
+        "pos",
+    )
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.link_versions = [-1] * num_nodes
+        self.trusted_versions = [-1] * num_nodes
+        self.starts = [0] * num_nodes
+        self.lens = [0] * num_nodes
+        self.caps = [0] * num_nodes
+        capacity = max(256, 8 * num_nodes)
+        self.row_node = np.zeros(capacity, dtype=np.int64)
+        self.row_owner = np.zeros(capacity, dtype=np.int64)
+        self.row_expiry = np.full(capacity, -1.0)
+        self.top = 0
+        self.live = 0
+        self.trusted_u = np.zeros(0, dtype=np.int64)
+        self.trusted_v = np.zeros(0, dtype=np.int64)
+        self._trusted_stale = True
+        # Scratch label -> position map reused by every snapshot build.
+        self.pos = np.full(num_nodes, -1, dtype=np.int64)
+
+    def grow(self, num_nodes: int) -> None:
+        """Track newly added overlay nodes."""
+        added = num_nodes - self.num_nodes
+        if added <= 0:
+            return
+        self.link_versions.extend([-1] * added)
+        self.trusted_versions.extend([-1] * added)
+        self.starts.extend([0] * added)
+        self.lens.extend([0] * added)
+        self.caps.extend([0] * added)
+        self.pos = np.full(num_nodes, -1, dtype=np.int64)
+        self.num_nodes = num_nodes
+        self._trusted_stale = True
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = len(self.row_node)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("row_node", "row_owner", "row_expiry"):
+            old = getattr(self, name)
+            grown = np.full(capacity, -1.0) if name == "row_expiry" else np.zeros(
+                capacity, dtype=np.int64
+            )
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _rebuild_slot(
+        self, node_id: int, node: OverlayNode, value_owner: Dict[int, int]
+    ) -> None:
+        links = node.links.pseudonym_links()
+        count = len(links)
+        if count <= self.caps[node_id]:
+            start = self.starts[node_id]
+            self.live += count - self.lens[node_id]
+        else:
+            # Relocate: tombstone the old slot, allocate a bigger one.
+            old_start = self.starts[node_id]
+            old_len = self.lens[node_id]
+            self.row_expiry[old_start : old_start + old_len] = -1.0
+            self.live += count - old_len
+            cap = count + 4
+            self._ensure_capacity(self.top + cap)
+            start = self.top
+            self.starts[node_id] = start
+            self.caps[node_id] = cap
+            self.top += cap
+        row_owner = self.row_owner
+        row_expiry = self.row_expiry
+        self.row_node[start : start + self.caps[node_id]] = node_id
+        for offset, pseudonym in enumerate(links):
+            # Unresolvable pseudonyms keep a row pointing at the holder
+            # itself: excluded from edges (self-loop) but still counted
+            # by the out-degree kernel, matching OverlayNode.out_degree.
+            owner = value_owner.get(pseudonym.value)
+            row_owner[start + offset] = node_id if owner is None else owner
+            row_expiry[start + offset] = pseudonym.expires_at
+        row_expiry[start + count : start + self.caps[node_id]] = -1.0
+        self.lens[node_id] = count
+
+    def _rebuild_trusted(self, nodes: List[OverlayNode]) -> None:
+        lows: List[int] = []
+        highs: List[int] = []
+        for node in nodes:
+            node_id = node.node_id
+            for neighbor in sorted(node.links.trusted):
+                if neighbor == node_id:
+                    continue
+                if neighbor < node_id:
+                    lows.append(neighbor)
+                    highs.append(node_id)
+                else:
+                    lows.append(node_id)
+                    highs.append(neighbor)
+        if lows:
+            packed = np.unique(
+                np.array(lows, dtype=np.int64) * self.num_nodes
+                + np.array(highs, dtype=np.int64)
+            )
+            self.trusted_u = packed // self.num_nodes
+            self.trusted_v = packed % self.num_nodes
+        else:
+            self.trusted_u = np.zeros(0, dtype=np.int64)
+            self.trusted_v = np.zeros(0, dtype=np.int64)
+        self._trusted_stale = False
+
+    def sync(self, nodes: List[OverlayNode], value_owner: Dict[int, int]) -> None:
+        """Bring the arrays up to date with every dirty link table."""
+        dead = self.top - self.live
+        if dead > 1024 and dead > self.top // 2:
+            self.top = 0
+            self.live = 0
+            for node_id in range(self.num_nodes):
+                self.starts[node_id] = 0
+                self.lens[node_id] = 0
+                self.caps[node_id] = 0
+                self.link_versions[node_id] = -1
+        link_versions = self.link_versions
+        trusted_versions = self.trusted_versions
+        for node_id, node in enumerate(nodes):
+            links = node.links
+            if links.version != link_versions[node_id]:
+                self._rebuild_slot(node_id, node, value_owner)
+                link_versions[node_id] = links.version
+            if links.trusted_version != trusted_versions[node_id]:
+                trusted_versions[node_id] = links.trusted_version
+                self._trusted_stale = True
+        if self._trusted_stale:
+            self._rebuild_trusted(nodes)
+
+    def _positions(self, ids: np.ndarray) -> np.ndarray:
+        pos = self.pos
+        pos.fill(-1)
+        pos[ids] = np.arange(len(ids), dtype=np.int64)
+        return pos
+
+    def overlay_snapshot(self, ids: np.ndarray, now: float) -> FlatSnapshot:
+        """The overlay restricted to ``ids`` (sorted labels) at ``now``."""
+        pos = self._positions(ids)
+        top = self.top
+        alive = self.row_expiry[:top] > now
+        holder = pos[self.row_node[:top][alive]]
+        owner = pos[self.row_owner[:top][alive]]
+        keep = (holder >= 0) & (owner >= 0) & (holder != owner)
+        trusted_a = pos[self.trusted_u]
+        trusted_b = pos[self.trusted_v]
+        trusted_keep = (trusted_a >= 0) & (trusted_b >= 0)
+        return FlatSnapshot.from_edge_positions(
+            ids,
+            np.concatenate((trusted_a[trusted_keep], holder[keep])),
+            np.concatenate((trusted_b[trusted_keep], owner[keep])),
+        )
+
+    def restricted_snapshot(
+        self, edge_u: np.ndarray, edge_v: np.ndarray, ids: np.ndarray
+    ) -> FlatSnapshot:
+        """A static label-edge list restricted to ``ids`` (trust baseline)."""
+        pos = self._positions(ids)
+        a = pos[edge_u]
+        b = pos[edge_v]
+        keep = (a >= 0) & (b >= 0)
+        return FlatSnapshot.from_edge_positions(ids, a[keep], b[keep])
+
+    def pseudonym_degrees(self, now: float) -> np.ndarray:
+        """Per-node count of unexpired pseudonym links (all nodes)."""
+        top = self.top
+        alive = self.row_expiry[:top] > now
+        return np.bincount(self.row_node[:top][alive], minlength=self.num_nodes)
+
+
 class Overlay:
     """A complete overlay system over one trust graph."""
 
@@ -70,6 +277,13 @@ class Overlay:
         "_value_owner",
         "_address_owner",
         "_started",
+        "_snap_store",
+        "_trust_version",
+        "_trust_edge_cache",
+        "_trust_fast_cache",
+        "_online_epoch",
+        "_online_cache",
+        "_online_cache_epoch",
     )
 
     def __init__(
@@ -130,9 +344,24 @@ class Overlay:
                 sampler_mode=config.sampler_mode,
                 lifetime_policy=policy,
             )
+            node.online_listener = self._on_online_change
             self.nodes.append(node)
 
         self._started = False
+        # Fast-snapshot machinery: the incremental edge store is created
+        # lazily on first use; online-set and trust-edge caches are
+        # invalidated by epoch/version counters instead of re-scans.
+        self._snap_store: Optional[_SnapshotStore] = None
+        self._trust_version = 0
+        self._trust_edge_cache: Optional[
+            Tuple[int, np.ndarray, np.ndarray]
+        ] = None
+        self._trust_fast_cache: Optional[
+            Tuple[Tuple[int, int], FlatSnapshot]
+        ] = None
+        self._online_epoch = 0
+        self._online_cache: Optional[List[int]] = None
+        self._online_cache_epoch = -1
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -266,6 +495,7 @@ class Overlay:
         self.trust_graph.add_edge(u, v)
         self.nodes[u].links.add_trusted(v)
         self.nodes[v].links.add_trusted(u)
+        self._trust_version += 1
 
     def add_node(
         self,
@@ -316,7 +546,14 @@ class Overlay:
             sampler_mode=config.sampler_mode,
             lifetime_policy=policy,
         )
+        node.online_listener = self._on_online_change
         self.nodes.append(node)
+        self._trust_version += 1
+        # New node: position maps and cached online sets are stale even
+        # before any transition (the churn process may seat it online).
+        self._online_epoch += 1
+        if self._snap_store is not None:
+            self._snap_store.grow(len(self.nodes))
 
         if self.churn is not None:
             from ..churn import Exponential, NodeChurnSpec
@@ -331,10 +568,17 @@ class Overlay:
         return node_id
 
     def _on_churn_transition(self, node_id: int, online: bool) -> None:
+        # Bump here as well as in the node listener: the churn process
+        # has already flipped its own online table even when the node
+        # call below is a no-op (e.g. a test toggled the node directly).
+        self._online_epoch += 1
         if online:
             self.nodes[node_id].come_online()
         else:
             self.nodes[node_id].go_offline()
+
+    def _on_online_change(self, node_id: int, online: bool) -> None:
+        self._online_epoch += 1
 
     def _record_pseudonym(self, node_id: int, pseudonym: Pseudonym) -> None:
         self._value_owner[pseudonym.value] = node_id
@@ -353,10 +597,29 @@ class Overlay:
         return self._streams.substream("aux", *key)
 
     def online_ids(self) -> List[int]:
-        """Ids of currently online nodes."""
-        if self.churn is not None:
-            return self.churn.online_nodes()
-        return [node.node_id for node in self.nodes if node.online]
+        """Ids of currently online nodes, ascending.
+
+        Cached on an epoch counter bumped by every online/offline
+        transition, so repeated calls within one measurement sample are
+        O(k) copies instead of O(n) re-scans.  Callers that need the
+        set several times in one tick should still call this once and
+        pass the list down (``snapshot``/``trust_snapshot``/``stats``
+        all accept it).
+        """
+        cache = self._online_cache
+        if cache is None or self._online_cache_epoch != self._online_epoch:
+            if self.churn is not None:
+                cache = self.churn.online_nodes()
+            else:
+                cache = [node.node_id for node in self.nodes if node.online]
+            self._online_cache = cache
+            self._online_cache_epoch = self._online_epoch
+        return list(cache)
+
+    def _online_array(self, online_ids: Optional[Sequence[int]]) -> np.ndarray:
+        if online_ids is None:
+            online_ids = self.online_ids()
+        return np.sort(np.asarray(online_ids, dtype=np.int64))
 
     def owner_of_value(self, value: int) -> Optional[int]:
         """Measurement oracle: owner of a pseudonym value (or None)."""
@@ -366,18 +629,29 @@ class Overlay:
         """Measurement oracle: owner of an endpoint address (or None)."""
         return self._address_owner.get(address)
 
-    def snapshot(self, online_only: bool = True) -> nx.Graph:
+    def snapshot(
+        self,
+        online_only: bool = True,
+        online_ids: Optional[Sequence[int]] = None,
+    ) -> nx.Graph:
         """The current overlay as an undirected graph.
 
         Edges are trusted links (both ends online when ``online_only``)
         plus unexpired pseudonym links resolved through the measurement
         registry.  All communication is bidirectional, so links are
         undirected edges regardless of who established them.
+
+        This is the networkx reference path; :meth:`snapshot_fast`
+        returns the same graph as a :class:`FlatSnapshot`.
+        ``online_ids`` may carry a precomputed :meth:`online_ids`
+        result.
         """
         now = self.sim.now
         graph = nx.Graph()
         if online_only:
-            included = set(self.online_ids())
+            included = set(
+                self.online_ids() if online_ids is None else online_ids
+            )
         else:
             included = set(range(len(self.nodes)))
         graph.add_nodes_from(included)
@@ -398,16 +672,116 @@ class Overlay:
                     graph.add_edge(node.node_id, owner)
         return graph
 
-    def trust_snapshot(self) -> nx.Graph:
+    def trust_snapshot(
+        self, online_ids: Optional[Sequence[int]] = None
+    ) -> nx.Graph:
         """The trust graph restricted to online nodes (baseline metric)."""
-        online = self.online_ids()
+        online = self.online_ids() if online_ids is None else online_ids
         return self.trust_graph.subgraph(online).copy()
 
-    def stats(self) -> OverlayStats:
-        """Aggregate cumulative counters."""
+    # ------------------------------------------------------------------
+    # fast snapshots (flat-array backend; see docs/metrics.md)
+    # ------------------------------------------------------------------
+
+    def _ensure_store(self) -> _SnapshotStore:
+        store = self._snap_store
+        if store is None:
+            store = self._snap_store = _SnapshotStore(len(self.nodes))
+        elif store.num_nodes < len(self.nodes):
+            store.grow(len(self.nodes))
+        store.sync(self.nodes, self._value_owner)
+        return store
+
+    def snapshot_fast(
+        self,
+        online_only: bool = True,
+        online_ids: Optional[Sequence[int]] = None,
+    ) -> FlatSnapshot:
+        """:meth:`snapshot` as a :class:`FlatSnapshot` (same graph).
+
+        Assembled from the incrementally maintained edge store: only
+        nodes whose link tables changed since the previous call are
+        re-read, everything else is numpy filtering.  ``online_ids``
+        may carry a precomputed :meth:`online_ids` result and must then
+        equal the current online set.
+        """
+        store = self._ensure_store()
+        if online_only:
+            ids = self._online_array(online_ids)
+        else:
+            ids = np.arange(len(self.nodes), dtype=np.int64)
+        return store.overlay_snapshot(ids, self.sim.now)
+
+    def trust_snapshot_fast(
+        self, online_ids: Optional[Sequence[int]] = None
+    ) -> FlatSnapshot:
+        """:meth:`trust_snapshot` as a :class:`FlatSnapshot`.
+
+        Cached on ``(online epoch, trust version)``: between churn
+        transitions the restricted baseline (and hence its component
+        labeling, cached by the caller on snapshot identity) is reused
+        outright.  ``online_ids`` must equal the current online set
+        when given.
+        """
+        key = (self._online_epoch, self._trust_version)
+        cached = self._trust_fast_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        edge_cache = self._trust_edge_cache
+        if edge_cache is None or edge_cache[0] != self._trust_version:
+            lows: List[int] = []
+            highs: List[int] = []
+            for u, v in self.trust_graph.edges():
+                if u == v:
+                    continue
+                lows.append(min(u, v))
+                highs.append(max(u, v))
+            edge_cache = (
+                self._trust_version,
+                np.array(lows, dtype=np.int64),
+                np.array(highs, dtype=np.int64),
+            )
+            self._trust_edge_cache = edge_cache
+        store = self._ensure_store()
+        snap = store.restricted_snapshot(
+            edge_cache[1], edge_cache[2], self._online_array(online_ids)
+        )
+        self._trust_fast_cache = (key, snap)
+        return snap
+
+    def online_out_degrees(
+        self,
+        now: Optional[float] = None,
+        online_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """``OverlayNode.out_degree(now)`` for every online node, batched.
+
+        Returns an int64 array aligned with the (ascending) online id
+        list: trusted degree plus unexpired pseudonym links, including
+        links whose pseudonyms cannot be resolved to an owner — exactly
+        the per-node method, computed with one bincount.
+        """
+        store = self._ensure_store()
+        if now is None:
+            now = self.sim.now
+        trusted = np.fromiter(
+            (node.links.trusted_degree for node in self.nodes),
+            dtype=np.int64,
+            count=len(self.nodes),
+        )
+        degrees = trusted + store.pseudonym_degrees(now)
+        return degrees[self._online_array(online_ids)]
+
+    def stats(self, online_ids: Optional[Sequence[int]] = None) -> OverlayStats:
+        """Aggregate cumulative counters.
+
+        ``online_ids`` may carry a precomputed :meth:`online_ids` result.
+        """
         return OverlayStats(
             time=self.sim.now,
-            online_nodes=len(self.online_ids()),
+            online_nodes=len(
+                self.online_ids() if online_ids is None else online_ids
+            ),
             messages_sent=sum(node.counters.messages_sent for node in self.nodes),
             link_replacements=sum(
                 node.links.replacements_total for node in self.nodes

@@ -24,6 +24,7 @@ from ..core import Overlay
 from ..churn import online_subgraph, stationary_online_mask
 from ..errors import ExperimentError
 from ..graphs import fraction_disconnected, normalized_path_length
+from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis, resolve_graph_backend
 from ..metrics import MetricsCollector
 
 __all__ = [
@@ -100,7 +101,8 @@ def run_overlay_experiment(
         path_length = collector.path_length.tail_mean(0.5)
         trust_path_length = collector.trust_path_length.tail_mean(0.5)
 
-    snapshot = overlay.snapshot(online_only=True)
+    online_ids = overlay.online_ids()
+    snapshot = overlay.snapshot(online_only=True, online_ids=online_ids)
     full_snapshot = overlay.snapshot(online_only=False)
     return OverlayRunResult(
         config=config,
@@ -109,10 +111,10 @@ def run_overlay_experiment(
         trust_disconnected=trust_disconnected,
         path_length=path_length,
         trust_path_length=trust_path_length,
-        online_fraction=len(overlay.online_ids()) / config.num_nodes,
+        online_fraction=len(online_ids) / config.num_nodes,
         full_edge_count=full_snapshot.number_of_edges(),
         snapshot=snapshot,
-        trust_snapshot=overlay.trust_snapshot(),
+        trust_snapshot=overlay.trust_snapshot(online_ids=online_ids),
         collector=collector,
         overlay=overlay,
     )
@@ -134,21 +136,42 @@ def static_churn_metrics(
     rng: np.random.Generator,
     path_sources: Optional[int] = 32,
     measure_paths: bool = True,
+    backend: Optional[str] = None,
 ) -> StaticMetrics:
     """Baseline metrics: restrict ``graph`` to random online sets.
 
     Each draw marks every node online independently with probability
     ``alpha`` (the stationary distribution of the paper's churn model)
     and measures the induced subgraph; results average over draws.
+
+    The default ``"fast"`` backend converts ``graph`` to a flat
+    snapshot once and induces each draw's subgraph with a boolean
+    mask; the ``"networkx"`` reference path rebuilds an ``nx.Graph``
+    per draw.  Both consume ``rng`` identically and produce bitwise
+    equal metrics (see docs/metrics.md).
     """
     if draws < 1:
         raise ExperimentError("draws must be at least 1")
     total_nodes = graph.number_of_nodes()
+    use_fast = resolve_graph_backend(backend) == "fast"
+    base_snapshot = FlatSnapshot.from_networkx(graph) if use_fast else None
     disconnected_values = []
     path_values = []
     degree_values = []
     for _ in range(draws):
         mask = stationary_online_mask(total_nodes, alpha, rng)
+        if use_fast:
+            analysis = SnapshotAnalysis(base_snapshot.induced_by_labels(mask))
+            disconnected_values.append(analysis.fraction_disconnected())
+            if analysis.snapshot.num_nodes > 0:
+                degree_values.append(float(np.mean(analysis.snapshot.degrees())))
+            if measure_paths:
+                path_values.append(
+                    analysis.normalized_path_length(
+                        total_nodes, sample_sources=path_sources, rng=rng
+                    )
+                )
+            continue
         induced = online_subgraph(graph, mask)
         disconnected_values.append(fraction_disconnected(induced))
         if induced.number_of_nodes() > 0:

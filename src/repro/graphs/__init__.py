@@ -2,6 +2,14 @@
 random baselines, and structural metrics (paper Sections IV-A and IV-C).
 """
 
+from .fastgraph import (
+    GRAPH_BACKENDS,
+    FlatSnapshot,
+    SnapshotAnalysis,
+    get_graph_backend,
+    resolve_graph_backend,
+    set_graph_backend,
+)
 from .io import load_edge_list, save_edge_list
 from .metrics import (
     average_path_length,
@@ -35,4 +43,10 @@ __all__ = [
     "powerlaw_exponent_estimate",
     "save_edge_list",
     "load_edge_list",
+    "GRAPH_BACKENDS",
+    "FlatSnapshot",
+    "SnapshotAnalysis",
+    "get_graph_backend",
+    "set_graph_backend",
+    "resolve_graph_backend",
 ]

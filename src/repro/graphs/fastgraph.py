@@ -1,0 +1,469 @@
+"""Flat-array graph kernels for the measurement hot path.
+
+The per-sample metrics (disconnected fraction, normalized path length,
+degree histogram — paper Section IV-C) dominated run time once the
+event loop and sweeps were optimized: every sample rebuilt an
+``nx.Graph``, recomputed the largest component up to three times, and
+ran pure-Python BFS per source.  This module replaces that pipeline
+with numpy kernels over a CSR snapshot:
+
+* :class:`FlatSnapshot` — an immutable compressed-sparse-row view of an
+  undirected simple graph (sorted node ids, sorted neighbor lists).
+* :class:`SnapshotAnalysis` — computes the component labeling **once**
+  (union-find over the edge arrays) and serves every metric from it;
+  path lengths use a batched multi-source BFS whose frontiers expand
+  with numpy gathers instead of per-node Python loops.
+
+Exactness contract
+------------------
+Every value produced here is **bit-identical** to the reference
+implementations in :mod:`repro.graphs.metrics` on the same graph:
+
+* components are exact (union-find), and the largest component is the
+  same canonical list (ascending nodes; ties broken toward the
+  component containing the smallest node) that
+  :func:`~repro.graphs.metrics.largest_component` returns;
+* BFS distances are integers, accumulated as Python ints, and the
+  final averages use the same ``total / pairs`` and
+  ``average / size * total_nodes`` float expressions;
+* source sampling consumes the RNG identically
+  (``rng.choice(size, size=k, replace=False)`` on the same ``size``),
+  so a shared stream stays in lockstep across backends.
+
+``tests/test_fastgraph.py`` pins the contract differentially against
+networkx on random, social, and churned-overlay graphs.
+
+Snapshot graphs are *simple*: self-loops are skipped on conversion
+(overlay snapshots never contain them by construction).
+
+Backend selection
+-----------------
+:func:`get_graph_backend` resolves the active backend: a programmatic
+override (:func:`set_graph_backend`), else the ``REPRO_GRAPH_BACKEND``
+environment variable, else ``"fast"``.  The networkx path is kept as
+the executable reference implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..errors import GraphError
+from ..rng import fallback_rng
+
+__all__ = [
+    "GRAPH_BACKENDS",
+    "get_graph_backend",
+    "set_graph_backend",
+    "resolve_graph_backend",
+    "FlatSnapshot",
+    "SnapshotAnalysis",
+]
+
+#: Valid backend names: the numpy kernels and the networkx reference.
+GRAPH_BACKENDS = ("fast", "networkx")
+
+_BACKEND_ENV = "REPRO_GRAPH_BACKEND"
+_backend_override: Optional[str] = None
+
+
+def _validate_backend(name: str) -> str:
+    if name not in GRAPH_BACKENDS:
+        raise GraphError(
+            f"unknown graph backend {name!r}; expected one of {GRAPH_BACKENDS}"
+        )
+    return name
+
+
+def get_graph_backend() -> str:
+    """The active metric backend: ``"fast"`` or ``"networkx"``.
+
+    Resolution order: :func:`set_graph_backend` override, then the
+    ``REPRO_GRAPH_BACKEND`` environment variable, then ``"fast"``.
+    Both backends produce bit-identical metric values; the knob exists
+    for differential testing and as an escape hatch.
+    """
+    if _backend_override is not None:
+        return _backend_override
+    return _validate_backend(os.environ.get(_BACKEND_ENV, "fast"))
+
+
+def set_graph_backend(name: Optional[str]) -> None:
+    """Override the backend process-wide (``None`` restores defaults)."""
+    global _backend_override
+    _backend_override = None if name is None else _validate_backend(name)
+
+
+def resolve_graph_backend(override: Optional[str] = None) -> str:
+    """A call-site backend choice: explicit ``override`` or the default."""
+    if override is not None:
+        return _validate_backend(override)
+    return get_graph_backend()
+
+
+_EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+
+class FlatSnapshot:
+    """CSR view of an undirected simple graph with integer node labels.
+
+    Attributes
+    ----------
+    node_ids:
+        Original node labels, ascending.  Position ``i`` in every other
+        array refers to ``node_ids[i]``.
+    indptr, indices:
+        CSR adjacency over positions; each neighbor list is ascending.
+    edge_u, edge_v:
+        Deduplicated undirected edge list over positions with
+        ``edge_u < edge_v`` — the union-find input, kept so component
+        labeling never re-derives edges from the CSR arrays.
+    """
+
+    __slots__ = ("node_ids", "indptr", "indices", "edge_u", "edge_v")
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+    ) -> None:
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the snapshot."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected, deduplicated) edges."""
+        return len(self.edge_u)
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every position (int64)."""
+        return np.diff(self.indptr)
+
+    @classmethod
+    def from_edge_positions(
+        cls, node_ids: np.ndarray, a: np.ndarray, b: np.ndarray
+    ) -> "FlatSnapshot":
+        """Assemble a snapshot from raw endpoint-position arrays.
+
+        ``a``/``b`` are parallel arrays of edge endpoints given as
+        positions into ``node_ids``; duplicates and orientation are
+        normalized here, self-loops must already be excluded.
+        """
+        node_ids = np.ascontiguousarray(node_ids, dtype=np.int64)
+        k = len(node_ids)
+        if len(a):
+            lo = np.minimum(a, b).astype(np.int64, copy=False)
+            hi = np.maximum(a, b).astype(np.int64, copy=False)
+            key = np.unique(lo * k + hi)
+            lo = key // k
+            hi = key % k
+        else:
+            lo = _EMPTY_INT
+            hi = _EMPTY_INT
+        degree = np.bincount(lo, minlength=k) + np.bincount(hi, minlength=k)
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(degree, dtype=np.int64))
+        )
+        src = np.concatenate((lo, hi))
+        dst = np.concatenate((hi, lo))
+        order = np.lexsort((dst, src))
+        return cls(node_ids, indptr, dst[order], lo, hi)
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "FlatSnapshot":
+        """Convert an integer-labeled :class:`nx.Graph` (reference path).
+
+        Self-loops are skipped: snapshot graphs are simple by
+        construction, and the metric kernels assume it.
+        """
+        nodes = np.array(sorted(graph.nodes()), dtype=np.int64)
+        index = {int(label): position for position, label in enumerate(nodes.tolist())}
+        endpoint_a: List[int] = []
+        endpoint_b: List[int] = []
+        for u, v in graph.edges():
+            if u == v:
+                continue
+            endpoint_a.append(index[int(u)])
+            endpoint_b.append(index[int(v)])
+        return cls.from_edge_positions(
+            nodes,
+            np.array(endpoint_a, dtype=np.int64),
+            np.array(endpoint_b, dtype=np.int64),
+        )
+
+    def induced(self, keep: np.ndarray) -> "FlatSnapshot":
+        """The subgraph induced by a boolean mask over positions."""
+        keep = np.asarray(keep, dtype=bool)
+        remap = np.cumsum(keep, dtype=np.int64) - 1
+        mask = keep[self.edge_u] & keep[self.edge_v]
+        return FlatSnapshot.from_edge_positions(
+            self.node_ids[keep],
+            remap[self.edge_u[mask]],
+            remap[self.edge_v[mask]],
+        )
+
+    def induced_by_labels(self, keep_labels: np.ndarray) -> "FlatSnapshot":
+        """The subgraph induced by a boolean mask indexed by node label.
+
+        ``keep_labels[label]`` says whether that node survives; labels
+        outside the mask's range are dropped.  This is the shape churn
+        masks come in (:func:`repro.churn.stationary_online_mask`).
+        """
+        keep_labels = np.asarray(keep_labels, dtype=bool)
+        in_range = self.node_ids < len(keep_labels)
+        keep = np.zeros(self.num_nodes, dtype=bool)
+        keep[in_range] = keep_labels[self.node_ids[in_range]]
+        return self.induced(keep)
+
+
+def _component_labels(num_nodes: int, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+    """Union-find component labels; each label is the component's
+    smallest position (which makes the labeling canonical)."""
+    parent = list(range(num_nodes))
+    for a, b in zip(edge_u.tolist(), edge_v.tolist()):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        while parent[b] != b:
+            parent[b] = parent[parent[b]]
+            b = parent[b]
+        if a == b:
+            continue
+        # Union by minimum root: the root of every tree stays the
+        # smallest member of its component, so final labels are
+        # canonical without a relabeling pass.
+        if a < b:
+            parent[b] = a
+        else:
+            parent[a] = b
+    for start in range(num_nodes):
+        root = start
+        while parent[root] != root:
+            root = parent[root]
+        node = start
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+    return np.array(parent, dtype=np.int64)
+
+
+def _popcount_sum(bits: np.ndarray) -> int:
+    """Total number of set bits across a uint64 array."""
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(bits).sum())
+    return int(np.unpackbits(bits.view(np.uint8)).sum())  # pragma: no cover
+
+
+def _bfs_distance_totals(
+    indptr: np.ndarray, indices: np.ndarray, sources: np.ndarray
+) -> Tuple[int, int]:
+    """Batched multi-source BFS: (sum of distances, reached pairs).
+
+    Up to 64 sources run simultaneously as bits of one ``uint64`` per
+    node (more sources process in chunks of 64).  Each level expands
+    every frontier at once: gather the per-node bit masks along the CSR
+    ``indices`` array and OR-reduce them per adjacency row
+    (``bitwise_or.reduceat``), so a level costs O(edges) regardless of
+    the source count.  Distances are exact integers (BFS levels), so
+    the totals match the per-source Python BFS bit for bit.
+    """
+    num_nodes = len(indptr) - 1
+    num_sources = len(sources)
+    if num_sources == 0 or num_nodes == 0 or len(indices) == 0:
+        return 0, 0
+    sources = np.asarray(sources, dtype=np.int64)
+    # reduceat needs in-range segment starts; rows whose start would
+    # fall off the end are degree-0 and get zeroed below anyway.
+    row_starts = np.minimum(indptr[:-1], len(indices) - 1)
+    empty_rows = np.flatnonzero(np.diff(indptr) == 0)
+    total = 0
+    reached = 0
+    for chunk_start in range(0, num_sources, 64):
+        chunk = sources[chunk_start : chunk_start + 64]
+        frontier = np.zeros(num_nodes, dtype=np.uint64)
+        frontier[chunk] = np.left_shift(
+            np.uint64(1), np.arange(len(chunk), dtype=np.uint64)
+        )
+        visited = frontier.copy()
+        level = 0
+        while True:
+            level += 1
+            expanded = np.bitwise_or.reduceat(frontier[indices], row_starts)
+            expanded[empty_rows] = 0
+            new = expanded & ~visited
+            newly = _popcount_sum(new)
+            if newly == 0:
+                break
+            visited |= new
+            total += level * newly
+            reached += newly
+            frontier = new
+    return total, reached
+
+
+class SnapshotAnalysis:
+    """One component labeling shared by every metric of one snapshot.
+
+    Construct once per snapshot per sample; the union-find pass runs
+    lazily on first use and is reused by the disconnected fraction,
+    path length, and component queries (``labelings_run`` counts the
+    passes — tests assert it stays at one).
+    """
+
+    __slots__ = (
+        "snapshot",
+        "labelings_run",
+        "_labels",
+        "_largest_label",
+        "_largest_size",
+        "_component_count",
+    )
+
+    def __init__(self, snapshot: FlatSnapshot) -> None:
+        self.snapshot = snapshot
+        #: Number of union-find passes executed (expected: at most 1).
+        self.labelings_run = 0
+        self._labels: Optional[np.ndarray] = None
+        self._largest_label = -1
+        self._largest_size = 0
+        self._component_count = 0
+
+    def _ensure_labels(self) -> np.ndarray:
+        labels = self._labels
+        if labels is None:
+            self.labelings_run += 1
+            snap = self.snapshot
+            labels = _component_labels(snap.num_nodes, snap.edge_u, snap.edge_v)
+            self._labels = labels
+            if snap.num_nodes:
+                sizes = np.bincount(labels, minlength=snap.num_nodes)
+                self._largest_size = int(sizes.max())
+                # Labels are minimum members, so the first position with
+                # a maximal size is the canonical tie-break (smallest
+                # node wins among equally large components).
+                self._largest_label = int(
+                    np.flatnonzero(sizes == self._largest_size)[0]
+                )
+                self._component_count = int(np.count_nonzero(sizes))
+        return labels
+
+    def component_labels(self) -> np.ndarray:
+        """Per-position component label (the component's smallest position)."""
+        return self._ensure_labels()
+
+    def component_count(self) -> int:
+        """Number of connected components (0 for the empty graph)."""
+        self._ensure_labels()
+        return self._component_count
+
+    def largest_component_size(self) -> int:
+        """Size of the largest component (0 for the empty graph)."""
+        self._ensure_labels()
+        return self._largest_size
+
+    def largest_component_nodes(self) -> np.ndarray:
+        """Node labels of the canonical largest component, ascending.
+
+        Identical (as a list) to
+        :func:`repro.graphs.metrics.largest_component` on the same
+        graph.
+        """
+        labels = self._ensure_labels()
+        if self.snapshot.num_nodes == 0:
+            return _EMPTY_INT
+        return self.snapshot.node_ids[labels == self._largest_label]
+
+    def components(self) -> List[np.ndarray]:
+        """Every component's node labels, ordered by smallest member."""
+        labels = self._ensure_labels()
+        if self.snapshot.num_nodes == 0:
+            return []
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        groups = np.split(self.snapshot.node_ids[order], boundaries)
+        return list(groups)
+
+    def fraction_disconnected(self) -> float:
+        """Fraction of nodes outside the largest component (empty -> 0)."""
+        n = self.snapshot.num_nodes
+        if n == 0:
+            return 0.0
+        self._ensure_labels()
+        return 1.0 - self._largest_size / n
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map of degree -> node count; equal to the networkx dict."""
+        degrees = self.snapshot.degrees()
+        if degrees.size == 0:
+            return {}
+        counts = np.bincount(degrees)
+        return {
+            int(degree): int(count)
+            for degree, count in enumerate(counts.tolist())
+            if count
+        }
+
+    def degree_sequence(self) -> np.ndarray:
+        """Sorted (descending) degree sequence."""
+        return np.sort(self.snapshot.degrees())[::-1]
+
+    def average_path_length(
+        self,
+        sample_sources: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Mean pairwise BFS distance in the largest component.
+
+        Mirrors :func:`repro.graphs.metrics.average_path_length`
+        exactly, including its rng-less fallback hazard (see that
+        docstring): sources are positions sampled from the canonical
+        component list with the same RNG consumption.
+        """
+        labels = self._ensure_labels()
+        size = self._largest_size
+        if size < 2:
+            return 0.0
+        component_positions = np.flatnonzero(labels == self._largest_label)
+        if sample_sources is not None and sample_sources < size:
+            if rng is None:
+                rng = fallback_rng("graphs.metrics.path-sources")
+            chosen = rng.choice(size, size=sample_sources, replace=False)
+            sources = component_positions[chosen.astype(np.int64)]
+        else:
+            sources = component_positions
+        total, pairs = _bfs_distance_totals(
+            self.snapshot.indptr, self.snapshot.indices, sources
+        )
+        if pairs == 0:
+            return 0.0
+        return total / pairs
+
+    def normalized_path_length(
+        self,
+        total_nodes: int,
+        sample_sources: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """The paper's normalized path length, reusing this labeling."""
+        if total_nodes < 1:
+            raise GraphError("total_nodes must be at least 1")
+        self._ensure_labels()
+        if self._largest_size < 2:
+            return float(total_nodes)
+        average = self.average_path_length(sample_sources=sample_sources, rng=rng)
+        return average / self._largest_size * total_nodes

@@ -40,23 +40,40 @@ __all__ = [
 
 
 def largest_component(graph: nx.Graph) -> List[int]:
-    """Nodes of the largest connected component (empty graph -> [])."""
+    """Nodes of the largest connected component (empty graph -> []).
+
+    The result is canonical: nodes ascending, and among equally large
+    components the one containing the smallest node wins.  Path-length
+    estimators index into this list with sampled positions, so the
+    ordering is part of the reproducibility contract — the fastgraph
+    backend produces the identical list from its union-find labels.
+    """
     if graph.number_of_nodes() == 0:
         return []
-    return list(max(nx.connected_components(graph), key=len))
+    best = max(
+        nx.connected_components(graph),
+        key=lambda component: (len(component), -min(component)),
+    )
+    return sorted(best)
 
 
-def fraction_disconnected(graph: nx.Graph) -> float:
+def fraction_disconnected(
+    graph: nx.Graph, component: Optional[List[int]] = None
+) -> float:
     """Fraction of the graph's nodes outside its largest component.
 
     With the convention of the paper, the graph passed here is the
     snapshot restricted to online nodes; a connected snapshot yields 0.
     An empty graph yields 0 by convention (nothing is disconnected).
+    ``component`` may carry a precomputed :func:`largest_component`
+    result so one labeling pass serves several metrics.
     """
     n = graph.number_of_nodes()
     if n == 0:
         return 0.0
-    return 1.0 - len(largest_component(graph)) / n
+    if component is None:
+        component = largest_component(graph)
+    return 1.0 - len(component) / n
 
 
 def _bfs_distance_sum(
@@ -81,6 +98,7 @@ def average_path_length(
     graph: nx.Graph,
     sample_sources: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    component: Optional[List[int]] = None,
 ) -> float:
     """Average shortest-path length in the largest connected component.
 
@@ -98,13 +116,29 @@ def average_path_length(
         Randomness for source sampling; defaults to a seeded fallback
         generator so estimates stay reproducible without it.
 
+        .. warning::
+           The fallback is re-seeded identically on **every call**: two
+           rng-less calls sample the *same* BFS sources.  That keeps a
+           single estimate reproducible, but a time series built from
+           repeated rng-less calls is correlated — every sample reuses
+           one source set, so source-sampling noise never averages out
+           across the series.  Callers that sample repeatedly must own
+           a persistent stream and pass it in each time
+           (:class:`~repro.metrics.MetricsCollector` does exactly
+           this with ``overlay.substream("collector")``).
+    component:
+        Precomputed :func:`largest_component` result (must come from
+        that function — the canonical ordering maps sampled indices to
+        sources).
+
     Returns
     -------
     float
         Mean pairwise distance, or 0.0 for components of fewer than two
         nodes.
     """
-    component = largest_component(graph)
+    if component is None:
+        component = largest_component(graph)
     size = len(component)
     if size < 2:
         return 0.0
@@ -134,6 +168,7 @@ def normalized_path_length(
     total_nodes: int,
     sample_sources: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    component: Optional[List[int]] = None,
 ) -> float:
     """The paper's normalized average path length.
 
@@ -141,15 +176,22 @@ def normalized_path_length(
     where ``total_nodes`` counts every node in the system, online or
     offline.  A heavily partitioned snapshot (small largest component)
     is thus penalized rather than rewarded for its short internal paths.
+
+    See :func:`average_path_length` for the rng-less sampling hazard;
+    ``component`` reuses a precomputed :func:`largest_component` list.
     """
     if total_nodes < 1:
         raise GraphError("total_nodes must be at least 1")
-    component_size = len(largest_component(graph))
+    if component is None:
+        component = largest_component(graph)
+    component_size = len(component)
     if component_size < 2:
         # Degenerate snapshot: no measurable paths; report the worst case
         # proportional to the graph scale so plots remain monotone.
         return float(total_nodes)
-    average = average_path_length(graph, sample_sources=sample_sources, rng=rng)
+    average = average_path_length(
+        graph, sample_sources=sample_sources, rng=rng, component=component
+    )
     return average / component_size * total_nodes
 
 

@@ -14,6 +14,13 @@ and samples, once per configurable interval:
 
 Sampling happens inside the simulation via scheduled events, so the
 series align exactly with simulated time.
+
+Each sample materializes the online set **once** and runs on one of
+two backends (see docs/metrics.md): the default ``"fast"`` backend
+takes a :meth:`~repro.core.Overlay.snapshot_fast` flat snapshot and
+shares a single :class:`~repro.graphs.fastgraph.SnapshotAnalysis`
+component labeling across every metric; ``"networkx"`` is the
+reference path.  Both produce bit-identical series.
 """
 
 from __future__ import annotations
@@ -24,7 +31,8 @@ import numpy as np
 
 from ..core import Overlay
 from ..errors import ExperimentError
-from ..graphs import fraction_disconnected, normalized_path_length
+from ..graphs import fraction_disconnected, largest_component, normalized_path_length
+from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis, resolve_graph_backend
 from ..rng import fallback_rng
 from .series import TimeSeries
 
@@ -42,6 +50,7 @@ class MetricsCollector:
         path_length_sources: Optional[int] = 32,
         track_trust_baseline: bool = True,
         rng: Optional[np.random.Generator] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """
         Parameters
@@ -62,7 +71,14 @@ class MetricsCollector:
             Randomness for path-length source sampling.  Prefer an
             overlay substream (``overlay.substream("collector")``); the
             default is a seeded fallback generator derived from
-            :data:`repro.config.DEFAULT_SEED`.
+            :data:`repro.config.DEFAULT_SEED`.  The collector owns this
+            stream across samples, which is what keeps repeated source
+            draws independent — see the hazard note on
+            :func:`repro.graphs.average_path_length`.
+        backend:
+            Metric backend override (``"fast"`` or ``"networkx"``);
+            defaults to :func:`repro.graphs.get_graph_backend`.  Both
+            backends produce bit-identical series.
         """
         if interval <= 0:
             raise ExperimentError("interval must be positive")
@@ -74,6 +90,7 @@ class MetricsCollector:
         self._path_length_sources = path_length_sources
         self._track_trust = track_trust_baseline
         self._rng = rng if rng is not None else fallback_rng("metrics.collector")
+        self._backend = resolve_graph_backend(backend)
 
         self.disconnected = TimeSeries("overlay disconnected fraction")
         self.trust_disconnected = TimeSeries("trust-graph disconnected fraction")
@@ -83,9 +100,11 @@ class MetricsCollector:
         self.replacements_per_node = TimeSeries("link replacements per node per period")
         self.messages_per_node = TimeSeries("messages per node per period")
 
-        self.max_out_degree: Dict[int, int] = {
-            node.node_id: 0 for node in overlay.nodes
-        }
+        self._max_out_degree = np.zeros(len(overlay.nodes), dtype=np.int64)
+        # Trust-baseline labeling cache: Overlay.trust_snapshot_fast
+        # returns the identical object while the online set and trust
+        # graph are unchanged, so the union-find pass is reused too.
+        self._trust_analysis_cache: Optional[SnapshotAnalysis] = None
         self._samples = 0
         self._last_replacements = 0
         self._last_messages = 0
@@ -96,6 +115,19 @@ class MetricsCollector:
         """Sampling interval in shuffling periods."""
         return self._interval
 
+    @property
+    def backend(self) -> str:
+        """The metric backend this collector samples with."""
+        return self._backend
+
+    @property
+    def max_out_degree(self) -> Dict[int, int]:
+        """Per-node maximum observed out-degree, keyed by node id."""
+        return {
+            node_id: int(value)
+            for node_id, value in enumerate(self._max_out_degree.tolist())
+        }
+
     def start(self, initial_delay: Optional[float] = None) -> None:
         """Begin sampling (first sample after ``initial_delay``)."""
         if self._started:
@@ -104,50 +136,45 @@ class MetricsCollector:
         delay = self._interval if initial_delay is None else initial_delay
         self._overlay.sim.post_after(delay, self._sample)
 
+    def _trust_analysis(self, trust_snapshot: FlatSnapshot) -> SnapshotAnalysis:
+        cached = self._trust_analysis_cache
+        if cached is not None and cached.snapshot is trust_snapshot:
+            return cached
+        analysis = SnapshotAnalysis(trust_snapshot)
+        self._trust_analysis_cache = analysis
+        return analysis
+
+    def _grow_degree_tracking(self, total_nodes: int) -> None:
+        if total_nodes > len(self._max_out_degree):
+            grown = np.zeros(total_nodes, dtype=np.int64)
+            grown[: len(self._max_out_degree)] = self._max_out_degree
+            self._max_out_degree = grown
+
     def _sample(self) -> None:
         self._overlay.sim.post_after(self._interval, self._sample)
         self._samples += 1
-        now = self._overlay.sim.now
-        total_nodes = len(self._overlay.nodes)
-
-        snapshot = self._overlay.snapshot(online_only=True)
-        self.disconnected.append(now, fraction_disconnected(snapshot))
-        online = snapshot.number_of_nodes()
+        overlay = self._overlay
+        now = overlay.sim.now
+        total_nodes = len(overlay.nodes)
+        online_ids = overlay.online_ids()
+        online = len(online_ids)
         self.online_count.append(now, float(online))
+        self._grow_degree_tracking(total_nodes)
+        measure_paths = bool(
+            self._path_length_every
+            and self._samples % self._path_length_every == 0
+        )
 
-        trust_snapshot = None
-        if self._track_trust:
-            trust_snapshot = self._overlay.trust_snapshot()
-            self.trust_disconnected.append(
-                now, fraction_disconnected(trust_snapshot)
-            )
-
-        if self._path_length_every and self._samples % self._path_length_every == 0:
-            self.path_length.append(
-                now,
-                normalized_path_length(
-                    snapshot,
-                    total_nodes,
-                    sample_sources=self._path_length_sources,
-                    rng=self._rng,
-                ),
-            )
-            if trust_snapshot is not None:
-                self.trust_path_length.append(
-                    now,
-                    normalized_path_length(
-                        trust_snapshot,
-                        total_nodes,
-                        sample_sources=self._path_length_sources,
-                        rng=self._rng,
-                    ),
-                )
+        if self._backend == "fast":
+            self._sample_fast(now, total_nodes, online_ids, measure_paths)
+        else:
+            self._sample_networkx(now, total_nodes, online_ids, measure_paths)
 
         # Per-period rates from cumulative counters.
         replacements = sum(
-            node.links.replacements_total for node in self._overlay.nodes
+            node.links.replacements_total for node in overlay.nodes
         )
-        messages = sum(node.counters.messages_sent for node in self._overlay.nodes)
+        messages = sum(node.counters.messages_sent for node in overlay.nodes)
         denominator = max(1, online) * self._interval
         self.replacements_per_node.append(
             now, (replacements - self._last_replacements) / denominator
@@ -158,11 +185,109 @@ class MetricsCollector:
         self._last_replacements = replacements
         self._last_messages = messages
 
-        for node in self._overlay.nodes:
+    def _sample_fast(
+        self,
+        now: float,
+        total_nodes: int,
+        online_ids: List[int],
+        measure_paths: bool,
+    ) -> None:
+        overlay = self._overlay
+        # One labeling per snapshot per sample: every metric below reads
+        # the same SnapshotAnalysis.
+        analysis = SnapshotAnalysis(overlay.snapshot_fast(online_ids=online_ids))
+        self.disconnected.append(now, analysis.fraction_disconnected())
+
+        trust_analysis: Optional[SnapshotAnalysis] = None
+        if self._track_trust:
+            trust_analysis = self._trust_analysis(
+                overlay.trust_snapshot_fast(online_ids=online_ids)
+            )
+            self.trust_disconnected.append(
+                now, trust_analysis.fraction_disconnected()
+            )
+
+        if measure_paths:
+            # RNG draw order (overlay first, trust second) matches the
+            # reference backend so a shared stream stays in lockstep.
+            self.path_length.append(
+                now,
+                analysis.normalized_path_length(
+                    total_nodes,
+                    sample_sources=self._path_length_sources,
+                    rng=self._rng,
+                ),
+            )
+            if trust_analysis is not None:
+                self.trust_path_length.append(
+                    now,
+                    trust_analysis.normalized_path_length(
+                        total_nodes,
+                        sample_sources=self._path_length_sources,
+                        rng=self._rng,
+                    ),
+                )
+
+        if online_ids:
+            degrees = overlay.online_out_degrees(now, online_ids)
+            ids = np.asarray(online_ids, dtype=np.int64)
+            self._max_out_degree[ids] = np.maximum(
+                self._max_out_degree[ids], degrees
+            )
+
+    def _sample_networkx(
+        self,
+        now: float,
+        total_nodes: int,
+        online_ids: List[int],
+        measure_paths: bool,
+    ) -> None:
+        overlay = self._overlay
+        snapshot = overlay.snapshot(online_only=True, online_ids=online_ids)
+        component = largest_component(snapshot)
+        self.disconnected.append(
+            now, fraction_disconnected(snapshot, component=component)
+        )
+
+        trust_snapshot = None
+        trust_component: Optional[List[int]] = None
+        if self._track_trust:
+            trust_snapshot = overlay.trust_snapshot(online_ids=online_ids)
+            trust_component = largest_component(trust_snapshot)
+            self.trust_disconnected.append(
+                now,
+                fraction_disconnected(trust_snapshot, component=trust_component),
+            )
+
+        if measure_paths:
+            self.path_length.append(
+                now,
+                normalized_path_length(
+                    snapshot,
+                    total_nodes,
+                    sample_sources=self._path_length_sources,
+                    rng=self._rng,
+                    component=component,
+                ),
+            )
+            if trust_snapshot is not None:
+                self.trust_path_length.append(
+                    now,
+                    normalized_path_length(
+                        trust_snapshot,
+                        total_nodes,
+                        sample_sources=self._path_length_sources,
+                        rng=self._rng,
+                        component=trust_component,
+                    ),
+                )
+
+        max_out_degree = self._max_out_degree
+        for node in overlay.nodes:
             if node.online:
                 degree = node.out_degree(now)
-                if degree > self.max_out_degree.setdefault(node.node_id, 0):
-                    self.max_out_degree[node.node_id] = degree
+                if degree > max_out_degree[node.node_id]:
+                    max_out_degree[node.node_id] = degree
 
     # ------------------------------------------------------------------
     # summaries
@@ -183,4 +308,4 @@ class MetricsCollector:
 
     def max_out_degrees(self) -> List[int]:
         """Per-node maximum observed out-degree, indexed by node id."""
-        return [self.max_out_degree[node_id] for node_id in sorted(self.max_out_degree)]
+        return [int(value) for value in self._max_out_degree.tolist()]

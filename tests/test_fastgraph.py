@@ -1,0 +1,365 @@
+"""Differential tests pinning the fastgraph exactness contract.
+
+Every kernel in :mod:`repro.graphs.fastgraph` promises *bit-identical*
+values to the networkx reference implementations in
+:mod:`repro.graphs.metrics`, including identical RNG consumption.
+These tests enforce that promise on random graphs, synthetic social
+graphs, churned overlay snapshots, and the degenerate cases
+(empty/singleton/partitioned graphs, equal-size component ties).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Overlay, SystemConfig
+from repro.churn import online_subgraph, stationary_online_mask
+from repro.errors import GraphError
+from repro.experiments.runner import static_churn_metrics
+from repro.graphs import (
+    average_path_length,
+    degree_histogram,
+    erdos_renyi_gnm,
+    fraction_disconnected,
+    generate_social_graph,
+    largest_component,
+    normalized_path_length,
+)
+from repro.graphs.fastgraph import (
+    GRAPH_BACKENDS,
+    FlatSnapshot,
+    SnapshotAnalysis,
+    get_graph_backend,
+    resolve_graph_backend,
+    set_graph_backend,
+)
+from repro.metrics import MetricsCollector
+
+
+def _assert_matches_networkx(graph: nx.Graph, seed: int = 9) -> SnapshotAnalysis:
+    """Assert every metric of ``graph`` is bit-identical across backends."""
+    analysis = SnapshotAnalysis(FlatSnapshot.from_networkx(graph))
+    total = graph.number_of_nodes()
+
+    assert analysis.fraction_disconnected() == fraction_disconnected(graph)
+    assert analysis.degree_histogram() == degree_histogram(graph)
+    assert analysis.largest_component_nodes().tolist() == largest_component(graph)
+
+    if total >= 1:
+        fast_rng = np.random.default_rng(seed)
+        ref_rng = np.random.default_rng(seed)
+        assert analysis.average_path_length(rng=fast_rng) == average_path_length(
+            graph, rng=ref_rng
+        )
+        sample = min(7, total)
+        fast_rng = np.random.default_rng(seed)
+        ref_rng = np.random.default_rng(seed)
+        fast_value = analysis.normalized_path_length(
+            total, sample_sources=sample, rng=fast_rng
+        )
+        ref_value = normalized_path_length(
+            graph, total, sample_sources=sample, rng=ref_rng
+        )
+        assert fast_value == ref_value
+        # Identical RNG consumption: the streams stay in lockstep.
+        assert fast_rng.bit_generator.state == ref_rng.bit_generator.state
+    return analysis
+
+
+class TestBackendKnob:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GRAPH_BACKEND", raising=False)
+        set_graph_backend(None)
+        assert get_graph_backend() == "fast"
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "networkx")
+        set_graph_backend(None)
+        assert get_graph_backend() == "networkx"
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "networkx")
+        set_graph_backend("fast")
+        try:
+            assert get_graph_backend() == "fast"
+        finally:
+            set_graph_backend(None)
+
+    def test_resolve_prefers_explicit_override(self):
+        assert resolve_graph_backend("networkx") == "networkx"
+        assert resolve_graph_backend(None) in GRAPH_BACKENDS
+
+    def test_invalid_names_rejected(self, monkeypatch):
+        with pytest.raises(GraphError):
+            set_graph_backend("igraph")
+        with pytest.raises(GraphError):
+            resolve_graph_backend("igraph")
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "bogus")
+        set_graph_backend(None)
+        with pytest.raises(GraphError):
+            get_graph_backend()
+
+
+class TestDifferentialRandomGraphs:
+    def test_seeded_erdos_renyi_sweep(self):
+        order_rng = np.random.default_rng(11)
+        for case in range(25):
+            n = int(order_rng.integers(2, 150))
+            m = int(order_rng.integers(0, max(1, 3 * n)))
+            graph = erdos_renyi_gnm(n, m, rng=np.random.default_rng(1000 + case))
+            # Relabeling shuffles nx iteration order without changing
+            # the graph, so label-order assumptions would be caught.
+            relabel = dict(zip(graph.nodes(), order_rng.permutation(n).tolist()))
+            _assert_matches_networkx(nx.relabel_nodes(graph, relabel), seed=case)
+
+    def test_synthetic_social_graphs(self):
+        for seed in (1, 2, 3):
+            graph = generate_social_graph(150, rng=np.random.default_rng(seed))
+            _assert_matches_networkx(graph, seed=seed)
+
+    def test_churned_social_snapshots(self):
+        graph = generate_social_graph(200, rng=np.random.default_rng(4))
+        for seed in (5, 6):
+            mask = stationary_online_mask(200, 0.5, np.random.default_rng(seed))
+            _assert_matches_networkx(online_subgraph(graph, mask), seed=seed)
+
+    def test_empty_singleton_and_edgeless(self):
+        _assert_matches_networkx(nx.empty_graph(0))
+        _assert_matches_networkx(nx.empty_graph(1))
+        _assert_matches_networkx(nx.empty_graph(5))
+
+    def test_partitioned_components(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (10, 11), (20, 21), (21, 22), (22, 23)])
+        graph.add_node(30)
+        _assert_matches_networkx(graph)
+
+    def test_equal_size_component_tiebreak(self):
+        # Two components of equal size: the canonical choice is the one
+        # containing the smallest node, in both backends.
+        graph = nx.Graph()
+        graph.add_edges_from([(5, 6), (6, 7), (1, 2), (2, 3)])
+        analysis = _assert_matches_networkx(graph)
+        assert analysis.largest_component_nodes().tolist() == [1, 2, 3]
+
+    def test_more_than_64_bfs_sources(self):
+        # The packed-uint64 BFS processes sources in chunks of 64;
+        # a full (exact) path length on a >64-node component covers the
+        # chunked path.
+        graph = generate_social_graph(300, rng=np.random.default_rng(8))
+        component = largest_component(graph)
+        assert len(component) > 64
+        analysis = SnapshotAnalysis(FlatSnapshot.from_networkx(graph))
+        assert analysis.average_path_length() == average_path_length(graph)
+
+
+class TestFlatSnapshot:
+    def test_structure_matches_graph(self):
+        graph = erdos_renyi_gnm(40, 80, rng=np.random.default_rng(2))
+        snap = FlatSnapshot.from_networkx(graph)
+        assert snap.num_nodes == 40
+        assert snap.num_edges == graph.number_of_edges()
+        for position, node in enumerate(snap.node_ids.tolist()):
+            row = snap.indices[snap.indptr[position] : snap.indptr[position + 1]]
+            neighbors = sorted(
+                int(snap.node_ids[p]) for p in row.tolist()
+            )
+            assert neighbors == sorted(graph.neighbors(node))
+
+    def test_duplicate_edges_are_deduplicated(self):
+        node_ids = np.arange(4, dtype=np.int64)
+        a = np.array([0, 1, 1, 2], dtype=np.int64)
+        b = np.array([1, 0, 2, 1], dtype=np.int64)
+        snap = FlatSnapshot.from_edge_positions(node_ids, a, b)
+        assert snap.num_edges == 2
+        assert snap.degrees().tolist() == [1, 2, 1, 0]
+
+    def test_self_loops_skipped_on_conversion(self):
+        graph = nx.Graph([(0, 1), (1, 1)])
+        snap = FlatSnapshot.from_networkx(graph)
+        assert snap.num_edges == 1
+
+    def test_induced_by_labels_matches_subgraph(self):
+        graph = erdos_renyi_gnm(60, 120, rng=np.random.default_rng(3))
+        mask = stationary_online_mask(60, 0.6, np.random.default_rng(4))
+        fast = FlatSnapshot.from_networkx(graph).induced_by_labels(mask)
+        reference = FlatSnapshot.from_networkx(online_subgraph(graph, mask))
+        assert fast.node_ids.tolist() == reference.node_ids.tolist()
+        assert fast.indptr.tolist() == reference.indptr.tolist()
+        assert fast.indices.tolist() == reference.indices.tolist()
+
+
+class TestSingleLabelingPass:
+    def test_one_union_find_pass_serves_every_metric(self):
+        graph = generate_social_graph(100, rng=np.random.default_rng(7))
+        analysis = SnapshotAnalysis(FlatSnapshot.from_networkx(graph))
+        assert analysis.labelings_run == 0
+        analysis.fraction_disconnected()
+        analysis.normalized_path_length(
+            100, sample_sources=8, rng=np.random.default_rng(1)
+        )
+        analysis.degree_histogram()
+        analysis.component_count()
+        analysis.largest_component_nodes()
+        analysis.components()
+        assert analysis.labelings_run == 1
+
+    def test_collector_runs_one_labeling_per_snapshot_per_sample(
+        self, small_trust_graph, monkeypatch
+    ):
+        config = SystemConfig(num_nodes=30, seed=5)
+        passes = []
+        original = SnapshotAnalysis._ensure_labels
+
+        def counting(self):
+            if self._labels is None:
+                passes.append(self.snapshot)
+            return original(self)
+
+        monkeypatch.setattr(SnapshotAnalysis, "_ensure_labels", counting)
+        overlay = Overlay.build(small_trust_graph, config, with_churn=False)
+        collector = MetricsCollector(
+            overlay, path_length_every=1, path_length_sources=4, backend="fast"
+        )
+        overlay.start()
+        collector.start()
+        overlay.run_until(6.0)
+        samples = len(collector.disconnected)
+        assert samples == 6
+        # Per sample: one labeling for the overlay snapshot; the trust
+        # baseline is cached across samples (static graph, no churn) so
+        # it labels exactly once overall.
+        assert len(passes) == samples + 1
+        # And no snapshot was ever labeled twice.
+        assert len(set(map(id, passes))) == len(passes)
+
+
+class TestOverlayIncrementalStore:
+    def _overlay(self, with_churn: bool) -> Overlay:
+        graph = generate_social_graph(40, rng=np.random.default_rng(21))
+        config = SystemConfig(num_nodes=40, seed=7, availability=0.6)
+        return Overlay.build(graph, config, with_churn=with_churn)
+
+    def test_snapshot_fast_tracks_reference_over_run(self):
+        overlay = self._overlay(with_churn=True)
+        overlay.start()
+        for checkpoint in (0.5, 3.0, 7.5, 12.0, 20.0):
+            overlay.run_until(checkpoint)
+            for online_only in (True, False):
+                fast = overlay.snapshot_fast(online_only=online_only)
+                reference = overlay.snapshot(online_only=online_only)
+                assert fast.node_ids.tolist() == sorted(reference.nodes())
+                fast_edges = {
+                    (int(fast.node_ids[u]), int(fast.node_ids[v]))
+                    for u, v in zip(fast.edge_u.tolist(), fast.edge_v.tolist())
+                }
+                ref_edges = {
+                    (min(u, v), max(u, v)) for u, v in reference.edges()
+                }
+                assert fast_edges == ref_edges
+
+    def test_trust_snapshot_fast_cached_until_online_set_changes(self):
+        overlay = self._overlay(with_churn=False)
+        overlay.start()
+        overlay.run_until(1.0)
+        online_ids = overlay.online_ids()
+        first = overlay.trust_snapshot_fast(online_ids=online_ids)
+        second = overlay.trust_snapshot_fast(online_ids=online_ids)
+        assert first is second
+        overlay.nodes[online_ids[0]].go_offline()
+        third = overlay.trust_snapshot_fast()
+        assert third is not first
+        reference = overlay.trust_snapshot()
+        assert third.node_ids.tolist() == sorted(reference.nodes())
+        assert third.num_edges == reference.number_of_edges()
+
+    def test_online_out_degrees_match_node_out_degree(self):
+        overlay = self._overlay(with_churn=True)
+        overlay.start()
+        overlay.run_until(9.0)
+        online_ids = overlay.online_ids()
+        degrees = overlay.online_out_degrees(overlay.sim.now, online_ids)
+        expected = [
+            overlay.nodes[node_id].out_degree(overlay.sim.now)
+            for node_id in online_ids
+        ]
+        assert degrees.tolist() == expected
+
+    def test_online_ids_cache_follows_transitions(self):
+        overlay = self._overlay(with_churn=False)
+        overlay.start()
+        overlay.run_until(0.5)
+        before = overlay.online_ids()
+        victim = before[0]
+        overlay.nodes[victim].go_offline()
+        after = overlay.online_ids()
+        assert victim in before and victim not in after
+        # Returned lists are copies: mutating one does not poison the cache.
+        after.append(victim)
+        assert victim not in overlay.online_ids()
+
+
+class TestCollectorBackendEquivalence:
+    def _series(self, backend: str):
+        graph = generate_social_graph(50, rng=np.random.default_rng(31))
+        config = SystemConfig(num_nodes=50, seed=13, availability=0.6)
+        overlay = Overlay.build(graph, config, with_churn=True)
+        collector = MetricsCollector(
+            overlay,
+            path_length_every=2,
+            path_length_sources=6,
+            rng=overlay.substream("collector"),
+            backend=backend,
+        )
+        overlay.start()
+        collector.start()
+        overlay.run_until(15.0)
+        return collector
+
+    def test_series_byte_identical_across_backends(self):
+        fast = self._series("fast")
+        reference = self._series("networkx")
+        for name in (
+            "disconnected",
+            "trust_disconnected",
+            "path_length",
+            "trust_path_length",
+            "online_count",
+            "replacements_per_node",
+            "messages_per_node",
+        ):
+            fast_series = getattr(fast, name)
+            ref_series = getattr(reference, name)
+            assert list(fast_series.times) == list(ref_series.times), name
+            assert list(fast_series.values) == list(ref_series.values), name
+        assert fast.max_out_degrees() == reference.max_out_degrees()
+        assert fast.max_out_degree == reference.max_out_degree
+
+    def test_max_out_degrees_covers_every_node(self):
+        fast = self._series("fast")
+        assert len(fast.max_out_degrees()) == 50
+        assert sorted(fast.max_out_degree) == list(range(50))
+
+
+class TestStaticChurnBackends:
+    def test_static_metrics_identical_across_backends(self):
+        graph = generate_social_graph(120, rng=np.random.default_rng(17))
+        fast = static_churn_metrics(
+            graph, 0.5, 5, np.random.default_rng(3), path_sources=8, backend="fast"
+        )
+        reference = static_churn_metrics(
+            graph, 0.5, 5, np.random.default_rng(3), path_sources=8, backend="networkx"
+        )
+        assert fast == reference
+
+
+class TestLintCleanliness:
+    def test_fastgraph_has_no_lint_suppressions(self):
+        import repro.graphs.fastgraph as module
+
+        source = pathlib.Path(module.__file__).read_text(encoding="utf-8")
+        assert "lint: disable" not in source

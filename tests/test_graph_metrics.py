@@ -77,6 +77,26 @@ class TestAveragePathLength:
         estimate = average_path_length(graph, sample_sources=60, rng=rng)
         assert estimate == pytest.approx(exact, rel=0.15)
 
+    def test_fallback_rng_resamples_same_sources_every_call(self):
+        # The documented footgun: without an explicit rng, the fallback
+        # generator is re-seeded identically on every call, so repeated
+        # calls sample the *same* sources and return the same estimate.
+        graph = nx.path_graph(200)
+        first = average_path_length(graph, sample_sources=1)
+        second = average_path_length(graph, sample_sources=1)
+        assert first == second
+
+    def test_persistent_stream_varies_sources_across_calls(self):
+        # A caller-owned stream (the MetricsCollector pattern) advances
+        # between calls, so repeated estimates are independent draws.
+        graph = nx.path_graph(200)
+        stream = np.random.default_rng(123)
+        estimates = {
+            average_path_length(graph, sample_sources=1, rng=stream)
+            for _ in range(8)
+        }
+        assert len(estimates) > 1
+
 
 class TestNormalizedPathLength:
     def test_connected_equals_plain_average(self):

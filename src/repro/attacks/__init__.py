@@ -18,6 +18,13 @@ from .link_detection import (
 )
 from .observers import ObserverCoalition, Sighting
 from .size_estimation import SizeEstimate, estimate_overlay_size
+from .traffic_analysis import (
+    TrafficSummary,
+    direct_node_channel_fraction,
+    endpoint_message_counts,
+    summarize_traffic,
+    top_channels,
+)
 from .vertexcut import (
     VertexCutOutcome,
     install_flow_control,
@@ -42,4 +49,9 @@ __all__ = [
     "measure_flow_control",
     "AuditReport",
     "run_privacy_audit",
+    "TrafficSummary",
+    "endpoint_message_counts",
+    "top_channels",
+    "direct_node_channel_fraction",
+    "summarize_traffic",
 ]

@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="allowed median slowdown fraction for --compare (default 0.2)",
     )
+    parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=2.0,
+        help="allowed peak-RSS growth fraction for --compare; lenient by "
+        "default because RSS is coarse and allocator-dependent (default 2.0)",
+    )
     return parser
 
 
@@ -74,6 +81,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.threshold < 0:
         print("error: --threshold must be non-negative", file=sys.stderr)
+        return 2
+    if args.mem_threshold < 0:
+        print("error: --mem-threshold must be non-negative", file=sys.stderr)
         return 2
 
     mode = "quick" if args.quick else "full"
@@ -92,7 +102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.compare:
         baseline = load_report(args.compare)
-        comparison = compare_reports(baseline, report, threshold=args.threshold)
+        comparison = compare_reports(
+            baseline,
+            report,
+            threshold=args.threshold,
+            mem_threshold=args.mem_threshold,
+        )
         print()
         print(format_comparison(comparison))
         if not comparison.ok:

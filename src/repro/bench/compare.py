@@ -13,10 +13,19 @@ slows a repeat down), so the fastest repeat is the least-contaminated
 estimate of the true cost; medians of small repeat counts wobble enough
 to trip a coarse threshold on their own.
 
+Peak memory is gated the same way on each benchmark's ``peak_rss_kb``
+(resident-set high-water mark after the benchmark ran), with its own —
+deliberately lenient — ``mem_threshold``: RSS only ever grows within a
+process, it is reported in coarse kernel units, and the allocator may
+or may not return freed pages, so only a large sustained jump (default
+2x) is meaningful.  A memory regression fails the gate exactly like a
+time regression; reports that lack ``peak_rss_kb`` on either side
+(older baselines) skip the memory gate for that benchmark.
+
 Any regression makes the comparison fail (process exit code 1), which
-is what stops a PR from silently doubling simulation time.  Benchmarks
-present on only one side are reported but never fail the gate — that
-keeps adding/renaming benchmarks a one-PR change.
+is what stops a PR from silently doubling simulation time or memory.
+Benchmarks present on only one side are reported but never fail the
+gate — that keeps adding/renaming benchmarks a one-PR change.
 """
 
 from __future__ import annotations
@@ -39,11 +48,16 @@ class BenchComparison:
     improvements: List[str]
     missing_in_current: List[str]
     missing_in_baseline: List[str]
+    #: Peak-RSS gate (defaults keep older callers working).
+    mem_threshold: float = 2.0
+    #: name -> (baseline_kb, current_kb, ratio) where both sides report it
+    mem_rows: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    mem_regressions: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """Whether the gate passes (no benchmark regressed)."""
-        return not self.regressions
+        """Whether the gate passes (no time or memory regression)."""
+        return not self.regressions and not self.mem_regressions
 
 
 def load_report(path: str) -> Dict[str, Any]:
@@ -63,14 +77,20 @@ def compare_reports(
     current: Dict[str, Any],
     threshold: float = 0.2,
     improvement_margin: Optional[float] = None,
+    mem_threshold: float = 2.0,
 ) -> BenchComparison:
     """Compare two reports; see module docstring for the gate rule.
 
     ``improvement_margin`` (default: the threshold) only labels wins in
     the summary; it never affects the pass/fail outcome.
+    ``mem_threshold`` gates ``peak_rss_kb`` the same way ``threshold``
+    gates time, and is deliberately lenient by default (see module
+    docstring for why RSS needs more headroom than wall time).
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    if mem_threshold < 0:
+        raise ValueError("mem_threshold must be non-negative")
     if improvement_margin is None:
         improvement_margin = threshold
     base_benchmarks = baseline["benchmarks"]
@@ -78,6 +98,8 @@ def compare_reports(
     rows: Dict[str, Any] = {}
     regressions: List[str] = []
     improvements: List[str] = []
+    mem_rows: Dict[str, Any] = {}
+    mem_regressions: List[str] = []
     for name in base_benchmarks:
         if name not in cur_benchmarks:
             continue
@@ -93,6 +115,21 @@ def compare_reports(
             regressions.append(name)
         elif ratio < 1.0 - improvement_margin:
             improvements.append(name)
+        base_rss = base_benchmarks[name].get("peak_rss_kb")
+        cur_rss = cur_benchmarks[name].get("peak_rss_kb")
+        if base_rss is None or cur_rss is None:
+            # Older reports predate the memory gate; skip, never fail.
+            continue
+        base_rss = float(base_rss)
+        cur_rss = float(cur_rss)
+        mem_ratio = (cur_rss / base_rss) if base_rss > 0 else float("inf")
+        mem_rows[name] = {
+            "baseline_kb": base_rss,
+            "current_kb": cur_rss,
+            "ratio": mem_ratio,
+        }
+        if mem_ratio > 1.0 + mem_threshold:
+            mem_regressions.append(name)
     return BenchComparison(
         threshold=threshold,
         rows=rows,
@@ -100,6 +137,9 @@ def compare_reports(
         improvements=sorted(improvements),
         missing_in_current=sorted(set(base_benchmarks) - set(cur_benchmarks)),
         missing_in_baseline=sorted(set(cur_benchmarks) - set(base_benchmarks)),
+        mem_threshold=mem_threshold,
+        mem_rows=mem_rows,
+        mem_regressions=sorted(mem_regressions),
     )
 
 
@@ -128,6 +168,24 @@ def format_comparison(comparison: BenchComparison) -> str:
                 f"{row['current_min_s'] * 1e3:>8.1f}ms  "
                 f"{row['ratio']:>6.2f}  {verdict}"
             )
+    if comparison.mem_rows:
+        lines.append(
+            "peak RSS comparison "
+            f"(fail when ratio > {1.0 + comparison.mem_threshold:.2f})"
+        )
+        name_width = max(len(name) for name in comparison.mem_rows)
+        lines.append(
+            f"{'benchmark':<{name_width}}  {'baseline':>10}  {'current':>10}  "
+            f"{'ratio':>6}  verdict"
+        )
+        for name, row in comparison.mem_rows.items():
+            verdict = "MEM REGRESSION" if name in comparison.mem_regressions else "ok"
+            lines.append(
+                f"{name:<{name_width}}  "
+                f"{row['baseline_kb'] / 1024:>8.1f}MB  "
+                f"{row['current_kb'] / 1024:>8.1f}MB  "
+                f"{row['ratio']:>6.2f}  {verdict}"
+            )
     for name in comparison.missing_in_current:
         lines.append(f"warning: {name} present in baseline only (not compared)")
     for name in comparison.missing_in_baseline:
@@ -135,7 +193,11 @@ def format_comparison(comparison: BenchComparison) -> str:
     if comparison.ok:
         lines.append("PASS: no benchmark regressed beyond the threshold")
     else:
-        lines.append(
-            "FAIL: regressed benchmark(s): " + ", ".join(comparison.regressions)
+        failed = list(comparison.regressions)
+        failed.extend(
+            f"{name} (memory)"
+            for name in comparison.mem_regressions
+            if name not in comparison.regressions
         )
+        lines.append("FAIL: regressed benchmark(s): " + ", ".join(failed))
     return "\n".join(lines)

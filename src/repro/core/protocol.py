@@ -47,13 +47,23 @@ __all__ = ["Overlay", "OverlayStats"]
 
 @dataclasses.dataclass
 class OverlayStats:
-    """System-wide cumulative statistics at a point in time."""
+    """System-wide cumulative statistics at a point in time.
+
+    The mixnet fields stay at their zero defaults when the link layer
+    is not mixnet-backed (the ideal and mailbox layers have no relays
+    or circuits).
+    """
 
     time: float
     online_nodes: int
     messages_sent: int
     link_replacements: int
     pseudonyms_created: int
+    replays_dropped: int = 0
+    replay_cache_entries: int = 0
+    replay_cache_flushes: int = 0
+    circuit_cache_hits: int = 0
+    circuit_cache_misses: int = 0
 
 
 class _SnapshotStore:
@@ -777,7 +787,7 @@ class Overlay:
 
         ``online_ids`` may carry a precomputed :meth:`online_ids` result.
         """
-        return OverlayStats(
+        stats = OverlayStats(
             time=self.sim.now,
             online_nodes=len(
                 self.online_ids() if online_ids is None else online_ids
@@ -790,6 +800,14 @@ class Overlay:
                 node.counters.pseudonyms_created for node in self.nodes
             ),
         )
+        network = getattr(self.link_layer, "network", None)
+        if network is not None:
+            stats.replays_dropped = network.total_replays_dropped()
+            stats.replay_cache_entries = network.total_replay_cache_entries()
+            stats.replay_cache_flushes = network.total_replay_flushes()
+            stats.circuit_cache_hits = network.circuit_cache_hits
+            stats.circuit_cache_misses = network.circuit_cache_misses
+        return stats
 
     def total_online_time(self, node_id: int) -> float:
         """Cumulative online time of ``node_id`` including the open session."""

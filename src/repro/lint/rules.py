@@ -574,7 +574,8 @@ class MissingSlots(Rule):
     code = "HYG003"
     name = "missing-slots"
     rationale = (
-        "repro.core objects exist once per node (thousands per run); "
+        "repro.core objects exist once per node (thousands per run) and "
+        "repro.privlink objects sit on the per-message path; "
         "per-instance __dict__s dominate memory and slow attribute "
         "access.  Declare __slots__ (dataclasses are exempt: the "
         "decorator is visible to the linter)."
@@ -582,7 +583,7 @@ class MissingSlots(Rule):
 
     #: Path fragments marking hot-path modules.  Checked against the
     #: POSIX form of the file path.
-    HOT_PATHS = ("repro/core/",)
+    HOT_PATHS = ("repro/core/", "repro/privlink/")
 
     @classmethod
     def applies_to_path(cls, path: str) -> bool:

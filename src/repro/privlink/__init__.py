@@ -14,7 +14,7 @@ endpoint address), in three flavors:
   alternative from the paper, which also covers offline receivers.
 """
 
-from .crypto import Sealed, message_digest, seal, seal_layers, unseal
+from .crypto import Sealed, layer_digest, message_digest, seal, seal_layers, unseal
 from .identity import KeyPair, KeyRegistry, NodeID
 from .link import (
     Address,
@@ -34,7 +34,7 @@ from .mixnet import (
     make_mixnet_link_layer,
 )
 from .storage import MailboxPseudonymService, MailboxStore, StoredMessage
-from .traffic import TrafficLog, TrafficRecord
+from .traffic import LegacyTrafficLog, TrafficLog, TrafficRecord
 
 __all__ = [
     "NodeID",
@@ -45,6 +45,7 @@ __all__ = [
     "seal_layers",
     "unseal",
     "message_digest",
+    "layer_digest",
     "Address",
     "NodeDirectory",
     "AnonymityService",
@@ -62,5 +63,6 @@ __all__ = [
     "MailboxPseudonymService",
     "StoredMessage",
     "TrafficLog",
+    "LegacyTrafficLog",
     "TrafficRecord",
 ]

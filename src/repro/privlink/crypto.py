@@ -15,12 +15,21 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any, Tuple
+import pickle
+from typing import Any, Optional, Tuple
 
 from ..errors import MixnetError
 from .identity import KeyPair
 
-__all__ = ["Sealed", "seal", "seal_layers", "unseal", "message_digest"]
+__all__ = [
+    "Sealed",
+    "seal",
+    "seal_layers",
+    "unseal",
+    "message_digest",
+    "layer_digest",
+    "header_digest",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,16 +52,62 @@ def seal(public_key: int, routing_hint: Any, payload: Any) -> Sealed:
     return Sealed(public_key=public_key, routing_hint=routing_hint, payload=payload)
 
 
-def seal_layers(hops: Tuple[Tuple[int, Any], ...], payload: Any) -> Any:
+def seal_layers(
+    hops: Tuple[Tuple[int, Any], ...],
+    payload: Any,
+    header_digests: Optional[Tuple[int, ...]] = None,
+) -> Any:
     """Build an onion: the first hop's layer is outermost.
 
     ``hops`` is a sequence of ``(public_key, routing_hint)`` pairs, in
     forwarding order.  Returns the outermost :class:`Sealed` (or the
     bare payload when ``hops`` is empty).
+
+    ``header_digests`` — precomputed :func:`header_digest` values
+    parallel to ``hops`` — turns on *seal-time digest stamping*: each
+    layer's replay digest is computed while the onion is built (one
+    short hash per layer, the headers being already hashed) and cached
+    on the layer, so every relay's replay check is a dict lookup.  The
+    stamped values are identical to what :func:`layer_digest` would
+    compute from scratch.  Circuit caches are what make precomputing
+    the header digests worthwhile: they are constant per circuit.
     """
-    wrapped: Any = payload
-    for public_key, routing_hint in reversed(hops):
-        wrapped = seal(public_key, routing_hint, wrapped)
+    if header_digests is None:
+        wrapped: Any = payload
+        for public_key, routing_hint in reversed(hops):
+            wrapped = seal(public_key, routing_hint, wrapped)
+        return wrapped
+    if len(header_digests) != len(hops):
+        raise MixnetError("header_digests must parallel hops")
+    wrapped = payload
+    digest = layer_digest(payload)
+    new = Sealed.__new__
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    index = len(hops)
+    while index:
+        index -= 1
+        public_key, routing_hint = hops[index]
+        # Inlined _combine_digests — this loop runs once per layer per
+        # message and is the hottest spot of the sealing path.
+        digest = from_bytes(
+            sha256(
+                header_digests[index].to_bytes(8, "little")
+                + digest.to_bytes(8, "little")
+            ).digest()[:8],
+            "little",
+        )
+        # Frozen-dataclass __init__ routes every field through
+        # object.__setattr__; filling the instance dict directly is
+        # ~3x cheaper and yields an identical object (plus the digest
+        # stamp, which lives in __dict__ either way).
+        layer = new(Sealed)
+        fields = layer.__dict__
+        fields["public_key"] = public_key
+        fields["routing_hint"] = routing_hint
+        fields["payload"] = wrapped
+        fields["_layer_digest"] = digest
+        wrapped = layer
     return wrapped
 
 
@@ -82,3 +137,78 @@ def message_digest(payload: Any) -> bytes:
     dataclasses and primitive types that flow through the mixnet.
     """
     return hashlib.sha256(repr(payload).encode("utf-8")).digest()
+
+
+def _stable_bytes(value: Any) -> bytes:
+    """A stable byte serialization of a routing hint or payload.
+
+    ``pickle`` (protocol 4) serializes at C speed and is stable for the
+    value types flowing through the mixnet (frozen dataclasses, tuples,
+    strings, ints); anything unpicklable falls back to ``repr``.
+    """
+    try:
+        return pickle.dumps(value, protocol=4)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return repr(value).encode("utf-8")
+
+
+def header_digest(public_key: int, routing_hint: Any) -> int:
+    """64-bit digest of a layer's *static* header (key + routing hint).
+
+    For a cached circuit the headers never change, so these values can
+    be computed once per circuit and reused for every message sealed
+    along it (see :func:`seal_layers`).
+    """
+    return int.from_bytes(
+        hashlib.sha256(_stable_bytes((public_key, routing_hint))).digest()[:8],
+        "little",
+    )
+
+
+def _combine_digests(header: int, inner: int) -> int:
+    """One layer's digest from its header digest and its payload digest."""
+    return int.from_bytes(
+        hashlib.sha256(
+            header.to_bytes(8, "little") + inner.to_bytes(8, "little")
+        ).digest()[:8],
+        "little",
+    )
+
+
+def layer_digest(payload: Any) -> int:
+    """64-bit truncated SHA-256 digest of an onion layer, cached per layer.
+
+    Relays replay-check every onion they see, and a message traverses
+    every relay of its circuit — so digesting the *full* payload at each
+    hop is quadratic in circuit length.  This digest composes instead::
+
+        digest(layer) = H(header_digest(layer) || digest(inner))[:8]
+
+    The first relay's check recursively digests (and caches, on the
+    frozen :class:`Sealed` instances themselves) every inner layer, so
+    each subsequent hop's check is a cache hit — one full payload pass
+    per message; onions sealed along a cached circuit skip even that,
+    because :func:`seal_layers` stamps the same digests at seal time
+    from precomputed header digests.  The 8-byte truncation keeps
+    replay caches compact; at 2^64 the birthday-bound collision odds
+    for realistic cache sizes are negligible (and accounted for by
+    ``Relay.expected_replay_collisions``).
+    """
+    if isinstance(payload, Sealed):
+        cached = payload.__dict__.get("_layer_digest")
+        if cached is not None:
+            return cached
+        digest = _combine_digests(
+            header_digest(payload.public_key, payload.routing_hint),
+            layer_digest(payload.payload),
+        )
+        # Sealed is frozen but not slotted: stash the digest on the
+        # instance dict so every later hop's replay check is O(1).
+        object.__setattr__(payload, "_layer_digest", digest)
+        return digest
+    # Inlined _stable_bytes: this branch digests every message payload.
+    try:
+        data = pickle.dumps(payload, protocol=4)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        data = repr(payload).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "little")

@@ -63,6 +63,8 @@ class KeyRegistry:
     key-based access control.
     """
 
+    __slots__ = ("_counter",)
+
     def __init__(self) -> None:
         self._counter = itertools.count(1)
 

@@ -70,6 +70,8 @@ class NodeDirectory:
     stand-in for the IP layer.
     """
 
+    __slots__ = ("_inboxes", "_online_checks")
+
     def __init__(self) -> None:
         self._inboxes: Dict[int, Inbox] = {}
         self._online_checks: Dict[int, OnlineCheck] = {}
@@ -102,6 +104,8 @@ class NodeDirectory:
 class AnonymityService(abc.ABC):
     """Privacy-preserving unicast to a node whose real ID is known."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def send(self, sender_id: int, dest_id: int, payload: Any) -> None:
         """Send ``payload`` from ``sender_id`` to node ``dest_id``.
@@ -114,6 +118,8 @@ class AnonymityService(abc.ABC):
 
 class PseudonymServiceBase(abc.ABC):
     """Creates pseudonym endpoints and routes messages to them."""
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def create_endpoint(self, owner_id: int) -> Address:
@@ -141,6 +147,8 @@ class PseudonymServiceBase(abc.ABC):
 class _LatencyModel:
     """Draws per-message one-way latencies: Uniform(0, max_latency]."""
 
+    __slots__ = ("_max_latency", "_rng")
+
     def __init__(self, max_latency: float, rng: np.random.Generator) -> None:
         if max_latency < 0:
             raise LinkLayerError("max_latency must be non-negative")
@@ -161,6 +169,8 @@ class _LossModel:
     naturally redundant, so moderate loss should cost little — the
     ``bench_ablation_loss`` experiment quantifies it).
     """
+
+    __slots__ = ("_loss_rate", "_rng", "dropped")
 
     def __init__(self, loss_rate: float, rng: np.random.Generator) -> None:
         if not 0.0 <= loss_rate < 1.0:
@@ -186,6 +196,16 @@ class IdealAnonymityService(AnonymityService):
     observable channel so attack analyses can run against ideal links
     too.
     """
+
+    __slots__ = (
+        "_sim",
+        "_directory",
+        "_latency",
+        "loss",
+        "_traffic",
+        "sent_count",
+        "delivered_count",
+    )
 
     def __init__(
         self,
@@ -226,6 +246,19 @@ class IdealPseudonymService(PseudonymServiceBase):
     it models the rendezvous machinery a real deployment gets from
     Tor hidden services or I2P eepsites.
     """
+
+    __slots__ = (
+        "_sim",
+        "_directory",
+        "_latency",
+        "loss",
+        "_traffic",
+        "_owners",
+        "_tokens",
+        "sent_count",
+        "delivered_count",
+        "dropped_closed",
+    )
 
     def __init__(
         self,
@@ -289,6 +322,10 @@ class LinkLayer:
     This is the only interface the overlay layer sees, mirroring the
     architecture in Figure 2 of the paper.
     """
+
+    # "network" is set by make_mixnet_link_layer so attack analyses and
+    # overlay stats can reach the backing MixNetwork.
+    __slots__ = ("directory", "anonymity", "pseudonym", "network")
 
     def __init__(
         self,

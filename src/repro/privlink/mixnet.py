@@ -38,7 +38,13 @@ import numpy as np
 
 from ..errors import MixnetError, PseudonymError
 from ..sim import Simulator
-from .crypto import Sealed, message_digest, seal_layers, unseal
+from .crypto import (
+    Sealed,
+    header_digest,
+    layer_digest,
+    message_digest,
+    seal_layers,
+)
 from .identity import KeyPair, KeyRegistry
 from .link import Address, AnonymityService, NodeDirectory, PseudonymServiceBase
 from .traffic import TrafficLog
@@ -58,20 +64,53 @@ _HINT_RENDEZVOUS = "rendezvous"
 
 
 class Relay:
-    """One mix relay: a key pair, a forwarding engine, a replay cache."""
+    """One mix relay: a key pair, a forwarding engine, a replay cache.
 
-    def __init__(self, relay_id: int, key_pair: KeyPair, network: "MixNetwork") -> None:
+    Replay digests are compact 64-bit integers (see
+    :func:`~repro.privlink.crypto.layer_digest`) by default, and the
+    cache is *epoch-bounded*: when it reaches ``replay_cache_limit``
+    entries it is flushed wholesale and :attr:`replay_flushes` is
+    incremented, so long churn runs cannot grow it without limit.  The
+    legacy full-``bytes`` digests remain available via the network's
+    ``compact_replay=False`` mode.
+    """
+
+    __slots__ = (
+        "relay_id",
+        "key_pair",
+        "name",
+        "_network",
+        "_replay_cache",
+        "_compact_replay",
+        "_cache_limit",
+        "forwarded",
+        "replays_dropped",
+        "replay_flushes",
+        "replay_checked",
+    )
+
+    def __init__(
+        self,
+        relay_id: int,
+        key_pair: KeyPair,
+        network: "MixNetwork",
+        compact_replay: bool = True,
+        replay_cache_limit: Optional[int] = 65536,
+    ) -> None:
         self.relay_id = relay_id
         self.key_pair = key_pair
+        # The endpoint identifier observers see for this relay; built
+        # once — it labels every traffic record the relay touches.
+        self.name = f"relay:{relay_id}"
         self._network = network
-        self._replay_cache: Set[bytes] = set()
+        # Holds ints in compact mode, bytes in legacy mode.
+        self._replay_cache: Set[Any] = set()
+        self._compact_replay = compact_replay
+        self._cache_limit = replay_cache_limit
         self.forwarded = 0
         self.replays_dropped = 0
-
-    @property
-    def name(self) -> str:
-        """The endpoint identifier observers see for this relay."""
-        return f"relay:{self.relay_id}"
+        self.replay_flushes = 0
+        self.replay_checked = 0
 
     def replay_cache_size(self) -> int:
         """Number of remembered message digests."""
@@ -87,17 +126,53 @@ class Relay:
         """
         self._replay_cache.clear()
 
+    def expected_replay_collisions(self) -> float:
+        """Birthday-bound estimate of false replay drops this epoch.
+
+        With 64-bit digests and ``n`` cached entries, roughly
+        ``n * (n - 1) / 2^65`` distinct messages collide — below 1e-9
+        even at the default 65536-entry flush limit, so compact digests
+        are safe for replay detection.  Always 0.0 in legacy mode
+        (full digests).
+        """
+        if not self._compact_replay:
+            return 0.0
+        n = len(self._replay_cache)
+        return n * (n - 1) / 2.0**65
+
     def process(self, sealed: Any, arrived_from: str, time: float) -> None:
         """Strip one layer and act on the routing hint."""
-        digest = message_digest(sealed)
-        if digest in self._replay_cache:
+        if self._compact_replay:
+            # Onions sealed along a cached circuit carry stamped
+            # digests; read the stamp directly and fall back to the
+            # recursive computation for everything else.
+            try:
+                digest: Any = sealed._layer_digest
+            except AttributeError:
+                digest = layer_digest(sealed)
+        else:
+            digest = message_digest(sealed)
+        self.replay_checked += 1
+        cache = self._replay_cache
+        if digest in cache:
             self.replays_dropped += 1
             return
-        self._replay_cache.add(digest)
+        if self._cache_limit is not None and len(cache) >= self._cache_limit:
+            cache.clear()
+            self.replay_flushes += 1
+        cache.add(digest)
 
         if not isinstance(sealed, Sealed):
             raise MixnetError(f"relay {self.relay_id} received a non-onion payload")
-        hint, inner = unseal(self.key_pair, sealed)
+        # Inlined unseal(): this runs once per relay per message.
+        key_pair = self.key_pair
+        if key_pair.private != sealed.public_key:
+            raise MixnetError(
+                f"key {key_pair.private} cannot open layer sealed to "
+                f"{sealed.public_key}"
+            )
+        hint = sealed.routing_hint
+        inner = sealed.payload
         verb = hint[0]
         self.forwarded += 1
         if verb == _HINT_RELAY:
@@ -114,7 +189,44 @@ class Relay:
 
 
 class MixNetwork:
-    """The relay pool, circuit builder, and hop scheduler."""
+    """The relay pool, circuit builder, and hop scheduler.
+
+    Circuits are cached per (sender, destination) by default — the
+    Tor-style semantics where a circuit is reused for a flow rather
+    than rebuilt per cell — which removes relay selection and onion
+    hop-list construction from the per-message path.  Entries are
+    evicted when their rendezvous address closes (pseudonym rotation)
+    and the whole cache is dropped via :meth:`invalidate_circuits`
+    (relay-pool rotation) or when it exceeds ``circuit_cache_limit``.
+    ``circuit_cache=False`` restores the legacy fresh-circuit-per-
+    message behavior, including the exact rng draw sequence.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_directory",
+        "_rng",
+        "_circuit_length",
+        "_hop_latency",
+        "_relay_availability",
+        "dropped_relay_down",
+        "traffic",
+        "relays",
+        "_rendezvous",
+        "delivered_count",
+        "dropped_offline",
+        "dropped_closed",
+        "_circuit_cache_enabled",
+        "_circuit_cache_limit",
+        "_circuits",
+        "_address_keys",
+        "_inline_hops",
+        "_always_up",
+        "_node_names",
+        "circuit_cache_hits",
+        "circuit_cache_misses",
+        "circuit_cache_evictions",
+    )
 
     def __init__(
         self,
@@ -126,6 +238,11 @@ class MixNetwork:
         hop_latency: float = 0.01,
         relay_availability: float = 1.0,
         traffic: Optional[TrafficLog] = None,
+        circuit_cache: bool = True,
+        circuit_cache_limit: int = 4096,
+        compact_replay: bool = True,
+        replay_cache_limit: Optional[int] = 65536,
+        inline_hops: bool = True,
     ) -> None:
         """``relay_availability`` models third-party infrastructure that
         is highly but not perfectly available (the paper assumes "high
@@ -150,7 +267,14 @@ class MixNetwork:
 
         keys = KeyRegistry()
         self.relays: List[Relay] = [
-            Relay(relay_id, keys.issue(), self) for relay_id in range(num_relays)
+            Relay(
+                relay_id,
+                keys.issue(),
+                self,
+                compact_replay=compact_replay,
+                replay_cache_limit=replay_cache_limit,
+            )
+            for relay_id in range(num_relays)
         ]
         # Rendezvous table: pseudonym address -> (rendezvous relay id,
         # owner's return circuit as relay ids, owner node id).  The owner
@@ -160,6 +284,25 @@ class MixNetwork:
         self.delivered_count = 0
         self.dropped_offline = 0
         self.dropped_closed = 0
+        # Circuit cache: key -> (first relay, prebuilt seal_layers hops,
+        # per-hop header digests).  Keys are (0, sender, dest_node) or
+        # (1, sender, address).
+        self._circuit_cache_enabled = circuit_cache
+        self._circuit_cache_limit = circuit_cache_limit
+        self._circuits: Dict[
+            Tuple[Any, ...],
+            Tuple[Relay, Tuple[Tuple[int, Any], ...], Optional[Tuple[int, ...]]],
+        ] = {}
+        self._address_keys: Dict[Address, List[Tuple[Any, ...]]] = {}
+        # Zero-latency hops need no event scheduling: the whole relay
+        # chain runs inline in the injecting event.  inline_hops=False
+        # restores the seed behavior (same-timestamp events per hop).
+        self._inline_hops = inline_hops and hop_latency == 0.0
+        self._always_up = relay_availability >= 1.0
+        self._node_names: Dict[int, str] = {}
+        self.circuit_cache_hits = 0
+        self.circuit_cache_misses = 0
+        self.circuit_cache_evictions = 0
 
     @property
     def circuit_length(self) -> int:
@@ -175,29 +318,120 @@ class MixNetwork:
 
     # -- onion construction ------------------------------------------------
 
-    def wrap_for_node(self, circuit: List[Relay], dest_node_id: int, payload: Any) -> Sealed:
-        """Onion whose last layer delivers to a known node id."""
+    @staticmethod
+    def _hops(
+        circuit: List[Relay], last_hint: Tuple[str, Any]
+    ) -> Tuple[Tuple[int, Any], ...]:
+        """The ``seal_layers`` hop list for a circuit: relay-to-relay
+        hints, then ``last_hint`` at the exit."""
         hops = []
         for position, relay in enumerate(circuit):
             if position + 1 < len(circuit):
-                hint = (_HINT_RELAY, circuit[position + 1].relay_id)
+                hint: Tuple[str, Any] = (_HINT_RELAY, circuit[position + 1].relay_id)
             else:
-                hint = (_HINT_DELIVER, dest_node_id)
+                hint = last_hint
             hops.append((relay.key_pair.public, hint))
-        return seal_layers(tuple(hops), payload)
+        return tuple(hops)
+
+    def wrap_for_node(self, circuit: List[Relay], dest_node_id: int, payload: Any) -> Sealed:
+        """Onion whose last layer delivers to a known node id."""
+        return seal_layers(self._hops(circuit, (_HINT_DELIVER, dest_node_id)), payload)
 
     def wrap_for_rendezvous(
         self, circuit: List[Relay], address: Address, payload: Any
     ) -> Sealed:
         """Onion whose last layer hands the payload to a rendezvous relay."""
-        hops = []
-        for position, relay in enumerate(circuit):
-            if position + 1 < len(circuit):
-                hint = (_HINT_RELAY, circuit[position + 1].relay_id)
-            else:
-                hint = (_HINT_RENDEZVOUS, address)
-            hops.append((relay.key_pair.public, hint))
-        return seal_layers(tuple(hops), payload)
+        return seal_layers(self._hops(circuit, (_HINT_RENDEZVOUS, address)), payload)
+
+    # -- circuit cache -----------------------------------------------------
+
+    def circuit_for_node(
+        self, sender_id: int, dest_node_id: int
+    ) -> Tuple[Relay, Tuple[Tuple[int, Any], ...], Optional[Tuple[int, ...]]]:
+        """The (first relay, prebuilt hops, header digests) for a
+        sender->node flow.
+
+        Cached per (sender, destination) when the circuit cache is on —
+        including the per-hop header digests that let ``seal_layers``
+        stamp replay digests at seal time.  Otherwise builds a fresh
+        circuit exactly as the legacy path did (header digests None).
+        """
+        if not self._circuit_cache_enabled:
+            circuit = self.build_circuit()
+            return circuit[0], self._hops(circuit, (_HINT_DELIVER, dest_node_id)), None
+        key = (0, sender_id, dest_node_id)
+        entry = self._circuits.get(key)
+        if entry is not None:
+            self.circuit_cache_hits += 1
+            return entry
+        self.circuit_cache_misses += 1
+        circuit = self.build_circuit()
+        hops = self._hops(circuit, (_HINT_DELIVER, dest_node_id))
+        entry = (circuit[0], hops, self._header_digests(hops))
+        self._store_circuit(key, entry)
+        return entry
+
+    def circuit_for_rendezvous(
+        self, sender_id: int, address: Address
+    ) -> Tuple[Relay, Tuple[Tuple[int, Any], ...], Optional[Tuple[int, ...]]]:
+        """The (first relay, prebuilt hops, header digests) for a
+        sender->pseudonym flow.
+
+        The circuit's last hop is mandated: it must be the address's
+        rendezvous relay.  Cached per (sender, address); closing the
+        address evicts every circuit that targets it.
+        """
+        if not self._circuit_cache_enabled:
+            first_relay, hops = self._build_rendezvous_circuit(address)
+            return first_relay, hops, None
+        key = (1, sender_id, address)
+        entry = self._circuits.get(key)
+        if entry is not None:
+            self.circuit_cache_hits += 1
+            return entry
+        self.circuit_cache_misses += 1
+        first_relay, hops = self._build_rendezvous_circuit(address)
+        entry = (first_relay, hops, self._header_digests(hops))
+        self._store_circuit(key, entry)
+        self._address_keys.setdefault(address, []).append(key)
+        return entry
+
+    @staticmethod
+    def _header_digests(hops: Tuple[Tuple[int, Any], ...]) -> Tuple[int, ...]:
+        """Per-hop static header digests, computed once per circuit."""
+        return tuple(header_digest(public_key, hint) for public_key, hint in hops)
+
+    def _build_rendezvous_circuit(
+        self, address: Address
+    ) -> Tuple[Relay, Tuple[Tuple[int, Any], ...]]:
+        """Random approach relays plus the mandated rendezvous last hop."""
+        rendezvous_relay_id = self.rendezvous_relay_of(address)
+        approach = [
+            relay
+            for relay in self.build_circuit(self._circuit_length - 1)
+            if relay.relay_id != rendezvous_relay_id
+        ]
+        circuit = approach + [self.relays[rendezvous_relay_id]]
+        return circuit[0], self._hops(circuit, (_HINT_RENDEZVOUS, address))
+
+    def _store_circuit(
+        self,
+        key: Tuple[Any, ...],
+        entry: Tuple[Relay, Tuple[Tuple[int, Any], ...], Optional[Tuple[int, ...]]],
+    ) -> None:
+        if len(self._circuits) >= self._circuit_cache_limit:
+            self.invalidate_circuits()
+        self._circuits[key] = entry
+
+    def invalidate_circuits(self) -> None:
+        """Drop every cached circuit (e.g. on relay-pool rotation)."""
+        self.circuit_cache_evictions += len(self._circuits)
+        self._circuits.clear()
+        self._address_keys.clear()
+
+    def circuit_cache_size(self) -> int:
+        """Number of cached circuits."""
+        return len(self._circuits)
 
     # -- scheduling --------------------------------------------------------
 
@@ -216,11 +450,15 @@ class MixNetwork:
 
     def inject(self, sender_name: str, first_relay: Relay, onion: Sealed) -> None:
         """Send an onion from an edge node into the mix."""
-        self.traffic.record(self._sim.now, sender_name, first_relay.name)
-        if not self._relay_up():
+        now = self._sim.now
+        self.traffic.record(now, sender_name, first_relay.name)
+        if not (self._always_up or self._relay_up()):
+            return
+        if self._inline_hops:
+            first_relay.process(onion, sender_name, now)
             return
         self._sim.post_after(
-            self._latency(), first_relay.process, onion, sender_name, self._sim.now
+            self._latency(), first_relay.process, onion, sender_name, now
         )
 
     def hop(self, from_relay: Relay, next_relay_id: int, inner: Any, time: float) -> None:
@@ -229,18 +467,33 @@ class MixNetwork:
             next_relay = self.relays[next_relay_id]
         except IndexError:
             raise MixnetError(f"unknown relay id {next_relay_id}") from None
-        self.traffic.record(self._sim.now, from_relay.name, next_relay.name)
-        if not self._relay_up():
+        now = self._sim.now
+        self.traffic.record(now, from_relay.name, next_relay.name)
+        if not (self._always_up or self._relay_up()):
+            return
+        if self._inline_hops:
+            next_relay.process(inner, from_relay.name, now)
             return
         self._sim.post_after(
-            self._latency(), next_relay.process, inner, from_relay.name, self._sim.now
+            self._latency(), next_relay.process, inner, from_relay.name, now
         )
+
+    def _node_name(self, node_id: int) -> str:
+        """The interned ``node:<id>`` endpoint string for traffic records."""
+        name = self._node_names.get(node_id)
+        if name is None:
+            name = f"node:{node_id}"
+            self._node_names[node_id] = name
+        return name
 
     def final_delivery(
         self, from_relay: Relay, dest_node_id: int, payload: Any, time: float
     ) -> None:
         """Last hop of an anonymity-service circuit: relay -> node."""
-        self.traffic.record(self._sim.now, from_relay.name, f"node:{dest_node_id}")
+        self.traffic.record(self._sim.now, from_relay.name, self._node_name(dest_node_id))
+        if self._inline_hops:
+            self._deliver_to_node(dest_node_id, payload)
+            return
         self._sim.post_after(self._latency(), self._deliver_to_node, dest_node_id, payload)
 
     def rendezvous_delivery(
@@ -262,14 +515,26 @@ class MixNetwork:
             self.dropped_closed += 1
             return
         previous_name = from_relay.name
+        now = self._sim.now
+        if self._inline_hops:
+            # Zero-latency return circuit: no draws, no scheduling.
+            traffic_record = self.traffic.record
+            relays = self.relays
+            for relay_id in return_circuit:
+                relay_name = relays[relay_id].name
+                traffic_record(now, previous_name, relay_name)
+                previous_name = relay_name
+            traffic_record(now, previous_name, self._node_name(owner_id))
+            self._deliver_to_node(owner_id, payload)
+            return
         delay = 0.0
         for relay_id in return_circuit:
             delay += self._latency()
             relay_name = self.relays[relay_id].name
-            self.traffic.record(self._sim.now + delay, previous_name, relay_name)
+            self.traffic.record(now + delay, previous_name, relay_name)
             previous_name = relay_name
         delay += self._latency()
-        self.traffic.record(self._sim.now + delay, previous_name, f"node:{owner_id}")
+        self.traffic.record(now + delay, previous_name, self._node_name(owner_id))
         self._sim.post_after(delay, self._deliver_to_node, owner_id, payload)
 
     def _deliver_to_node(self, node_id: int, payload: Any) -> None:
@@ -290,8 +555,17 @@ class MixNetwork:
         return address
 
     def close_rendezvous(self, address: Address) -> None:
-        """Tear down the rendezvous entry for ``address``."""
+        """Tear down the rendezvous entry for ``address``.
+
+        Also evicts every cached sender circuit targeting the address,
+        so pseudonym rotation invalidates stale circuits.
+        """
         self._rendezvous.pop(address, None)
+        keys = self._address_keys.pop(address, None)
+        if keys:
+            for key in keys:
+                if self._circuits.pop(key, None) is not None:
+                    self.circuit_cache_evictions += 1
 
     def rendezvous_relay_of(self, address: Address) -> int:
         """Rendezvous relay id for an address (raises if closed)."""
@@ -304,6 +578,20 @@ class MixNetwork:
         """Whether the rendezvous entry still exists."""
         return address in self._rendezvous
 
+    # -- aggregate stats ---------------------------------------------------
+
+    def total_replays_dropped(self) -> int:
+        """Replayed messages dropped, summed over relays."""
+        return sum(relay.replays_dropped for relay in self.relays)
+
+    def total_replay_cache_entries(self) -> int:
+        """Currently cached replay digests, summed over relays."""
+        return sum(relay.replay_cache_size() for relay in self.relays)
+
+    def total_replay_flushes(self) -> int:
+        """Epoch flushes of replay caches, summed over relays."""
+        return sum(relay.replay_flushes for relay in self.relays)
+
 
 _rendezvous_counter = itertools.count(1)
 
@@ -315,19 +603,24 @@ def _next_rendezvous_token() -> int:
 class MixnetAnonymityService(AnonymityService):
     """Anonymity service over the simulated mix network."""
 
+    __slots__ = ("_network", "sent_count")
+
     def __init__(self, network: MixNetwork) -> None:
         self._network = network
         self.sent_count = 0
 
     def send(self, sender_id: int, dest_id: int, payload: Any) -> None:
         self.sent_count += 1
-        circuit = self._network.build_circuit()
-        onion = self._network.wrap_for_node(circuit, dest_id, payload)
-        self._network.inject(f"node:{sender_id}", circuit[0], onion)
+        network = self._network
+        first_relay, hops, digests = network.circuit_for_node(sender_id, dest_id)
+        onion = seal_layers(hops, payload, header_digests=digests)
+        network.inject(network._node_name(sender_id), first_relay, onion)
 
 
 class RendezvousPseudonymService(PseudonymServiceBase):
     """Hidden-service-style pseudonym endpoints over the mix network."""
+
+    __slots__ = ("_network", "sent_count")
 
     def __init__(self, network: MixNetwork) -> None:
         self._network = network
@@ -344,21 +637,16 @@ class RendezvousPseudonymService(PseudonymServiceBase):
 
     def send(self, sender_id: int, address: Address, payload: Any) -> None:
         self.sent_count += 1
-        if not self._network.is_rendezvous_active(address):
+        network = self._network
+        if address not in network._rendezvous:
             # Sender cannot even route: treat as silent drop, matching
             # expired-pseudonym semantics.
             return
-        rendezvous_relay_id = self._network.rendezvous_relay_of(address)
-        # Build a sender-side circuit that terminates at the rendezvous
-        # relay: random approach relays plus the mandated last hop.
-        approach = [
-            relay
-            for relay in self._network.build_circuit(self._network.circuit_length - 1)
-            if relay.relay_id != rendezvous_relay_id
-        ]
-        circuit = approach + [self._network.relays[rendezvous_relay_id]]
-        onion = self._network.wrap_for_rendezvous(circuit, address, payload)
-        self._network.inject(f"node:{sender_id}", circuit[0], onion)
+        first_relay, hops, digests = network.circuit_for_rendezvous(
+            sender_id, address
+        )
+        onion = seal_layers(hops, payload, header_digests=digests)
+        network.inject(network._node_name(sender_id), first_relay, onion)
 
 
 def make_mixnet_link_layer(
@@ -368,8 +656,20 @@ def make_mixnet_link_layer(
     circuit_length: int = 3,
     hop_latency: float = 0.01,
     traffic: Optional[TrafficLog] = None,
+    circuit_cache: bool = True,
+    circuit_cache_limit: int = 4096,
+    compact_replay: bool = True,
+    replay_cache_limit: Optional[int] = 65536,
+    inline_hops: bool = True,
 ):
-    """Build a :class:`~repro.privlink.link.LinkLayer` backed by a mixnet."""
+    """Build a :class:`~repro.privlink.link.LinkLayer` backed by a mixnet.
+
+    Defaults take the fast path: per-flow circuit cache with seal-time
+    replay-digest stamping, compact epoch-bounded replay digests, and
+    inline processing of zero-latency hops.  ``circuit_cache=False``,
+    ``compact_replay=False``, ``inline_hops=False`` together reproduce
+    the legacy per-message behavior and its exact rng draw sequence.
+    """
     from .link import LinkLayer  # local import to avoid cycle at module load
 
     directory = NodeDirectory()
@@ -381,6 +681,11 @@ def make_mixnet_link_layer(
         circuit_length=circuit_length,
         hop_latency=hop_latency,
         traffic=traffic,
+        circuit_cache=circuit_cache,
+        circuit_cache_limit=circuit_cache_limit,
+        compact_replay=compact_replay,
+        replay_cache_limit=replay_cache_limit,
+        inline_hops=inline_hops,
     )
     layer = LinkLayer(
         directory,

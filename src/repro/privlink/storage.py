@@ -44,6 +44,15 @@ class StoredMessage:
 class MailboxStore:
     """Third-party storage service: bounded per-address FIFO queues."""
 
+    __slots__ = (
+        "_boxes",
+        "_capacity",
+        "_retention",
+        "stored_count",
+        "evicted_count",
+        "expired_count",
+    )
+
     def __init__(self, capacity_per_box: int = 256, retention: float = 100.0) -> None:
         if capacity_per_box < 1:
             raise LinkLayerError("capacity_per_box must be at least 1")
@@ -112,6 +121,18 @@ class MailboxPseudonymService(PseudonymServiceBase):
     schedules periodic delivery attempts per mailbox; each attempt
     drains the box to the owner iff the owner is online.
     """
+
+    __slots__ = (
+        "_sim",
+        "_directory",
+        "_store",
+        "_poll_interval",
+        "_traffic",
+        "_owners",
+        "_tokens",
+        "sent_count",
+        "delivered_count",
+    )
 
     def __init__(
         self,

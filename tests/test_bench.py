@@ -180,6 +180,58 @@ class TestCompareGate:
         assert set(comparison.improvements) == set(FAST)
 
 
+class TestMemoryGate:
+    """The peak-RSS half of the --compare gate."""
+
+    def test_identical_rss_passes(self, quick_report):
+        comparison = compare_reports(quick_report, quick_report)
+        assert comparison.ok
+        assert not comparison.mem_regressions
+        assert set(comparison.mem_rows) == set(FAST)
+
+    def test_rss_blowup_fails(self, quick_report):
+        """A current run using 4x the baseline RSS must trip the gate."""
+        lean_baseline = copy.deepcopy(quick_report)
+        for entry in lean_baseline["benchmarks"].values():
+            entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 4)
+        comparison = compare_reports(lean_baseline, quick_report, mem_threshold=2.0)
+        assert not comparison.ok
+        assert set(comparison.mem_regressions) == set(FAST)
+        rendered = format_comparison(comparison)
+        assert "MEM REGRESSION" in rendered
+        assert "(memory)" in rendered
+        assert "FAIL" in rendered
+
+    def test_growth_within_threshold_passes(self, quick_report):
+        lean_baseline = copy.deepcopy(quick_report)
+        for entry in lean_baseline["benchmarks"].values():
+            entry["peak_rss_kb"] = int(entry["peak_rss_kb"] / 1.5)
+        assert compare_reports(lean_baseline, quick_report, mem_threshold=2.0).ok
+
+    def test_memory_failure_is_independent_of_timing(self, quick_report):
+        """A mem-only regression fails even with all timings identical."""
+        lean_baseline = copy.deepcopy(quick_report)
+        for entry in lean_baseline["benchmarks"].values():
+            entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 10)
+        comparison = compare_reports(lean_baseline, quick_report)
+        assert not comparison.regressions
+        assert comparison.mem_regressions
+        assert not comparison.ok
+
+    def test_baseline_without_rss_skips_gate(self, quick_report):
+        """Pre-gate baselines lack peak_rss_kb; they must not fail."""
+        old_baseline = copy.deepcopy(quick_report)
+        for entry in old_baseline["benchmarks"].values():
+            del entry["peak_rss_kb"]
+        comparison = compare_reports(old_baseline, quick_report)
+        assert comparison.ok
+        assert not comparison.mem_rows
+
+    def test_negative_mem_threshold_rejected(self, quick_report):
+        with pytest.raises(ValueError, match="mem_threshold"):
+            compare_reports(quick_report, quick_report, mem_threshold=-0.5)
+
+
 class TestCli:
     def test_bench_writes_json_and_exits_zero(self, tmp_path, capsys):
         path = tmp_path / "BENCH_micro.json"
@@ -217,8 +269,33 @@ class TestCli:
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_mem_gate_exit_code(self, tmp_path, capsys):
+        """A baseline claiming a fraction of the RSS must exit 1."""
+        baseline_path = tmp_path / "baseline.json"
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--json", str(baseline_path)]
+        )
+        assert code == 0
+        baseline = load_report(str(baseline_path))
+        for entry in baseline["benchmarks"].values():
+            entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 100)
+        lean_path = tmp_path / "lean.json"
+        write_json(baseline, str(lean_path))
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--compare", str(lean_path),
+             "--threshold", "1000", "--mem-threshold", "2.0"]
+        )
+        assert code == 1
+        assert "MEM REGRESSION" in capsys.readouterr().out
+
     def test_negative_threshold_exit_code(self, capsys):
         assert bench_main(["--quick", "--threshold", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_negative_mem_threshold_exit_code(self, capsys):
+        assert bench_main(["--quick", "--mem-threshold", "-1"]) == 2
         assert "non-negative" in capsys.readouterr().err
 
     def test_repro_cli_dispatches_bench(self, tmp_path, capsys):

@@ -100,3 +100,53 @@ class TestDigest:
 
     def test_distinguishes_content(self):
         assert message_digest(seal(1, "h", "a")) != message_digest(seal(1, "h", "b"))
+
+
+class TestLayerDigestStamping:
+    """Seal-time stamped digests must equal the from-scratch recursion."""
+
+    HOPS = ((11, ("relay", 2)), (22, ("relay", 3)), (33, ("deliver", 7)))
+
+    def test_stamped_equals_recomputed(self):
+        from repro.privlink.crypto import header_digest, layer_digest
+
+        digests = tuple(header_digest(pk, hint) for pk, hint in self.HOPS)
+        stamped = seal_layers(self.HOPS, "payload", header_digests=digests)
+        plain = seal_layers(self.HOPS, "payload")
+        layer, reference = stamped, plain
+        while isinstance(layer, Sealed):
+            assert layer.__dict__["_layer_digest"] == layer_digest(reference)
+            assert layer.public_key == reference.public_key
+            assert layer.routing_hint == reference.routing_hint
+            layer, reference = layer.payload, reference.payload
+        assert layer == reference == "payload"
+
+    def test_mismatched_digest_count_rejected(self):
+        from repro.privlink.crypto import header_digest
+
+        digests = (header_digest(11, ("relay", 2)),)
+        with pytest.raises(MixnetError, match="parallel"):
+            seal_layers(self.HOPS, "payload", header_digests=digests)
+
+    def test_layer_digest_caches_on_instance(self):
+        from repro.privlink.crypto import layer_digest
+
+        onion = seal_layers(self.HOPS, "payload")
+        assert "_layer_digest" not in onion.__dict__
+        first = layer_digest(onion)
+        assert onion.__dict__["_layer_digest"] == first
+        assert layer_digest(onion) == first
+        # The recursion caches every inner layer too.
+        assert "_layer_digest" in onion.payload.__dict__
+
+    def test_digest_depends_on_every_layer(self):
+        from repro.privlink.crypto import layer_digest
+
+        base = seal_layers(self.HOPS, "payload")
+        other_payload = seal_layers(self.HOPS, "different")
+        other_hop = seal_layers(
+            ((11, ("relay", 2)), (22, ("relay", 4)), (33, ("deliver", 7))),
+            "payload",
+        )
+        assert layer_digest(base) != layer_digest(other_payload)
+        assert layer_digest(base) != layer_digest(other_hop)

@@ -215,3 +215,189 @@ class TestMixNetworkConstruction:
                 num_relays=5,
                 circuit_length=0,
             )
+
+
+def _fast_layer(**kwargs):
+    """A mixnet layer with the fast-path knobs exposed for tests."""
+    sim = Simulator()
+    layer = make_mixnet_link_layer(
+        sim,
+        np.random.default_rng(0),
+        num_relays=kwargs.pop("num_relays", 8),
+        **kwargs,
+    )
+    return sim, layer
+
+
+class TestCircuitCache:
+    def test_repeat_sends_hit_the_cache(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        # Distinct payloads: identical payloads on a cached circuit are
+        # identical onions, which replay protection rightly drops.
+        for index in range(5):
+            layer.send_to_node(0, 1, f"m{index}")
+        sim.run_until(1.0)
+        assert sorted(node.inbox) == [f"m{index}" for index in range(5)]
+        assert network.circuit_cache_misses == 1
+        assert network.circuit_cache_hits == 4
+        assert network.circuit_cache_size() == 1
+
+    def test_distinct_flows_get_distinct_entries(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        nodes = {}
+        for node_id in (1, 2):
+            nodes[node_id] = _FakeNode()
+            layer.register_node(node_id, nodes[node_id].receive, lambda: True)
+        layer.send_to_node(0, 1, "m")
+        layer.send_to_node(0, 2, "m")
+        layer.send_to_node(3, 1, "m")
+        sim.run_until(1.0)
+        assert network.circuit_cache_misses == 3
+        assert network.circuit_cache_hits == 0
+        assert network.circuit_cache_size() == 3
+
+    def test_closing_endpoint_evicts_its_circuits(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(2, node.receive, lambda: node.online)
+        address = layer.create_endpoint(2)
+        layer.send_to_endpoint(0, address, "a")
+        layer.send_to_endpoint(1, address, "b")
+        sim.run_until(1.0)
+        assert network.circuit_cache_size() == 2
+        layer.close_endpoint(address)
+        assert network.circuit_cache_size() == 0
+        assert network.circuit_cache_evictions == 2
+        # A send to the closed address is silently dropped, not rebuilt.
+        layer.send_to_endpoint(0, address, "late")
+        sim.run_until(2.0)
+        assert network.circuit_cache_size() == 0
+        assert node.inbox == ["a", "b"]
+
+    def test_invalidate_circuits_drops_everything(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "m")
+        sim.run_until(1.0)
+        assert network.circuit_cache_size() == 1
+        network.invalidate_circuits()
+        assert network.circuit_cache_size() == 0
+        assert network.circuit_cache_evictions == 1
+        layer.send_to_node(0, 1, "m")
+        sim.run_until(2.0)
+        assert network.circuit_cache_misses == 2
+
+    def test_cache_limit_triggers_wholesale_flush(self):
+        sim, layer = _fast_layer(circuit_cache_limit=2)
+        network = layer.network
+        for node_id in (1, 2, 3):
+            node = _FakeNode()
+            layer.register_node(node_id, node.receive, lambda: True)
+        layer.send_to_node(0, 1, "m")
+        layer.send_to_node(0, 2, "m")
+        layer.send_to_node(0, 3, "m")  # overflows the 2-entry cache
+        sim.run_until(1.0)
+        assert network.circuit_cache_evictions == 2
+        assert network.circuit_cache_size() == 1
+
+    def test_disabled_cache_keeps_legacy_behavior(self):
+        sim, layer = _fast_layer(circuit_cache=False)
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for _ in range(3):
+            layer.send_to_node(0, 1, "m")
+        sim.run_until(1.0)
+        assert node.inbox == ["m"] * 3
+        assert network.circuit_cache_hits == 0
+        assert network.circuit_cache_misses == 0
+        assert network.circuit_cache_size() == 0
+
+
+class TestCompactReplayCache:
+    def test_epoch_flush_bounds_cache_size(self):
+        sim, layer = _fast_layer(replay_cache_limit=10)
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(40):
+            layer.send_to_node(0, 1, f"m{index}")
+        sim.run_until(1.0)
+        assert sorted(node.inbox, key=lambda m: int(m[1:])) == [
+            f"m{index}" for index in range(40)
+        ]
+        assert network.total_replay_flushes() > 0
+        assert all(relay.replay_cache_size() <= 10 for relay in network.relays)
+
+    def test_unbounded_cache_never_flushes(self):
+        sim, layer = _fast_layer(replay_cache_limit=None)
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(50):
+            layer.send_to_node(0, 1, f"m{index}")
+        sim.run_until(1.0)
+        assert network.total_replay_flushes() == 0
+        assert network.total_replay_cache_entries() > 0
+
+    def test_compact_digests_are_ints_legacy_are_bytes(self):
+        for compact in (True, False):
+            sim, layer = _fast_layer(compact_replay=compact)
+            network = layer.network
+            node = _FakeNode()
+            layer.register_node(1, node.receive, lambda: node.online)
+            layer.send_to_node(0, 1, "m")
+            sim.run_until(1.0)
+            expected_type = int if compact else bytes
+            cached = {
+                digest
+                for relay in network.relays
+                for digest in relay._replay_cache
+            }
+            assert cached
+            assert all(isinstance(digest, expected_type) for digest in cached)
+
+    def test_expected_collisions_tiny_but_nonzero(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        for index in range(20):
+            layer.send_to_node(0, 1, f"m{index}")
+        sim.run_until(1.0)
+        busy = [r for r in network.relays if r.replay_cache_size() >= 2]
+        assert busy
+        for relay in busy:
+            assert 0.0 < relay.expected_replay_collisions() < 1e-12
+
+    def test_expected_collisions_zero_in_legacy_mode(self):
+        sim, layer = _fast_layer(compact_replay=False)
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        layer.send_to_node(0, 1, "m")
+        sim.run_until(1.0)
+        assert all(
+            relay.expected_replay_collisions() == 0.0 for relay in network.relays
+        )
+
+    def test_replay_still_dropped_with_compact_digests(self):
+        sim, layer = _fast_layer()
+        network = layer.network
+        node = _FakeNode()
+        layer.register_node(1, node.receive, lambda: node.online)
+        circuit = network.build_circuit()
+        onion = network.wrap_for_node(circuit, 1, "once")
+        network.inject("node:0", circuit[0], onion)
+        sim.run_until(1.0)
+        network.inject("node:0", circuit[0], onion)
+        sim.run_until(2.0)
+        assert node.inbox == ["once"]
+        assert network.total_replays_dropped() == 1

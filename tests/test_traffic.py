@@ -1,6 +1,16 @@
-"""Tests for the observer traffic log."""
+"""Tests for the observer traffic log.
+
+:class:`TrafficLog` is the columnar fast path; every query it answers
+is also checked against :class:`LegacyTrafficLog` (the original
+list-of-dataclasses layout) on the same record sequence, so the two
+can never silently diverge.
+"""
+
+import numpy as np
+import pytest
 
 from repro.privlink import TrafficLog
+from repro.privlink.traffic import LegacyTrafficLog
 
 
 class TestTrafficLog:
@@ -49,9 +59,133 @@ class TestTrafficLog:
         assert len(log) == 1
         assert log.dropped == 1
 
+    def test_max_records_counts_every_overflow(self):
+        log = TrafficLog(max_records=2)
+        for time in range(5):
+            log.record(float(time), "a", "b")
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert [record.time for record in log] == [0.0, 1.0]
+
     def test_clear(self):
         log = TrafficLog(max_records=1)
         log.record(1.0, "a", "b")
         log.clear()
         assert len(log) == 0
         assert log.dropped == 0
+
+    def test_clear_resets_interning_and_accepts_new_records(self):
+        log = TrafficLog(max_records=1)
+        log.record(1.0, "a", "b")
+        log.record(2.0, "c", "d")
+        assert log.dropped == 1
+        log.clear()
+        assert log.endpoint_names() == ()
+        assert log.endpoint_id("a") is None
+        log.record(3.0, "x", "y")
+        assert len(log) == 1
+        assert log.endpoint_names() == ("x", "y")
+
+    def test_disabled_log_allocates_nothing(self):
+        log = TrafficLog(enabled=False)
+        assert not log.enabled
+        for time in range(100):
+            log.record(float(time), "a", "b")
+        assert len(log) == 0
+        assert log.endpoint_names() == ()
+        times, srcs, dsts, sizes = log.columns()
+        assert times.size == srcs.size == dsts.size == sizes.size == 0
+
+
+class TestColumnarStorage:
+    def test_endpoints_interned_in_first_sight_order(self):
+        log = TrafficLog()
+        log.record(1.0, "b", "a")
+        log.record(2.0, "a", "c")
+        log.record(3.0, "b", "c")
+        assert log.endpoint_names() == ("b", "a", "c")
+        assert log.endpoint_id("a") == 1
+        assert log.endpoint_id("missing") is None
+        _, srcs, dsts, _ = log.columns()
+        assert srcs.tolist() == [0, 1, 0]
+        assert dsts.tolist() == [1, 2, 2]
+
+    def test_records_survive_chunk_boundaries(self):
+        log = TrafficLog(chunk_records=4)
+        for index in range(11):
+            log.record(float(index), f"src:{index % 3}", "dst", size_hint=index)
+        assert len(log) == 11
+        times, srcs, dsts, sizes = log.columns()
+        assert times.tolist() == [float(index) for index in range(11)]
+        assert sizes.tolist() == list(range(11))
+        assert times.dtype == np.float64
+        assert srcs.dtype == dsts.dtype == sizes.dtype == np.uint32
+        records = list(log)
+        assert [record.time for record in records] == times.tolist()
+        assert [record.src for record in records] == [
+            f"src:{index % 3}" for index in range(11)
+        ]
+
+    def test_columns_are_snapshots(self):
+        log = TrafficLog(chunk_records=4)
+        for index in range(6):
+            log.record(float(index), "a", "b")
+        times, _, _, _ = log.columns()
+        log.record(6.0, "a", "b")
+        assert times.size == 6
+        assert log.columns()[0].size == 7
+
+    def test_invalid_chunk_records_rejected(self):
+        with pytest.raises(ValueError, match="chunk_records"):
+            TrafficLog(chunk_records=0)
+
+    def test_columnar_memory_is_smaller_than_legacy(self):
+        columnar, legacy = TrafficLog(), LegacyTrafficLog()
+        for index in range(10_000):
+            for log in (columnar, legacy):
+                log.record(float(index), f"node:{index % 50}", f"relay:{index % 7}")
+        assert columnar.memory_bytes() * 4 < legacy.memory_bytes()
+
+
+class TestLegacyEquivalence:
+    """Differential check: both layouts answer every query identically."""
+
+    @pytest.fixture()
+    def pair(self):
+        rng = np.random.default_rng(42)
+        columnar = TrafficLog(chunk_records=64)
+        legacy = LegacyTrafficLog()
+        endpoints = [f"endpoint:{index}" for index in range(17)]
+        for time, src, dst, size in zip(
+            np.cumsum(rng.random(1000)),
+            rng.integers(0, 17, 1000),
+            rng.integers(0, 17, 1000),
+            rng.integers(1, 100, 1000),
+        ):
+            for log in (columnar, legacy):
+                log.record(
+                    float(time), endpoints[src], endpoints[dst], int(size)
+                )
+        return columnar, legacy
+
+    def test_record_views_identical(self, pair):
+        columnar, legacy = pair
+        assert len(columnar) == len(legacy)
+        assert list(columnar) == list(legacy)
+
+    def test_channels_identical(self, pair):
+        columnar, legacy = pair
+        assert columnar.channels() == legacy.channels()
+
+    def test_by_endpoint_identical(self, pair):
+        columnar, legacy = pair
+        assert columnar.by_endpoint() == legacy.by_endpoint()
+
+    def test_window_identical(self, pair):
+        columnar, legacy = pair
+        assert columnar.window(100.0, 300.0) == legacy.window(100.0, 300.0)
+        assert columnar.window(1e9, 2e9) == legacy.window(1e9, 2e9)
+
+    def test_unique_endpoints_identical(self, pair):
+        columnar, legacy = pair
+        assert columnar.unique_endpoints() == legacy.unique_endpoints()

@@ -95,9 +95,9 @@ def run_suite(
         facts: Dict[str, Any] = {}
         for _ in range(repeats):
             run_once = workload.prepare(mode, seed)
-            started = time.perf_counter()  # lint: disable=DET003
+            started = time.perf_counter()
             facts = run_once()
-            elapsed = time.perf_counter() - started  # lint: disable=DET003
+            elapsed = time.perf_counter() - started
             times.append(elapsed)
         ordered = sorted(times)
         median_s = _percentile(ordered, 0.5)

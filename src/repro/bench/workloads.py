@@ -282,12 +282,12 @@ def _prepare_parallel_sweep(mode: str, seed: int) -> Callable[[], Dict[str, Any]
 
     def run() -> Dict[str, Any]:
         base = make_config(SMOKE, alpha=0.5, f=0.5, seed=seed)
-        started = time.perf_counter()  # lint: disable=DET003
+        started = time.perf_counter()
         serial = grid_sweep(base, axes, experiment)
-        wall_serial = time.perf_counter() - started  # lint: disable=DET003
-        started = time.perf_counter()  # lint: disable=DET003
+        wall_serial = time.perf_counter() - started
+        started = time.perf_counter()
         parallel = parallel_grid_sweep(base, axes, experiment, workers=workers)
-        wall_parallel = time.perf_counter() - started  # lint: disable=DET003
+        wall_parallel = time.perf_counter() - started
         serial_digest = outcome_digest([point.outcome for point in serial])
         parallel_digest = outcome_digest([point.outcome for point in parallel])
         if serial_digest != parallel_digest or serial != parallel:
@@ -350,7 +350,7 @@ def _prepare_metrics_sample(mode: str, seed: int) -> Callable[[], Dict[str, Any]
 
     # Reference pass: the pre-fastgraph collector pipeline (the largest
     # component is recomputed inside each metric, as it used to be).
-    started = time.perf_counter()  # lint: disable=DET003
+    started = time.perf_counter()
     ref_fraction = fraction_disconnected(induced)
     ref_path = normalized_path_length(
         induced,
@@ -359,7 +359,7 @@ def _prepare_metrics_sample(mode: str, seed: int) -> Callable[[], Dict[str, Any]
         rng=RandomStreams(seed).substream("bench", "metrics-sources"),
     )
     ref_histogram = degree_histogram(induced)
-    wall_networkx = time.perf_counter() - started  # lint: disable=DET003
+    wall_networkx = time.perf_counter() - started
 
     # Raw endpoint positions: what the overlay's incremental store hands
     # to snapshot assembly, so the timed region includes CSR building.
@@ -369,7 +369,7 @@ def _prepare_metrics_sample(mode: str, seed: int) -> Callable[[], Dict[str, Any]
     endpoint_b = base.edge_v.copy()
 
     def run() -> Dict[str, Any]:
-        started = time.perf_counter()  # lint: disable=DET003
+        started = time.perf_counter()
         for _ in range(iters):
             snapshot = FlatSnapshot.from_edge_positions(
                 node_ids, endpoint_a, endpoint_b
@@ -391,7 +391,7 @@ def _prepare_metrics_sample(mode: str, seed: int) -> Callable[[], Dict[str, Any]
                     "fast metrics diverged from networkx reference: "
                     f"({fraction}, {path}) != ({ref_fraction}, {ref_path})"
                 )
-        wall_fast = time.perf_counter() - started  # lint: disable=DET003
+        wall_fast = time.perf_counter() - started
         per_sample = wall_fast / iters
         return {
             "operations": iters,
@@ -546,9 +546,9 @@ def _prepare_mixnet_message(mode: str, seed: int) -> Callable[[], Dict[str, Any]
     # noise — the speedup fact should reflect the phases' floors.
     def timed_phase(log: Any, fast: bool) -> Tuple[float, int]:
         gc.collect()
-        started = time.process_time()  # lint: disable=DET003
+        started = time.process_time()
         delivered, _ = run_phase(log, fast, num_messages)
-        elapsed = time.process_time() - started  # lint: disable=DET003
+        elapsed = time.process_time() - started
         return elapsed, delivered
 
     wall_legacy = float("inf")

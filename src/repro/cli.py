@@ -293,10 +293,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     for target in targets:
         # Progress display is the one allowlisted host-clock use (DET003):
         # it reports to the human at the terminal, never to results.
-        started = time.perf_counter()  # lint: disable=DET003
+        started = time.perf_counter()
         print(f"== {target} (scale={scale.name}, seed={args.seed}) ==")
         _FIGURES[target](scale, args.seed, args.plot, args.workers)
-        elapsed = time.perf_counter() - started  # lint: disable=DET003
+        elapsed = time.perf_counter() - started
         print(f"[{target} done in {elapsed:.1f}s]\n")
     return 0
 

@@ -4,23 +4,40 @@ The paper's figures are reproducible only if every random draw flows
 from a single root seed and every timestamp comes from the simulator.
 This package machine-checks those conventions over the source tree:
 
-* an :mod:`ast`-visitor engine with a rule registry
+* an :mod:`ast`-visitor engine with a per-file rule registry
   (:mod:`repro.lint.rules`),
+* a whole-program pass (:func:`lint_project`): per-function summaries
+  (:mod:`repro.lint.summaries`) assembled into a call-graph index
+  (:mod:`repro.lint.project`) feeding the interprocedural FLOW (RNG
+  provenance), FORK (fork-safety races), and PAR (fast/legacy parity)
+  rule families,
+* a findings baseline/ratchet (:mod:`repro.lint.baseline`) and a
+  content-hash result cache (:mod:`repro.lint.cache`),
 * ``# lint: disable=RULE`` / ``# lint: disable-file=RULE`` suppression
   comments (:mod:`repro.lint.suppressions`),
-* text and JSON reporters (:mod:`repro.lint.reporters`),
+* text, JSON, and SARIF reporters (:mod:`repro.lint.reporters`),
 * a CLI: ``repro lint [paths]``, ``python -m repro.lint``, or the
   ``repro-lint`` console script.
 
 See ``docs/linting.md`` for the rule catalog and rationale.
 """
 
-from .engine import LintError, LintResult, lint_paths, lint_source, select_rules
+from .engine import (
+    LintError,
+    LintResult,
+    ProjectLintResult,
+    lint_paths,
+    lint_project,
+    lint_source,
+    select_rules,
+)
 from .findings import Finding
 from .reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
     render_rule_catalog,
+    render_sarif,
     render_text,
 )
 from .rules import RULES, Rule, register, rule_codes
@@ -29,7 +46,9 @@ __all__ = [
     "Finding",
     "LintError",
     "LintResult",
+    "ProjectLintResult",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "select_rules",
     "Rule",
@@ -38,6 +57,8 @@ __all__ = [
     "rule_codes",
     "render_text",
     "render_json",
+    "render_sarif",
     "render_rule_catalog",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
 ]

@@ -1,0 +1,158 @@
+"""Findings baseline: freeze what exists, fail on anything new.
+
+The ratchet contract (``repro lint --baseline write|check``):
+
+* **write** records every current finding as a fingerprint —
+  ``sha256(relative-path :: rule :: message)`` — with a per-fingerprint
+  count, plus the total and the number of live suppression comments.
+* **check** fails (exit 1) when a finding appears whose fingerprint is
+  absent from the baseline, or whose count exceeds the frozen count.
+  Findings that *disappeared* never fail the check; the run reports
+  them so the baseline can be rewritten smaller.  The count only goes
+  down.
+
+Fingerprints deliberately exclude line numbers: moving code around
+must not churn the baseline.  Paths are stored relative to the
+baseline file's directory so CI (relative paths) and tests (absolute
+tmp paths) agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "BaselineReport",
+    "fingerprint",
+    "write_baseline",
+    "check_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Missing or malformed baseline file."""
+
+
+def _relative_path(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def fingerprint(finding: Finding, root: Path) -> str:
+    """Stable identity of a finding, independent of line numbers."""
+    relative = _relative_path(finding.path, root)
+    text = f"{relative}::{finding.rule}::{finding.message}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _counts(findings: Sequence[Finding], root: Path) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding, root)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    baseline_path: str,
+    suppression_count: int = 0,
+) -> Dict[str, object]:
+    """Freeze the current findings into ``baseline_path``."""
+    root = Path(baseline_path).resolve().parent
+    document = {
+        "version": BASELINE_VERSION,
+        "total": len(findings),
+        "suppressions": suppression_count,
+        "fingerprints": dict(sorted(_counts(findings, root).items())),
+    }
+    path = Path(baseline_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return document
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineReport:
+    """Outcome of a ratchet check."""
+
+    #: Findings absent from (or exceeding their count in) the baseline.
+    new_findings: List[Finding]
+    #: Number of baselined findings that no longer occur.
+    fixed_count: int
+    baseline_total: int
+    current_total: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def summary(self) -> str:
+        parts = [
+            f"baseline: {self.baseline_total} frozen, "
+            f"{self.current_total} current",
+        ]
+        if self.new_findings:
+            parts.append(f"{len(self.new_findings)} NEW")
+        if self.fixed_count:
+            parts.append(
+                f"{self.fixed_count} fixed — rewrite the baseline to "
+                "ratchet down"
+            )
+        return ", ".join(parts)
+
+
+def check_baseline(
+    findings: Sequence[Finding], baseline_path: str
+) -> BaselineReport:
+    """Compare findings against a frozen baseline."""
+    path = Path(baseline_path)
+    if not path.is_file():
+        raise BaselineError(
+            f"no baseline at {baseline_path}; create one with "
+            "--baseline write"
+        )
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"unreadable baseline {baseline_path}: {error}")
+    if document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {baseline_path} has version "
+            f"{document.get('version')!r}, expected {BASELINE_VERSION}; "
+            "rewrite it with --baseline write"
+        )
+    frozen: Dict[str, int] = dict(document.get("fingerprints", {}))
+    root = path.resolve().parent
+    seen: Dict[str, int] = {}
+    new_findings: List[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = fingerprint(finding, root)
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > frozen.get(key, 0):
+            new_findings.append(finding)
+    fixed = sum(
+        max(0, count - seen.get(key, 0)) for key, count in frozen.items()
+    )
+    return BaselineReport(
+        new_findings=new_findings,
+        fixed_count=fixed,
+        baseline_total=int(document.get("total", sum(frozen.values()))),
+        current_total=len(findings),
+    )

@@ -1,0 +1,138 @@
+"""On-disk result cache keyed by file content hash.
+
+One JSON file (default ``.lint-cache.json`` next to the baseline)
+holds, per linted file: the source's SHA-256, the per-file findings,
+the serialized :class:`~repro.lint.summaries.ModuleSummary`, and the
+suppression table.  An unchanged file costs one hash on the next run —
+its cached summary still feeds the project-wide pass, which is what
+makes ``repro lint --changed`` sound: the whole-program analysis sees
+every file even when only a handful were re-parsed.
+
+Entries are invalidated wholesale when the cache schema, the summary
+schema (:data:`~repro.lint.summaries.SUMMARY_VERSION`), or the set of
+registered rules changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .summaries import SUMMARY_VERSION, ModuleSummary
+from .suppressions import SuppressionTable
+
+__all__ = ["CACHE_VERSION", "ResultCache", "content_hash"]
+
+CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    """SHA-256 of a source buffer (the cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _rules_signature() -> str:
+    """Identity of the active rule set; any change invalidates entries."""
+    from .project import PROJECT_RULES
+    from .rules import RULES
+
+    return ",".join(sorted(RULES) + sorted(PROJECT_RULES))
+
+
+class ResultCache:
+    """Load/store per-file lint results keyed by content hash."""
+
+    def __init__(self, cache_path: str) -> None:
+        self.cache_path = cache_path
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._signature = _rules_signature()
+        self._load()
+
+    def _load(self) -> None:
+        path = Path(self.cache_path)
+        if not path.is_file():
+            return
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            document.get("version") != CACHE_VERSION
+            or document.get("summary_version") != SUMMARY_VERSION
+            or document.get("rules") != self._signature
+        ):
+            return
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(
+        self, path: str, digest: str
+    ) -> Optional[Tuple[List[Finding], ModuleSummary, SuppressionTable]]:
+        """Cached (findings, summary, suppressions) for an unchanged file."""
+        entry = self._entries.get(self._key(path))
+        if entry is None or entry.get("hash") != digest:
+            return None
+        try:
+            findings = [
+                Finding(**raw) for raw in entry.get("findings", ())
+            ]
+            summary = ModuleSummary.from_dict(entry["summary"])
+            suppressions = SuppressionTable.from_dict(
+                entry.get("suppressions", {})
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, summary, suppressions
+
+    def put(
+        self,
+        path: str,
+        digest: str,
+        findings: List[Finding],
+        summary: ModuleSummary,
+        suppressions: SuppressionTable,
+    ) -> None:
+        self._entries[self._key(path)] = {
+            "hash": digest,
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summary.to_dict(),
+            "suppressions": suppressions.to_dict(),
+        }
+        self._dirty = True
+
+    @staticmethod
+    def _key(path: str) -> str:
+        return str(Path(path).resolve())
+
+    def save(self) -> None:
+        """Atomically persist the cache when anything changed."""
+        if not self._dirty:
+            return
+        document = {
+            "version": CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "rules": self._signature,
+            "entries": self._entries,
+        }
+        path = Path(self.cache_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(document, stream)
+            os.replace(temp_name, str(path))
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+        self._dirty = False

@@ -1,0 +1,169 @@
+"""FLOW rules: RNG provenance across call edges.
+
+Single-root-seed determinism requires every random draw in the library
+to derive from the experiment's :class:`repro.rng.RandomStreams` (or
+the deterministic :func:`repro.rng.fallback_rng`).  The per-file rules
+catch unseeded generators at the creation site; these project rules
+catch the *plumbing* failures a file-local view cannot see:
+
+* FLOW001 — a generator built from a hardcoded literal seed inside
+  library code.  The draw is reproducible but deaf to the root seed:
+  two experiments with different seeds share it, and sweep points
+  collapse onto one stream.
+* FLOW002 — a function that *received* RNG provenance calls a project
+  function that *accepts* RNG provenance without passing any of it.
+  The callee silently falls back (or worse, creates its own), so the
+  caller's stream never reaches the draws it thinks it controls — the
+  fallback-RNG footgun, caught statically.
+* FLOW003 — a public API transitively reaches hidden-global RNG state
+  (``numpy.random.*`` module functions or the stdlib ``random``
+  module).  The finding names the call chain, so the offending edge is
+  visible even when the draw lives modules away.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .findings import Finding
+from .project import ProjectRule, ProjectRuleContext, register_project_rule
+from .summaries import FunctionSummary
+
+__all__ = ["Flow001", "Flow002", "Flow003"]
+
+#: Modules allowed to construct generators from constants: the RNG
+#: subsystem itself (fallback_rng derives from DEFAULT_SEED by design).
+_SANCTIONED_MODULES = frozenset({"repro.rng", "repro.config"})
+
+
+@register_project_rule
+class Flow001(ProjectRule):
+    code = "FLOW001"
+    name = "hardcoded-seed-generator"
+    rationale = (
+        "A generator seeded from a literal constant ignores the "
+        "experiment's root seed: derive substreams from a RandomStreams "
+        "parameter or repro.rng.fallback_rng instead."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for summary in context.index.functions.values():
+            if summary.module in _SANCTIONED_MODULES:
+                continue
+            for creation in summary.rng_creations:
+                if creation.kind in ("default_rng", "streams") and (
+                    creation.seeded_from == "literal"
+                ):
+                    findings.append(
+                        self.finding(
+                            summary.path,
+                            creation.line,
+                            f"{summary.qualname} builds a generator from a "
+                            "hardcoded seed; derive it from a RandomStreams "
+                            "parameter or fallback_rng so the root seed "
+                            "reaches these draws",
+                        )
+                    )
+        return findings
+
+
+@register_project_rule
+class Flow002(ProjectRule):
+    code = "FLOW002"
+    name = "rng-not-threaded"
+    rationale = (
+        "A caller holding RNG provenance must pass it to callees that "
+        "accept it; dropping it on the floor silently decouples the "
+        "callee's draws from the experiment seed."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for summary in context.index.functions.values():
+            if not summary.rng_params:
+                continue
+            for call in summary.calls:
+                if call.rng_arg:
+                    continue  # some rng-like value is already passed
+                callee_name = context.index.resolve_call(
+                    summary, call.kind, call.target, call.dotted
+                )
+                if callee_name is None:
+                    continue
+                callee = context.index.functions[callee_name]
+                if not self._rng_slot_open(call, callee):
+                    continue
+                findings.append(
+                    self.finding(
+                        summary.path,
+                        call.line,
+                        f"{summary.qualname} holds rng provenance "
+                        f"({', '.join(summary.rng_params)}) but calls "
+                        f"{callee.qualname} without passing any; the callee "
+                        "will fall back to its own stream",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _rng_slot_open(call, callee: FunctionSummary) -> bool:
+        """Whether the callee accepts rng and the call leaves it unfilled."""
+        if not callee.rng_params:
+            return False
+        if any(kw in callee.rng_params for kw in call.keywords):
+            return False
+        # Positional coverage: an rng slot filled positionally would set
+        # rng_arg at the call site; with rng_arg False a covered slot
+        # means some non-rng value landed there — still worth flagging —
+        # but an *uncovered* optional slot is the classic silent drop.
+        # Methods consume one leading slot for self.
+        offset = 1 if callee.class_name is not None else 0
+        open_slots = [
+            index
+            for index in callee.rng_param_indexes
+            if index - offset >= call.num_pos
+        ]
+        return bool(open_slots) or not callee.rng_param_indexes
+        # (keyword-only rng params: no indexes, still an open slot)
+
+
+@register_project_rule
+class Flow003(ProjectRule):
+    code = "FLOW003"
+    name = "public-api-reaches-global-rng"
+    rationale = (
+        "Hidden-global RNG state (numpy.random module functions, stdlib "
+        "random) is invisible to seed threading and shared across the "
+        "process; public APIs must not reach it on any call path."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        index = context.index
+        offenders = {
+            qualname
+            for qualname, summary in index.functions.items()
+            if summary.uses_global_rng()
+        }
+        if not offenders:
+            return []
+        findings: List[Finding] = []
+        for qualname, summary in index.functions.items():
+            if not summary.is_public:
+                continue
+            for offender in sorted(offenders):
+                chain = index.call_path(qualname, offender)
+                if chain is None:
+                    continue
+                rendered = " -> ".join(chain)
+                findings.append(
+                    self.finding(
+                        summary.path,
+                        summary.line,
+                        f"public API {summary.qualname} reaches global RNG "
+                        f"state via {rendered}; thread an explicit generator "
+                        "instead",
+                    )
+                )
+                break  # one chain per public function is enough
+        return findings

@@ -1,0 +1,222 @@
+"""FORK rules: a static race detector for forked worker tasks.
+
+:mod:`repro.parallel` forks worker processes; each worker gets a
+copy-on-write snapshot of the parent and sends results back over a
+pipe.  Three things go wrong silently in that model:
+
+* a worker writes to a module global or class attribute — the write
+  lands in the *child's* copy, the parent never sees it, and a later
+  serial run (which does see it) diverges from the parallel run;
+* the task callable closes over a live simulator/overlay object —
+  each worker mutates its own copy and the parent's object silently
+  stays stale (or worse, the callable only works by accident of fork
+  inheritance and breaks under spawn);
+* task payloads that cannot be pickled — results and retried payloads
+  cross a pipe, so a lambda or generator in the task arguments dies at
+  runtime on the first retry.
+
+Worker entry points are found three ways (see
+:meth:`repro.lint.project.ProjectIndex.worker_entries`): the
+``_*_task`` / ``_worker_main`` naming convention, an explicit
+``# lint: fork-entry`` marker comment on the def, and callables passed
+to the pool APIs (``parallel_map``/``run_tasks``/sweep runners),
+through one level of forwarding.
+
+The guarded-memoization idiom (read ``X.get(k)``/``k in X`` before a
+keyed ``X[k] = v`` store) is waived: a deterministic per-process memo
+cache computes the same values in every process, so per-copy writes
+are harmless.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .findings import Finding
+from .project import ProjectRule, ProjectRuleContext, register_project_rule
+
+__all__ = ["Fork001", "Fork002", "Fork003", "Fork004"]
+
+#: Constructor-name fragments marking heavyweight stateful objects a
+#: worker closure must not capture from the parent scope.
+_HEAVY_CTOR_MARKERS = (
+    "Simulator",
+    "Overlay",
+    "Engine",
+    "MixNetwork",
+    "Network",
+    "LinkLayer",
+)
+
+#: Keyword names under which task payloads are passed to pool APIs.
+_ITEM_KEYWORDS = frozenset({"items", "tasks", "specs", "configs"})
+
+
+def _entry_note(entry: str) -> str:
+    return f" (reachable from worker entry {entry})"
+
+
+@register_project_rule
+class Fork001(ProjectRule):
+    code = "FORK001"
+    name = "worker-writes-module-global"
+    rationale = (
+        "A forked worker's write to a module global lands in the child's "
+        "copy-on-write snapshot only; serial and parallel runs diverge."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        reachable = context.index.worker_reachable()
+        for qualname, entry in sorted(reachable.items()):
+            summary = context.index.functions[qualname]
+            for write in summary.global_writes:
+                if write.kind == "class_attr":
+                    continue  # Fork002's business
+                if write.memo_guarded:
+                    continue
+                findings.append(
+                    self.finding(
+                        summary.path,
+                        write.line,
+                        f"{summary.qualname} {self._verb(write.kind)} module "
+                        f"global '{write.target}'{_entry_note(entry)}; "
+                        "workers only mutate their own copy — return the "
+                        "value instead",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _verb(kind: str) -> str:
+        return {
+            "rebind": "rebinds",
+            "store": "stores into",
+            "mutate": "mutates",
+            "setattr": "sets an attribute on",
+        }.get(kind, "writes")
+
+
+@register_project_rule
+class Fork002(ProjectRule):
+    code = "FORK002"
+    name = "worker-writes-class-attribute"
+    rationale = (
+        "Class-level attributes are shared state; a worker writing one "
+        "mutates only its process-local copy of the class."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        reachable = context.index.worker_reachable()
+        for qualname, entry in sorted(reachable.items()):
+            summary = context.index.functions[qualname]
+            for write in summary.global_writes:
+                if write.kind != "class_attr":
+                    continue
+                findings.append(
+                    self.finding(
+                        summary.path,
+                        write.line,
+                        f"{summary.qualname} writes class attribute "
+                        f"'{write.target}'{_entry_note(entry)}; move the "
+                        "state onto the instance or return it",
+                    )
+                )
+        return findings
+
+
+@register_project_rule
+class Fork003(ProjectRule):
+    code = "FORK003"
+    name = "worker-closure-captures-live-object"
+    rationale = (
+        "A task callable closing over a live simulator/overlay object "
+        "mutates a per-worker copy; the parent's object silently keeps "
+        "its pre-fork state."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        index = context.index
+        for summary in index.functions.values():
+            for call in summary.calls:
+                runner_slots = self._runner_slots(index, summary, call)
+                if not runner_slots:
+                    continue
+                for slot, shape in call.callable_args:
+                    if slot not in runner_slots:
+                        continue
+                    if shape == "lambda":
+                        findings.append(
+                            self.finding(
+                                summary.path,
+                                call.line,
+                                f"{summary.qualname} passes a lambda as a "
+                                "worker task; use a module-level function "
+                                "so retries can repickle it",
+                            )
+                        )
+                        continue
+                    if not shape.startswith("name:"):
+                        continue
+                    runner = index.resolve_call(
+                        summary, "name", shape.split(":", 1)[1], None
+                    )
+                    if runner is None:
+                        continue
+                    runner_summary = index.functions[runner]
+                    for name, ctor in runner_summary.capture_ctors:
+                        if any(m in ctor for m in _HEAVY_CTOR_MARKERS):
+                            findings.append(
+                                self.finding(
+                                    runner_summary.path,
+                                    runner_summary.line,
+                                    f"worker task {runner_summary.qualname} "
+                                    f"captures '{name}' (a {ctor}) from its "
+                                    "enclosing scope; pass state through "
+                                    "the task payload instead",
+                                )
+                            )
+        return findings
+
+    @staticmethod
+    def _runner_slots(index, summary, call) -> set:
+        slots = set()
+        runner_pos = index._pool_runner_slot(call.target, call.dotted)
+        if runner_pos is not None:
+            slots.add(str(runner_pos))
+            slots.update({"func", "runner", "experiment"})
+        return slots
+
+
+@register_project_rule
+class Fork004(ProjectRule):
+    code = "FORK004"
+    name = "unpicklable-task-payload"
+    rationale = (
+        "Task payloads cross a pipe on retry and result transport; "
+        "lambdas and generator expressions cannot be pickled."
+    )
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        index = context.index
+        for summary in index.functions.values():
+            for call in summary.calls:
+                runner_pos = index._pool_runner_slot(call.target, call.dotted)
+                if runner_pos is None:
+                    continue
+                item_slots = {str(runner_pos + 1)} | _ITEM_KEYWORDS
+                for slot, shape in call.callable_args:
+                    if slot in item_slots and shape in ("lambda", "genexp"):
+                        findings.append(
+                            self.finding(
+                                summary.path,
+                                call.line,
+                                f"{summary.qualname} passes a {shape} as "
+                                "the task payload; materialize a list of "
+                                "picklable items first",
+                            )
+                        )
+        return findings

@@ -1,0 +1,470 @@
+"""The whole-program lint pass: index, call graph, and project rules.
+
+:class:`ProjectIndex` assembles per-file :class:`ModuleSummary` records
+(:mod:`repro.lint.summaries`) into a project view:
+
+* **name resolution** — a call written ``metrics.foo(...)`` or a bare
+  ``helper(...)`` is resolved through import aliases, re-exports, and
+  local scope to the :class:`FunctionSummary` that defines it;
+* **call graph** — resolved edges between project functions, with
+  worker-entry roots (``_*_task`` names, ``# lint: fork-entry``
+  markers, and callables handed to ``parallel_map``/``run_tasks``)
+  and BFS reachability for the FORK race rules;
+* **recorder classification** — the fixpoint set of pure
+  record-keeping functions (no RNG, no clocks, no shared-state
+  writes) that the DET003 reporting-only waiver may route timing
+  values through;
+* **clock waivers** — the interprocedural half of the
+  ``perf_counter``-only-feeds-reporting analysis: a clock read whose
+  local verdict was ``conditional`` is waived when every callee it
+  depends on resolves to a recorder.
+
+Project rules subclass :class:`ProjectRule` and register with
+:func:`register_project_rule`; the FLOW/FORK/PAR families live in
+:mod:`repro.lint.flow`, :mod:`repro.lint.fork`, and
+:mod:`repro.lint.parity`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from .findings import Finding
+from .summaries import FunctionSummary, ModuleSummary
+
+__all__ = [
+    "ProjectIndex",
+    "ProjectRule",
+    "PROJECT_RULES",
+    "register_project_rule",
+    "project_rule_codes",
+]
+
+#: Callables that fan work out to forked worker processes, as
+#: ``(dotted-suffix, runner-arg-position)`` pairs.  A callable passed in
+#: the runner slot (positionally or by these keyword names) becomes a
+#: worker entry point.
+_POOL_CALLS: Dict[str, int] = {
+    "parallel_map": 0,
+    "run_tasks": 0,
+    "run_parallel_sweep": 2,
+    "parallel_grid_sweep": 2,
+}
+_POOL_RUNNER_KEYWORDS: FrozenSet[str] = frozenset({"func", "runner", "experiment"})
+
+
+class ProjectIndex:
+    """Cross-module view over a set of :class:`ModuleSummary` records."""
+
+    def __init__(self, modules: Sequence[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {
+            summary.module: summary for summary in modules
+        }
+        #: Every function summary by qualified name.
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: Class qualname ("repro.x.Cls") -> defining module summary.
+        self.classes: Dict[str, ModuleSummary] = {}
+        for summary in modules:
+            self.functions.update(summary.functions)
+            for class_name in summary.classes:
+                self.classes[f"{summary.module}.{class_name}"] = summary
+        self._resolution_cache: Dict[Tuple[str, str, str], Optional[str]] = {}
+        self._recorders: Optional[FrozenSet[str]] = None
+        self._call_edges: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._entries: Optional[Tuple[str, ...]] = None
+        self._reachable: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+
+    def resolve_dotted(self, dotted: str, depth: int = 0) -> Optional[str]:
+        """Resolve a dotted reference to a project function qualname.
+
+        Follows re-exports (``from .traffic import TrafficLog`` in a
+        package ``__init__``) up to a small depth so public aliases
+        resolve to the defining module.
+        """
+        if depth > 8 or not dotted:
+            return None
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            # Calling a class: the interesting bodies are __init__ and
+            # __call__; prefer __init__ for reachability.
+            summary = self.classes[dotted]
+            class_name = dotted.rsplit(".", 1)[-1]
+            for method in ("__init__", "__call__"):
+                qualname = f"{summary.module}.{class_name}.{method}"
+                if qualname in self.functions:
+                    return qualname
+            return None
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            return None
+        module = self.modules.get(head)
+        if module is not None:
+            target = module.aliases.get(tail)
+            if target is not None and target != dotted:
+                return self.resolve_dotted(target, depth + 1)
+            return None
+        # The head itself may be an alias target (e.g. repro.privlink
+        # re-exporting repro.privlink.traffic.TrafficLog): resolve the
+        # head as a name first.
+        resolved_head = self._resolve_value_name(head, depth + 1)
+        if resolved_head is not None and resolved_head != head:
+            return self.resolve_dotted(f"{resolved_head}.{tail}", depth + 1)
+        return None
+
+    def _resolve_value_name(self, dotted: str, depth: int) -> Optional[str]:
+        """Resolve a dotted name to whatever dotted target it aliases."""
+        if depth > 8:
+            return None
+        if dotted in self.modules or dotted in self.classes:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None:
+            target = module.aliases.get(tail)
+            if target is not None and target != dotted:
+                return self._resolve_value_name(target, depth + 1)
+        return None
+
+    def resolve_call(
+        self, caller: FunctionSummary, kind: str, target: str,
+        dotted: Optional[str],
+    ) -> Optional[str]:
+        """Resolve one call site to a project function qualname."""
+        key = (caller.qualname, kind, target)
+        if key in self._resolution_cache:
+            return self._resolution_cache[key]
+        resolved = self._resolve_call_uncached(caller, kind, target, dotted)
+        self._resolution_cache[key] = resolved
+        return resolved
+
+    def _resolve_call_uncached(
+        self, caller: FunctionSummary, kind: str, target: str,
+        dotted: Optional[str],
+    ) -> Optional[str]:
+        module = self.modules.get(caller.module)
+        if kind == "self" and caller.class_name is not None:
+            method = target.split(".")[0]
+            qualname = f"{caller.module}.{caller.class_name}.{method}"
+            return qualname if qualname in self.functions else None
+        if kind == "name":
+            # Nested function in the same unit.
+            nested = f"{caller.qualname}.<locals>.{target}"
+            if nested in self.functions:
+                return nested
+            # Sibling nested function (call from one closure to another).
+            if "<locals>" in caller.qualname:
+                parent = caller.qualname.rsplit(".<locals>.", 1)[0]
+                sibling = f"{parent}.<locals>.{target}"
+                if sibling in self.functions:
+                    return sibling
+            # Module-level function or class in the same module.
+            local = f"{caller.module}.{target}"
+            if local in self.functions:
+                return local
+            if local in self.classes:
+                return self.resolve_dotted(local)
+            # Imported name.
+            if module is not None:
+                aliased = module.aliases.get(target)
+                if aliased is not None:
+                    return self.resolve_dotted(aliased)
+            return None
+        if kind == "attr":
+            if dotted is not None:
+                resolved = self.resolve_dotted(dotted)
+                if resolved is not None:
+                    return resolved
+            # The chain may be rooted at a local module-like name that
+            # resolve_imports missed; try the literal text.
+            return self.resolve_dotted(target)
+        return None
+
+    # ------------------------------------------------------------------
+    # recorders (interprocedural half of the DET003 waiver)
+    # ------------------------------------------------------------------
+
+    def recorders(self) -> FrozenSet[str]:
+        """Functions that only record/compute: safe timing-value sinks.
+
+        A recorder creates no generators, reads no clocks, writes no
+        shared state, and every project-resolved call it makes is to
+        another recorder.  Computed as a greatest fixpoint: start from
+        every candidate and discard violators until stable.
+        """
+        if self._recorders is not None:
+            return self._recorders
+        candidates: Set[str] = set()
+        for qualname, summary in self.functions.items():
+            if summary.rng_creations or summary.clock_reads:
+                continue
+            if any(
+                not write.memo_guarded for write in summary.global_writes
+            ):
+                continue
+            candidates.add(qualname)
+        changed = True
+        while changed:
+            changed = False
+            for qualname in list(candidates):
+                summary = self.functions[qualname]
+                for call in summary.calls:
+                    resolved = self.resolve_call(
+                        summary, call.kind, call.target, call.dotted
+                    )
+                    if resolved is not None and resolved not in candidates:
+                        candidates.discard(qualname)
+                        changed = True
+                        break
+        self._recorders = frozenset(candidates)
+        return self._recorders
+
+    def resolve_waiver_dep(
+        self, summary: FunctionSummary, dep: str
+    ) -> Optional[str]:
+        """Resolve a clock-waiver dependency reference to a qualname."""
+        if "." in dep:
+            return self.resolve_call(summary, "attr", dep, dep)
+        return self.resolve_call(summary, "name", dep, None)
+
+    def waived_clock_lines(self) -> Dict[str, Set[Tuple[int, str]]]:
+        """Map of path -> {(line, qualified)} of waived DET003 reads.
+
+        Local ``waived`` verdicts pass through; ``conditional`` ones are
+        upgraded when every dependency resolves to a recorder function.
+        """
+        recorders = self.recorders()
+        waived: Dict[str, Set[Tuple[int, str]]] = {}
+        for summary in self.functions.values():
+            for read in summary.clock_reads:
+                if read.verdict == "waived":
+                    ok = True
+                elif read.verdict == "conditional":
+                    ok = True
+                    for dep in read.deps:
+                        resolved = self.resolve_waiver_dep(summary, dep)
+                        if resolved is None or resolved not in recorders:
+                            ok = False
+                            break
+                else:
+                    ok = False
+                if ok:
+                    waived.setdefault(summary.path, set()).add(
+                        (read.line, read.qualified)
+                    )
+        return waived
+
+    # ------------------------------------------------------------------
+    # call graph and worker reachability
+    # ------------------------------------------------------------------
+
+    def call_edges(self) -> Dict[str, Tuple[str, ...]]:
+        """Resolved project-internal call edges per function."""
+        if self._call_edges is not None:
+            return self._call_edges
+        edges: Dict[str, Tuple[str, ...]] = {}
+        for qualname, summary in self.functions.items():
+            out: List[str] = []
+            for call in summary.calls:
+                resolved = self.resolve_call(
+                    summary, call.kind, call.target, call.dotted
+                )
+                if resolved is not None:
+                    out.append(resolved)
+                    # Instantiating a class also exposes its __call__.
+                    if resolved.endswith(".__init__"):
+                        sibling = resolved[: -len("__init__")] + "__call__"
+                        if sibling in self.functions:
+                            out.append(sibling)
+            # A method's unit includes implicit edges to the class's
+            # other dunders only when called; nothing extra here.
+            edges[qualname] = tuple(dict.fromkeys(out))
+        self._call_edges = edges
+        return edges
+
+    def _runner_forwarding_params(self) -> Dict[str, Set[int]]:
+        """Functions forwarding a parameter into a pool-runner slot.
+
+        ``figures._map_tasks(func, items, workers)`` hands its first
+        parameter to ``parallel_map``; call sites of ``_map_tasks``
+        therefore register *their* argument as a worker entry.  One
+        forwarding level is resolved.
+        """
+        forwarding: Dict[str, Set[int]] = {}
+        for qualname, summary in self.functions.items():
+            param_positions = {
+                name: i for i, name in enumerate(summary.params)
+            }
+            for call in summary.calls:
+                runner_pos = self._pool_runner_slot(call.target, call.dotted)
+                if runner_pos is None:
+                    continue
+                for slot, shape in call.callable_args:
+                    if not shape.startswith("name:"):
+                        continue
+                    name = shape.split(":", 1)[1]
+                    if name not in param_positions:
+                        continue
+                    if slot == str(runner_pos) or slot in _POOL_RUNNER_KEYWORDS:
+                        forwarding.setdefault(qualname, set()).add(
+                            param_positions[name]
+                        )
+        return forwarding
+
+    @staticmethod
+    def _pool_runner_slot(target: str, dotted: Optional[str]) -> Optional[int]:
+        for reference in (dotted, target):
+            if not reference:
+                continue
+            tail = reference.rsplit(".", 1)[-1]
+            if tail in _POOL_CALLS:
+                return _POOL_CALLS[tail]
+        return None
+
+    def worker_entries(self) -> Tuple[str, ...]:
+        """Worker-side entry points of the call graph.
+
+        A function is an entry when it (a) carries the
+        ``# lint: fork-entry`` marker, (b) matches the worker-task
+        naming convention (``_worker_main``, ``_*_task``), or (c) is
+        passed as the runner/experiment callable to the pool APIs —
+        directly or through one forwarding parameter.
+        """
+        if self._entries is not None:
+            return self._entries
+        entries: Set[str] = set()
+        for qualname, summary in self.functions.items():
+            if summary.fork_entry_marker or summary.is_fork_entry_name:
+                entries.add(qualname)
+        forwarding = self._runner_forwarding_params()
+        for summary in self.functions.values():
+            for call in summary.calls:
+                slots: Set[str] = set()
+                runner_pos = self._pool_runner_slot(call.target, call.dotted)
+                if runner_pos is not None:
+                    slots.add(str(runner_pos))
+                    slots.update(_POOL_RUNNER_KEYWORDS)
+                resolved_callee = self.resolve_call(
+                    summary, call.kind, call.target, call.dotted
+                )
+                if resolved_callee in forwarding:
+                    slots.update(
+                        str(position)
+                        for position in forwarding[resolved_callee]
+                    )
+                if not slots:
+                    continue
+                for slot, shape in call.callable_args:
+                    if slot not in slots or not shape.startswith("name:"):
+                        continue
+                    name = shape.split(":", 1)[1]
+                    resolved = self.resolve_call(summary, "name", name, None)
+                    if resolved is not None:
+                        entries.add(resolved)
+        self._entries = tuple(sorted(entries))
+        return self._entries
+
+    def worker_reachable(self) -> Dict[str, str]:
+        """Functions reachable from worker entries, with one entry name.
+
+        Returns ``{qualname: entry_qualname}`` for every function on a
+        resolved call path from a worker entry (entries map to
+        themselves).
+        """
+        if self._reachable is not None:
+            return self._reachable
+        edges = self.call_edges()
+        reachable: Dict[str, str] = {}
+        queue: deque = deque()
+        for entry in self.worker_entries():
+            if entry not in reachable:
+                reachable[entry] = entry
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            for callee in edges.get(current, ()):
+                if callee not in reachable:
+                    reachable[callee] = reachable[current]
+                    queue.append(callee)
+        self._reachable = reachable
+        return reachable
+
+    def call_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A shortest resolved call chain from ``start`` to ``goal``."""
+        if start == goal:
+            return [start]
+        edges = self.call_edges()
+        parents: Dict[str, str] = {start: start}
+        queue: deque = deque([start])
+        while queue:
+            current = queue.popleft()
+            for callee in edges.get(current, ()):
+                if callee in parents:
+                    continue
+                parents[callee] = current
+                if callee == goal:
+                    chain = [callee]
+                    while chain[-1] != start:
+                        chain.append(parents[chain[-1]])
+                    return list(reversed(chain))
+                queue.append(callee)
+        return None
+
+
+# ----------------------------------------------------------------------
+# project rule registry
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ProjectRuleContext:
+    """What a project rule gets to see."""
+
+    index: ProjectIndex
+    #: Root of the test tree, when one was found (PAR002 needs it).
+    tests_root: Optional[str] = None
+    #: Parity-pair registry override (tests inject synthetic pairs).
+    parity_pairs: Optional[Sequence] = None
+
+
+class ProjectRule:
+    """Base class for one interprocedural rule over the whole project."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def run(self, context: ProjectRuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, message: str, column: int = 0
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, column=column, rule=self.code,
+            message=message,
+        )
+
+
+PROJECT_RULES: Dict[str, Type[ProjectRule]] = {}
+
+
+def register_project_rule(rule_class: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the global registry."""
+    if not rule_class.code:
+        raise ValueError(f"{rule_class.__name__} has no code")
+    if rule_class.code in PROJECT_RULES:
+        raise ValueError(f"duplicate project rule code {rule_class.code}")
+    PROJECT_RULES[rule_class.code] = rule_class
+    return rule_class
+
+
+def project_rule_codes() -> List[str]:
+    """All registered project rule codes, sorted."""
+    return sorted(PROJECT_RULES)

@@ -1,0 +1,1407 @@
+"""Per-file analysis summaries for the whole-program lint pass.
+
+The project-wide rules (:mod:`repro.lint.flow`, :mod:`repro.lint.fork`,
+:mod:`repro.lint.parity`) never touch raw ASTs: everything they need is
+extracted here, once per file, into plain serializable
+:class:`ModuleSummary` / :class:`FunctionSummary` records.  That split
+is what makes the incremental cache (:mod:`repro.lint.cache`) possible —
+an unchanged file contributes its cached summary to the project pass
+without being re-parsed.
+
+A summary records, per function (including methods and nested
+functions):
+
+* every call site, with a best-effort local resolution (bare name,
+  dotted attribute chain through import aliases, ``self.method``) left
+  for :mod:`repro.lint.project` to resolve across modules;
+* RNG provenance facts: which parameters look like generators or
+  :class:`repro.rng.RandomStreams`, and every generator *creation*
+  with how it was seeded (literal constant, parameter, other name,
+  unseeded);
+* host-clock reads, plus a local **reporting-only** classification of
+  each read (see :class:`ClockVerdict`) that the project pass upgrades
+  to an interprocedural waiver;
+* writes to module-level globals and class-level attributes, the raw
+  material of the FORK race rules;
+* closure captures and the constructor provenance of captured names.
+
+Summaries round-trip through ``to_dict``/``from_dict``; bump
+:data:`SUMMARY_VERSION` whenever the schema or extraction logic
+changes so stale cache entries are discarded.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import tokenize
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .rules import resolve_imports, qualified_name
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "CallSite",
+    "RngCreation",
+    "ClockRead",
+    "GlobalWrite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "build_module_summary",
+    "module_name_for_path",
+    "RNG_PARAM_NAMES",
+    "is_rng_param_name",
+]
+
+#: Schema/extraction version; cache entries from other versions are stale.
+SUMMARY_VERSION = 1
+
+#: Parameter names treated as RNG provenance.
+RNG_PARAM_NAMES: FrozenSet[str] = frozenset(
+    {"rng", "streams", "random_state", "generator"}
+)
+
+#: Annotation fragments treated as RNG provenance.
+_RNG_ANNOTATIONS = ("Generator", "RandomStreams")
+
+#: Dotted callables that read the host clock (mirrors rules.DET003).
+_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: The subset of clock reads eligible for the reporting-only waiver:
+#: interval clocks used for wall-time measurement.  Absolute time
+#: (``time.time``, ``datetime``) is never waived.
+WAIVABLE_CLOCKS: FrozenSet[str] = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
+#: Dotted names whose call creates a numpy generator.
+_GENERATOR_CTORS: FrozenSet[str] = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState"}
+)
+
+#: Dotted names that are the sanctioned deterministic fallback.
+_FALLBACK_NAMES: FrozenSet[str] = frozenset(
+    {"repro.rng.fallback_rng", "rng.fallback_rng"}
+)
+
+#: Dotted names naming the stream factory class.
+_STREAMS_NAMES: FrozenSet[str] = frozenset(
+    {"repro.rng.RandomStreams", "rng.RandomStreams"}
+)
+
+#: Module-level numpy convenience API (hidden global RandomState) and
+#: the stdlib random module: "global" RNG state uses.
+_NP_GLOBAL_PREFIX = "numpy.random."
+_NP_GLOBAL_FUNCS: FrozenSet[str] = frozenset(
+    f"numpy.random.{name}"
+    for name in (
+        "random", "rand", "randn", "randint", "random_sample",
+        "random_integers", "ranf", "sample", "choice", "shuffle",
+        "permutation", "seed", "normal", "uniform", "standard_normal",
+        "exponential", "poisson", "binomial", "beta", "gamma", "bytes",
+    )
+)
+
+#: Builtins through which a clock-derived value may flow while staying
+#: "reporting-only" (pure arithmetic/formatting helpers).
+_REPORTING_BUILTINS: FrozenSet[str] = frozenset(
+    {
+        "print", "format", "repr", "str", "float", "int", "round",
+        "abs", "min", "max", "sum", "len", "sorted", "list", "tuple",
+        "dict", "set",
+    }
+)
+
+#: Mutating container-method names; calling one on a shared object is a
+#: write for FORK purposes, and on a local taints the receiver.
+_MUTATOR_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "clear", "pop",
+        "popleft", "popitem", "remove", "discard", "setdefault",
+        "appendleft",
+    }
+)
+
+#: Keyword-argument names under which a timing value may be handed to
+#: any callee (the record-constructor escape hatch).
+_REPORTING_KEYWORDS = (
+    "wall", "elapsed", "duration", "seconds", "timing", "latency",
+    "time_s", "_s", "took",
+)
+
+#: Method names through which a timing value may leave the function
+#: without breaking determinism: container mutation on locals (tracked
+#: by the taint pass), string formatting, stream/log writes.
+_SINK_METHODS: FrozenSet[str] = _MUTATOR_METHODS | frozenset(
+    {"format", "join", "write", "info", "debug", "warning", "error", "log",
+     "get"}
+)
+
+#: Marker comment declaring a function a worker entry point.
+FORK_ENTRY_MARKER = "lint: fork-entry"
+
+
+def is_rng_param_name(name: str) -> bool:
+    """Whether a parameter name denotes RNG provenance."""
+    lowered = name.lower()
+    return (
+        lowered in RNG_PARAM_NAMES
+        or lowered.endswith("_rng")
+        or lowered.endswith("_streams")
+    )
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    Walks up through directories containing ``__init__.py`` so
+    ``.../src/repro/graphs/metrics.py`` maps to
+    ``repro.graphs.metrics`` regardless of where the tree is checked
+    out.  A file outside any package maps to its stem.
+    """
+    import pathlib
+
+    file_path = pathlib.Path(path)
+    parts = [file_path.stem] if file_path.stem != "__init__" else []
+    parent = file_path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else file_path.stem
+
+
+# ----------------------------------------------------------------------
+# record types
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function."""
+
+    line: int
+    #: How the callee was written: ``name`` (bare), ``attr`` (dotted
+    #: chain rooted at a name), ``self`` (method on self), ``other``.
+    kind: str
+    #: The textual target: bare name, dotted chain, or method name.
+    target: str
+    #: Dotted path through import aliases, when the chain bottoms out
+    #: at an import (e.g. ``numpy.random.default_rng``); else None.
+    dotted: Optional[str]
+    num_pos: int = 0
+    keywords: Tuple[str, ...] = ()
+    #: Whether any argument expression mentions an rng-like name.
+    rng_arg: bool = False
+    #: Argument expressions that are lambdas / local function names /
+    #: generator expressions, recorded as (slot, shape) where slot is a
+    #: 0-based position or a keyword name and shape is one of
+    #: ``lambda``, ``genexp``, ``name:<identifier>``.
+    callable_args: Tuple[Tuple[str, str], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallSite":
+        data = dict(data)
+        data["keywords"] = tuple(data.get("keywords", ()))
+        data["callable_args"] = tuple(
+            tuple(item) for item in data.get("callable_args", ())
+        )
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class RngCreation:
+    """One generator-creating expression."""
+
+    line: int
+    #: ``default_rng`` | ``streams`` | ``fallback`` | ``global_api``.
+    kind: str
+    #: How it was seeded: ``literal`` | ``param`` | ``name`` | ``none``.
+    seeded_from: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RngCreation":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockRead:
+    """One host-clock call, with its local waiver classification."""
+
+    line: int
+    column: int
+    qualified: str
+    #: ``waived`` — locally proven reporting-only; ``conditional`` —
+    #: reporting-only if every name in ``deps`` resolves to a recorder
+    #: function; ``kept`` — the finding stands.
+    verdict: str = "kept"
+    #: Callee references (local/dotted) the waiver depends on.
+    deps: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClockRead":
+        data = dict(data)
+        data["deps"] = tuple(data.get("deps", ()))
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalWrite:
+    """One write to shared (module- or class-level) state."""
+
+    line: int
+    #: ``rebind`` (global X; X = ...), ``store`` (X[k] = v),
+    #: ``mutate`` (X.append(...)), ``setattr`` (X.attr = v),
+    #: ``class_attr`` (Cls.attr = v / type(self).attr = v).
+    kind: str
+    #: The shared name written (module global or ``Class.attr``).
+    target: str
+    #: Whether the write is the guarded-memoization idiom: the function
+    #: reads the same global (``X.get(...)`` / ``k in X``) before a
+    #: keyed ``store`` into it.  Deterministic per-process memo caches
+    #: are fork-safe and not flagged.
+    memo_guarded: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GlobalWrite":
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """Everything the project pass knows about one function."""
+
+    qualname: str
+    module: str
+    path: str
+    line: int
+    name: str
+    class_name: Optional[str]
+    params: Tuple[str, ...]
+    rng_params: Tuple[str, ...]
+    calls: Tuple[CallSite, ...]
+    rng_creations: Tuple[RngCreation, ...]
+    clock_reads: Tuple[ClockRead, ...]
+    global_writes: Tuple[GlobalWrite, ...]
+    #: Free names referencing enclosing function scopes (captures).
+    captures: Tuple[str, ...]
+    #: Captured names whose enclosing assignment is ``Name = Ctor(...)``,
+    #: as (name, dotted-ctor-reference) pairs.
+    capture_ctors: Tuple[Tuple[str, str], ...]
+    #: Explicitly marked with ``# lint: fork-entry``.
+    fork_entry_marker: bool = False
+    #: Index of each rng-like parameter among positional params.
+    rng_param_indexes: Tuple[int, ...] = ()
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_") and "<locals>" not in self.qualname
+
+    @property
+    def is_fork_entry_name(self) -> bool:
+        """Name-convention worker entries: ``_*_task`` / ``_worker_main``."""
+        return (
+            self.name == "_worker_main"
+            or (self.name.startswith("_") and self.name.endswith("_task"))
+        )
+
+    def uses_global_rng(self) -> bool:
+        """Whether this function touches hidden-global RNG state."""
+        return any(c.kind == "global_api" for c in self.rng_creations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "name": self.name,
+            "class_name": self.class_name,
+            "params": list(self.params),
+            "rng_params": list(self.rng_params),
+            "calls": [c.to_dict() for c in self.calls],
+            "rng_creations": [c.to_dict() for c in self.rng_creations],
+            "clock_reads": [c.to_dict() for c in self.clock_reads],
+            "global_writes": [w.to_dict() for w in self.global_writes],
+            "captures": list(self.captures),
+            "capture_ctors": [list(p) for p in self.capture_ctors],
+            "fork_entry_marker": self.fork_entry_marker,
+            "rng_param_indexes": list(self.rng_param_indexes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=data["qualname"],
+            module=data["module"],
+            path=data["path"],
+            line=data["line"],
+            name=data["name"],
+            class_name=data.get("class_name"),
+            params=tuple(data.get("params", ())),
+            rng_params=tuple(data.get("rng_params", ())),
+            calls=tuple(CallSite.from_dict(c) for c in data.get("calls", ())),
+            rng_creations=tuple(
+                RngCreation.from_dict(c) for c in data.get("rng_creations", ())
+            ),
+            clock_reads=tuple(
+                ClockRead.from_dict(c) for c in data.get("clock_reads", ())
+            ),
+            global_writes=tuple(
+                GlobalWrite.from_dict(w) for w in data.get("global_writes", ())
+            ),
+            captures=tuple(data.get("captures", ())),
+            capture_ctors=tuple(
+                tuple(p) for p in data.get("capture_ctors", ())
+            ),
+            fork_entry_marker=data.get("fork_entry_marker", False),
+            rng_param_indexes=tuple(data.get("rng_param_indexes", ())),
+        )
+
+
+@dataclasses.dataclass
+class ModuleSummary:
+    """One file's contribution to the project index."""
+
+    module: str
+    path: str
+    #: Import-alias map (local name -> dotted path).
+    aliases: Dict[str, str]
+    #: Names assigned at module top level, with mutability flag.
+    module_globals: Dict[str, bool]
+    #: Class name -> {method names}; used for parity and resolution.
+    classes: Dict[str, List[str]]
+    #: Class name -> class-level mutable attribute names.
+    class_mutable_attrs: Dict[str, List[str]]
+    #: Class name -> positional parameter lists of each method, used by
+    #: the parity signature check: {class: {method: [params]}}.
+    class_signatures: Dict[str, Dict[str, List[str]]]
+    functions: Dict[str, FunctionSummary]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SUMMARY_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "aliases": dict(self.aliases),
+            "module_globals": dict(self.module_globals),
+            "classes": {k: list(v) for k, v in self.classes.items()},
+            "class_mutable_attrs": {
+                k: list(v) for k, v in self.class_mutable_attrs.items()
+            },
+            "class_signatures": {
+                cls: {m: list(p) for m, p in methods.items()}
+                for cls, methods in self.class_signatures.items()
+            },
+            "functions": {
+                name: summary.to_dict()
+                for name, summary in self.functions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            aliases=dict(data.get("aliases", {})),
+            module_globals=dict(data.get("module_globals", {})),
+            classes={k: list(v) for k, v in data.get("classes", {}).items()},
+            class_mutable_attrs={
+                k: list(v)
+                for k, v in data.get("class_mutable_attrs", {}).items()
+            },
+            class_signatures={
+                cls: {m: list(p) for m, p in methods.items()}
+                for cls, methods in data.get("class_signatures", {}).items()
+            },
+            functions={
+                name: FunctionSummary.from_dict(raw)
+                for name, raw in data.get("functions", {}).items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction helpers
+# ----------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        callee = node.func
+        name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _positional_params(args: ast.arguments) -> List[ast.arg]:
+    return list(args.posonlyargs) + list(args.args)
+
+
+def _all_params(args: ast.arguments) -> List[ast.arg]:
+    params = _positional_params(args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        params.append(args.vararg)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return params
+
+
+def _annotation_mentions_rng(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return any(marker in text for marker in _RNG_ANNOTATIONS)
+
+
+def _mentions_rng_name(node: ast.AST) -> bool:
+    """Whether an expression references an rng-like identifier."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and is_rng_param_name(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and (
+            is_rng_param_name(sub.attr) or sub.attr in ("substream", "spawn")
+        ):
+            return True
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            attr = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if attr in ("substream", "fallback_rng"):
+                return True
+    return False
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names bound inside a function body (excluding nested defs)."""
+    bound: Set[str] = set()
+    for node in _walk_function_body(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                bound.update(_target_names(comp.target))
+    return bound
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_target_names(element))
+    elif isinstance(target, ast.Starred):
+        names.update(_target_names(target.value))
+    return names
+
+
+def _walk_function_body(func: ast.AST):
+    """Walk a function's statements without entering nested functions."""
+    from collections import deque
+
+    queue = deque()
+    for stmt in getattr(func, "body", []):
+        queue.append(stmt)
+    while queue:
+        node = queue.popleft()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _fork_entry_lines(source: str) -> Set[int]:
+    """Line numbers carrying the ``# lint: fork-entry`` marker."""
+    lines: Set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT and FORK_ENTRY_MARKER in token.string:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return lines
+
+
+# ----------------------------------------------------------------------
+# the extractor
+# ----------------------------------------------------------------------
+
+
+class _FunctionExtractor:
+    """Builds one :class:`FunctionSummary` for one function node."""
+
+    def __init__(
+        self,
+        func: ast.AST,
+        qualname: str,
+        module: str,
+        path: str,
+        class_name: Optional[str],
+        aliases: Dict[str, str],
+        module_globals: Dict[str, bool],
+        enclosing_bindings: Dict[str, Optional[str]],
+        marker_lines: Set[int],
+    ) -> None:
+        self.func = func
+        self.qualname = qualname
+        self.module = module
+        self.path = path
+        self.class_name = class_name
+        self.aliases = aliases
+        self.module_globals = module_globals
+        #: name -> dotted ctor reference (or None) for names bound in
+        #: enclosing function scopes.
+        self.enclosing_bindings = enclosing_bindings
+        self.marker_lines = marker_lines
+
+    def extract(self) -> FunctionSummary:
+        func = self.func
+        args = func.args
+        positional = [a.arg for a in _positional_params(args)]
+        params = tuple(a.arg for a in _all_params(args))
+        rng_params = tuple(
+            a.arg
+            for a in _all_params(args)
+            if is_rng_param_name(a.arg) or _annotation_mentions_rng(a.annotation)
+        )
+        rng_param_indexes = tuple(
+            i for i, name in enumerate(positional) if name in rng_params
+        )
+
+        locals_bound = _local_bindings(func) | set(params)
+        global_decls: Set[str] = set()
+        for node in _walk_function_body(func):
+            if isinstance(node, ast.Global):
+                global_decls.update(node.names)
+
+        calls: List[CallSite] = []
+        rng_creations: List[RngCreation] = []
+        clock_reads: List[ClockRead] = []
+        global_writes: List[GlobalWrite] = []
+        reads_of_global: Set[str] = set()
+        free_names: Set[str] = set()
+
+        def classify_seed(call: ast.Call) -> str:
+            if not call.args and not call.keywords:
+                return "none"
+            first = call.args[0] if call.args else (
+                call.keywords[0].value if call.keywords else None
+            )
+            if isinstance(first, ast.Constant):
+                return "literal"
+            if isinstance(first, ast.UnaryOp) and isinstance(
+                first.operand, ast.Constant
+            ):
+                return "literal"
+            if isinstance(first, ast.Name):
+                if first.id in params:
+                    return "param"
+                return "name"
+            if first is not None and _mentions_rng_name(first):
+                return "param"
+            return "name"
+
+        for node in _walk_function_body(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in locals_bound and node.id not in global_decls:
+                    free_names.add(node.id)
+                if node.id in self.module_globals:
+                    reads_of_global.add(node.id)
+            if isinstance(node, ast.Call):
+                self._record_call(
+                    node, calls, rng_creations, clock_reads, classify_seed
+                )
+            self._record_write(
+                node, locals_bound, global_decls, global_writes
+            )
+
+        # Memo-guard classification: a keyed store into a global the
+        # function also *reads* (``X.get``/``in X``) is the standard
+        # deterministic memoization idiom.
+        guarded_reads = self._memo_read_targets()
+        global_writes = [
+            dataclasses.replace(
+                write,
+                memo_guarded=(
+                    write.kind == "store" and write.target in guarded_reads
+                ),
+            )
+            for write in global_writes
+        ]
+
+        captures = tuple(
+            sorted(name for name in free_names if name in self.enclosing_bindings)
+        )
+        capture_ctors = tuple(
+            (name, self.enclosing_bindings[name])
+            for name in captures
+            if self.enclosing_bindings.get(name)
+        )
+
+        header_lines = _header_span(func)
+        marker = any(line in self.marker_lines for line in header_lines)
+
+        return FunctionSummary(
+            qualname=self.qualname,
+            module=self.module,
+            path=self.path,
+            line=func.lineno,
+            name=func.name,
+            class_name=self.class_name,
+            params=params,
+            rng_params=rng_params,
+            calls=tuple(calls),
+            rng_creations=tuple(rng_creations),
+            clock_reads=tuple(clock_reads),
+            global_writes=tuple(global_writes),
+            captures=captures,
+            capture_ctors=capture_ctors,
+            fork_entry_marker=marker,
+            rng_param_indexes=rng_param_indexes,
+        )
+
+    # -- call sites ----------------------------------------------------
+
+    def _record_call(
+        self,
+        node: ast.Call,
+        calls: List[CallSite],
+        rng_creations: List[RngCreation],
+        clock_reads: List[ClockRead],
+        classify_seed,
+    ) -> None:
+        callee = node.func
+        dotted = qualified_name(callee, self.aliases)
+        kind = "other"
+        target = ""
+        if isinstance(callee, ast.Name):
+            kind, target = "name", callee.id
+        elif isinstance(callee, ast.Attribute):
+            parts: List[str] = []
+            current: ast.AST = callee
+            while isinstance(current, ast.Attribute):
+                parts.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                if current.id == "self":
+                    kind, target = "self", ".".join(reversed(parts))
+                else:
+                    kind = "attr"
+                    target = ".".join([current.id] + list(reversed(parts)))
+            else:
+                kind, target = "other", callee.attr
+
+        keywords = tuple(kw.arg for kw in node.keywords if kw.arg is not None)
+        rng_arg = any(_mentions_rng_name(arg) for arg in node.args) or any(
+            _mentions_rng_name(kw.value) for kw in node.keywords
+        )
+        callable_args: List[Tuple[str, str]] = []
+        for slot, arg in list(enumerate(node.args)) + [
+            (kw.arg, kw.value) for kw in node.keywords if kw.arg
+        ]:
+            if isinstance(arg, ast.Lambda):
+                callable_args.append((str(slot), "lambda"))
+            elif isinstance(arg, ast.GeneratorExp):
+                callable_args.append((str(slot), "genexp"))
+            elif isinstance(arg, ast.Name):
+                callable_args.append((str(slot), f"name:{arg.id}"))
+
+        calls.append(
+            CallSite(
+                line=node.lineno,
+                kind=kind,
+                target=target,
+                dotted=dotted,
+                num_pos=len(node.args),
+                keywords=keywords,
+                rng_arg=rng_arg,
+                callable_args=tuple(callable_args),
+            )
+        )
+
+        # RNG-creation facts.
+        resolved = dotted or target
+        if resolved in _GENERATOR_CTORS:
+            rng_creations.append(
+                RngCreation(node.lineno, "default_rng", classify_seed(node))
+            )
+        elif resolved in _STREAMS_NAMES or (
+            kind == "name" and target == "RandomStreams"
+        ):
+            rng_creations.append(
+                RngCreation(node.lineno, "streams", classify_seed(node))
+            )
+        elif resolved in _FALLBACK_NAMES or (
+            kind == "name" and target == "fallback_rng"
+        ):
+            rng_creations.append(
+                RngCreation(node.lineno, "fallback", "none")
+            )
+        elif dotted is not None and (
+            dotted in _NP_GLOBAL_FUNCS
+            or dotted == "random"
+            or (dotted.startswith("random.") and not dotted.startswith("random_"))
+        ):
+            rng_creations.append(
+                RngCreation(node.lineno, "global_api", "none")
+            )
+
+        if dotted in _CLOCK_CALLS:
+            clock_reads.append(
+                ClockRead(node.lineno, node.col_offset, dotted)
+            )
+
+    # -- shared-state writes -------------------------------------------
+
+    def _record_write(
+        self,
+        node: ast.AST,
+        locals_bound: Set[str],
+        global_decls: Set[str],
+        out: List[GlobalWrite],
+    ) -> None:
+        def is_shared_name(name: str) -> bool:
+            if name in global_decls:
+                return True
+            return name in self.module_globals and name not in locals_bound
+
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and (
+                    target.id in global_decls
+                ):
+                    out.append(GlobalWrite(node.lineno, "rebind", target.id))
+                elif isinstance(target, ast.Subscript):
+                    base = target.value
+                    if isinstance(base, ast.Name) and is_shared_name(base.id):
+                        out.append(GlobalWrite(node.lineno, "store", base.id))
+                elif isinstance(target, ast.Attribute):
+                    base = target.value
+                    if isinstance(base, ast.Name) and is_shared_name(base.id):
+                        out.append(
+                            GlobalWrite(node.lineno, "setattr", base.id)
+                        )
+                    elif _is_class_ref(base):
+                        out.append(
+                            GlobalWrite(
+                                node.lineno,
+                                "class_attr",
+                                f"{_class_ref_text(base)}.{target.attr}",
+                            )
+                        )
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _MUTATOR_METHODS
+            ):
+                base = callee.value
+                if isinstance(base, ast.Name) and is_shared_name(base.id):
+                    out.append(GlobalWrite(node.lineno, "mutate", base.id))
+
+    def _memo_read_targets(self) -> Set[str]:
+        """Globals read via ``X.get(...)`` or ``key in X`` in this body."""
+        reads: Set[str] = set()
+        for node in _walk_function_body(self.func):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr == "get"
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id in self.module_globals
+                ):
+                    reads.add(callee.value.id)
+            elif isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                        comparator, ast.Name
+                    ):
+                        if comparator.id in self.module_globals:
+                            reads.add(comparator.id)
+        return reads
+
+
+def _is_class_ref(node: ast.AST) -> bool:
+    """``self.__class__`` / ``type(self)`` / CapitalizedName receivers."""
+    if isinstance(node, ast.Attribute) and node.attr == "__class__":
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "type"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == "self"
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id[:1].isupper():
+        return True
+    return False
+
+
+def _class_ref_text(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    return "<class>"
+
+
+def _header_span(func: ast.AST) -> range:
+    """Lines of a def's decorators + signature (not the body)."""
+    start = func.lineno
+    for decorator in getattr(func, "decorator_list", []):
+        start = min(start, decorator.lineno)
+    body = getattr(func, "body", [])
+    end = body[0].lineno - 1 if body else func.lineno
+    end = max(end, func.lineno)
+    return range(start, end + 1)
+
+
+# ----------------------------------------------------------------------
+# reporting-only clock classification (the DET003 waiver, local half)
+# ----------------------------------------------------------------------
+
+
+class _TaintResult:
+    __slots__ = ("verdict", "deps")
+
+    def __init__(self, verdict: str, deps: Sequence[str] = ()) -> None:
+        self.verdict = verdict
+        self.deps = tuple(sorted(set(deps)))
+
+
+def _unit_has_waivable_clock(func: ast.AST, aliases: Dict[str, str]) -> bool:
+    """Whether a function unit (incl. closures) reads an interval clock."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if qualified_name(node.func, aliases) in WAIVABLE_CLOCKS:
+                return True
+    return False
+
+
+def _apply_clock_verdict(
+    reads: Tuple[ClockRead, ...], result: "_TaintResult"
+) -> Tuple[ClockRead, ...]:
+    """Stamp a unit-level taint verdict onto waivable clock reads.
+
+    The analysis treats a top-level function together with all its
+    nested functions as one unit (closures share names with their
+    enclosing scope): one verdict is computed on the top-level def and
+    applied to every waivable read in the unit, nested or not.
+    """
+    return tuple(
+        dataclasses.replace(read, verdict=result.verdict, deps=result.deps)
+        if read.qualified in WAIVABLE_CLOCKS
+        else read
+        for read in reads
+    )
+
+
+class _ClockTaint:
+    """Taint analysis over one function unit (top-level def + closures).
+
+    Every value derived from an interval-clock read is tracked through
+    local assignments, arithmetic, container appends, and calls to
+    nested functions.  The unit is **reporting-only** when tainted
+    values never influence control flow (``if``/``while`` tests, loop
+    iterables, subscript indices) and only escape through reporting
+    sinks: f-strings and ``print``, dict/list/tuple literals, return
+    values, timing-named keyword arguments, and calls whose callee the
+    project pass confirms to be a pure *recorder* function (the
+    ``deps``).
+    """
+
+    def __init__(self, func: ast.AST, aliases: Dict[str, str]) -> None:
+        self.func = func
+        self.aliases = aliases
+        self.tainted: Set[str] = set()
+        #: nested function name -> per-slot taint of its returns
+        #: (True = whole value / slot tainted).
+        self.nested_returns: Dict[str, List[bool]] = {}
+        self.nested_funcs: Dict[str, ast.AST] = {}
+        self.deps: Set[str] = set()
+        self.violation = False
+        self._collect_nested(func)
+
+    def _collect_nested(self, func: ast.AST) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func:
+                    self.nested_funcs[node.name] = node
+
+    # -- taint sources and propagation ---------------------------------
+
+    def _expr_taint(self, node: ast.AST) -> bool:
+        """Whether an expression's value is clock-derived."""
+        if isinstance(node, ast.Call):
+            dotted = qualified_name(node.func, self.aliases)
+            if dotted in WAIVABLE_CLOCKS:
+                return True
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in self.nested_returns and any(
+                    self.nested_returns[name]
+                ):
+                    return True
+            return any(self._expr_taint(arg) for arg in node.args) or any(
+                self._expr_taint(kw.value) for kw in node.keywords
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.JoinedStr):
+            # Stringifying for display IS the reporting sink; the text
+            # that comes out is no longer a timing value.
+            return False
+        for child in ast.iter_child_nodes(node):
+            if self._expr_taint(child):
+                return True
+        return False
+
+    def _call_slot_taint(self, node: ast.AST) -> Optional[List[bool]]:
+        """Per-slot taint for ``a, b = f(...)`` unpacking, if known."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            slots = self.nested_returns.get(node.func.id)
+            if slots is not None and len(slots) > 1:
+                return slots
+        if isinstance(node, ast.Tuple):
+            return [self._expr_taint(element) for element in node.elts]
+        return None
+
+    def _propagate(self) -> None:
+        changed = True
+        iterations = 0
+        while changed and iterations < 30:
+            changed = False
+            iterations += 1
+            for node in ast.walk(self.func):
+                if isinstance(node, ast.Assign):
+                    slots = self._call_slot_taint(node.value)
+                    for target in node.targets:
+                        if (
+                            slots is not None
+                            and isinstance(target, (ast.Tuple, ast.List))
+                            and len(target.elts) == len(slots)
+                        ):
+                            for element, hot in zip(target.elts, slots):
+                                if hot and isinstance(element, ast.Name):
+                                    if element.id not in self.tainted:
+                                        self.tainted.add(element.id)
+                                        changed = True
+                        elif self._expr_taint(node.value):
+                            for name in _target_names(target):
+                                if name not in self.tainted:
+                                    self.tainted.add(name)
+                                    changed = True
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    if node.value is not None and self._expr_taint(node.value):
+                        for name in _target_names(node.target):
+                            if name not in self.tainted:
+                                self.tainted.add(name)
+                                changed = True
+                elif isinstance(node, ast.Call):
+                    # times.append(elapsed) taints the receiver.
+                    callee = node.func
+                    if (
+                        isinstance(callee, ast.Attribute)
+                        and callee.attr in _MUTATOR_METHODS
+                        and isinstance(callee.value, ast.Name)
+                        and any(self._expr_taint(arg) for arg in node.args)
+                    ):
+                        if callee.value.id not in self.tainted:
+                            self.tainted.add(callee.value.id)
+                            changed = True
+                    # f(tainted) taints f's matching parameter when f is
+                    # a nested function in this unit.
+                    if isinstance(callee, ast.Name):
+                        nested = self.nested_funcs.get(callee.id)
+                        if nested is not None:
+                            names = [
+                                a.arg for a in _positional_params(nested.args)
+                            ]
+                            for i, arg in enumerate(node.args):
+                                if i < len(names) and self._expr_taint(arg):
+                                    if names[i] not in self.tainted:
+                                        self.tainted.add(names[i])
+                                        changed = True
+            # Refresh nested return slots.
+            for name, nested in self.nested_funcs.items():
+                slots = self._return_slots(nested)
+                if slots != self.nested_returns.get(name):
+                    self.nested_returns[name] = slots
+                    changed = True
+
+    def _return_slots(self, nested: ast.AST) -> List[bool]:
+        slots: List[bool] = []
+        for node in _walk_function_body(nested):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if isinstance(node.value, ast.Tuple):
+                    current = [
+                        self._bare_taint(element)
+                        for element in node.value.elts
+                    ]
+                else:
+                    current = [self._bare_taint(node.value)]
+                if not slots:
+                    slots = current
+                else:
+                    if len(slots) != len(current):
+                        slots = [any(slots) or any(current)]
+                    else:
+                        slots = [a or b for a, b in zip(slots, current)]
+        return slots
+
+    def _bare_taint(self, node: ast.AST) -> bool:
+        """Taint of a return expression; container literals absorb it."""
+        if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+            return False  # values escape as keyed/positional data
+        return self._expr_taint(node)
+
+    # -- use validation ------------------------------------------------
+
+    def analyze(self) -> _TaintResult:
+        self._propagate()
+        if not self.tainted:
+            return _TaintResult("waived")
+        self._validate(self.func, top_level=True)
+        if self.violation:
+            return _TaintResult("kept")
+        if self.deps:
+            return _TaintResult("conditional", self.deps)
+        return _TaintResult("waived")
+
+    def _validate(self, root: ast.AST, top_level: bool) -> None:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.If, ast.While)):
+                if self._expr_taint(node.test):
+                    self.violation = True
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._expr_taint(node.iter):
+                    self.violation = True
+            elif isinstance(node, ast.Subscript):
+                if self._expr_taint(node.slice):
+                    self.violation = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if self._bare_taint(node.value) and self._returns_from_top(
+                    node
+                ):
+                    # A bare tainted value escaping the whole unit:
+                    # callers outside the unit are invisible here.
+                    self.violation = True
+            elif isinstance(node, ast.Call):
+                self._validate_call(node)
+
+    def _returns_from_top(self, ret: ast.Return) -> bool:
+        """Whether a return belongs to the top-level def (not a closure)."""
+        for nested in self.nested_funcs.values():
+            for node in ast.walk(nested):
+                if node is ret:
+                    return False
+        return True
+
+    def _validate_call(self, node: ast.Call) -> None:
+        tainted_pos = [
+            i for i, arg in enumerate(node.args) if self._expr_taint(arg)
+        ]
+        tainted_kw = [
+            kw.arg
+            for kw in node.keywords
+            if kw.arg is not None and self._expr_taint(kw.value)
+        ]
+        if not tainted_pos and not tainted_kw:
+            return
+        callee = node.func
+        # Nested functions: their own uses are validated in this unit.
+        if isinstance(callee, ast.Name) and callee.id in self.nested_funcs:
+            return
+        # Reporting builtins.
+        if isinstance(callee, ast.Name) and callee.id in _REPORTING_BUILTINS:
+            return
+        # Exceptions carry timing text in their message.
+        if isinstance(callee, ast.Name) and callee.id.endswith("Error"):
+            return
+        # Container/formatting methods on local receivers.
+        if isinstance(callee, ast.Attribute) and isinstance(
+            callee.value, (ast.Name, ast.Constant, ast.JoinedStr)
+        ):
+            dotted = qualified_name(callee, self.aliases)
+            if dotted is None and callee.attr in _SINK_METHODS:
+                return
+        # Timing-named keyword arguments are record-constructor fields.
+        remaining_kw = [
+            kw
+            for kw in tainted_kw
+            if not any(marker in kw.lower() for marker in _REPORTING_KEYWORDS)
+        ]
+        if not tainted_pos and not remaining_kw:
+            return
+        # Everything else: allowed only if the callee turns out to be a
+        # recorder (no RNG, no clocks, no shared-state writes) — the
+        # project pass decides using the callee's summary.
+        dotted = qualified_name(callee, self.aliases)
+        if dotted is not None:
+            self.deps.add(dotted)
+        elif isinstance(callee, ast.Name):
+            self.deps.add(callee.id)
+        elif isinstance(callee, ast.Attribute):
+            self.deps.add(callee.attr)
+        else:
+            self.violation = True
+
+
+# ----------------------------------------------------------------------
+# module summary construction
+# ----------------------------------------------------------------------
+
+
+def build_module_summary(
+    source: str, path: str, tree: Optional[ast.AST] = None
+) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` for one parsed file."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    module = module_name_for_path(path)
+    aliases = resolve_imports(tree)
+    _add_relative_aliases(aliases, tree, module, path)
+    marker_lines = _fork_entry_lines(source)
+
+    module_globals: Dict[str, bool] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module_globals[target.id] = _is_mutable_value(node.value)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            mutable = node.value is not None and _is_mutable_value(node.value)
+            module_globals[node.target.id] = mutable
+
+    classes: Dict[str, List[str]] = {}
+    class_mutable_attrs: Dict[str, List[str]] = {}
+    class_signatures: Dict[str, Dict[str, List[str]]] = {}
+    functions: Dict[str, FunctionSummary] = {}
+
+    def extract_function(
+        func: ast.AST,
+        qualname: str,
+        class_name: Optional[str],
+        enclosing: Dict[str, Optional[str]],
+        unit_result: Optional[_TaintResult],
+    ) -> None:
+        if unit_result is None and _unit_has_waivable_clock(func, aliases):
+            # One reporting-only verdict per top-level unit; nested
+            # functions (closures) share it.
+            unit_result = _ClockTaint(func, aliases).analyze()
+        extractor = _FunctionExtractor(
+            func,
+            qualname,
+            module,
+            path,
+            class_name,
+            aliases,
+            module_globals,
+            enclosing,
+            marker_lines,
+        )
+        summary = extractor.extract()
+        if unit_result is not None and summary.clock_reads:
+            summary.clock_reads = _apply_clock_verdict(
+                summary.clock_reads, unit_result
+            )
+        functions[qualname] = summary
+
+        child_bindings = dict(enclosing)
+        for name, ctor in _ctor_assignments(func, aliases).items():
+            child_bindings[name] = ctor
+        for stmt in ast.walk(func):
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt is not func
+                and _is_direct_child_function(func, stmt)
+            ):
+                extract_function(
+                    stmt,
+                    f"{qualname}.<locals>.{stmt.name}",
+                    class_name,
+                    child_bindings,
+                    unit_result,
+                )
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            extract_function(node, f"{module}.{node.name}", None, {}, None)
+        elif isinstance(node, ast.ClassDef):
+            method_names: List[str] = []
+            mutable_attrs: List[str] = []
+            signatures: Dict[str, List[str]] = {}
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_names.append(stmt.name)
+                    signatures[stmt.name] = [
+                        a.arg for a in _all_params(stmt.args)
+                    ]
+                    extract_function(
+                        stmt,
+                        f"{module}.{node.name}.{stmt.name}",
+                        node.name,
+                        {},
+                        None,
+                    )
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and _is_mutable_value(
+                            stmt.value
+                        ):
+                            mutable_attrs.append(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if stmt.value is not None and _is_mutable_value(stmt.value):
+                        mutable_attrs.append(stmt.target.id)
+            classes[node.name] = method_names
+            class_mutable_attrs[node.name] = mutable_attrs
+            class_signatures[node.name] = signatures
+
+    return ModuleSummary(
+        module=module,
+        path=path,
+        aliases=aliases,
+        module_globals=module_globals,
+        classes=classes,
+        class_mutable_attrs=class_mutable_attrs,
+        class_signatures=class_signatures,
+        functions=functions,
+    )
+
+
+def _add_relative_aliases(
+    aliases: Dict[str, str], tree: ast.AST, module: str, path: str
+) -> None:
+    """Absolutize relative imports into the alias map.
+
+    :func:`repro.lint.rules.resolve_imports` deliberately ignores
+    relative imports (they never shadow stdlib/numpy, which is all the
+    per-file rules care about), but the project pass must follow them
+    to build cross-module call edges: ``from ..rng import
+    RandomStreams`` in ``repro.experiments.figures`` binds
+    ``RandomStreams`` to ``repro.rng.RandomStreams``.
+    """
+    import pathlib
+
+    is_package = pathlib.Path(path).stem == "__init__"
+    parts = module.split(".") if module else []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or not node.level:
+            continue
+        # level=1 is the containing package; each extra level walks up.
+        drop = node.level if not is_package else node.level - 1
+        if drop > len(parts):
+            continue
+        base = parts[: len(parts) - drop] if drop else list(parts)
+        if node.module:
+            base = base + node.module.split(".")
+        if not base:
+            continue
+        prefix = ".".join(base)
+        for alias in node.names:
+            local = alias.asname or alias.name
+            aliases.setdefault(local, f"{prefix}.{alias.name}")
+
+
+def _is_direct_child_function(parent: ast.AST, candidate: ast.AST) -> bool:
+    """Whether ``candidate`` is nested directly in ``parent`` (not deeper)."""
+    for node in _walk_function_body(parent):
+        if node is candidate:
+            return True
+    return False
+
+
+def _ctor_assignments(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Dict[str, Optional[str]]:
+    """Names assigned from constructor-looking calls in a function body."""
+    out: Dict[str, Optional[str]] = {}
+    for node in _walk_function_body(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            ctor: Optional[str] = None
+            if isinstance(callee, ast.Name) and callee.id[:1].isupper():
+                ctor = aliases.get(callee.id, callee.id)
+            elif isinstance(callee, ast.Attribute):
+                dotted = qualified_name(callee, aliases)
+                if dotted and dotted.rsplit(".", 1)[-1][:1].isupper():
+                    ctor = dotted
+            for target in node.targets:
+                for name in _target_names(target):
+                    out[name] = ctor
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _target_names(target):
+                    out.setdefault(name, None)
+    return out

@@ -16,14 +16,22 @@ for that scope.  Rule codes are comma-separated and case-insensitive.
 
 Comments are found with :mod:`tokenize`, not regular expressions, so a
 string literal containing the marker text never triggers a suppression.
+
+A line-scope comment suppresses the whole *statement* it is attached
+to, not just its physical line: a disable comment anywhere on a call
+spanning five lines covers all five, and one on a decorator covers the
+decorated def's header (decorators through the signature).  Compound
+statements (``def``/``class``/``if``/...) expand to their header only —
+a disable on an ``if`` line does not blanket the body.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["SuppressionTable", "parse_suppressions"]
 
@@ -49,6 +57,9 @@ class SuppressionTable:
     def __init__(self) -> None:
         self._by_line: Dict[int, Set[str]] = {}
         self._file_wide: Set[str] = set()
+        #: Number of suppression *comments* in the file (what the
+        #: baseline ratchet counts; span expansion does not inflate it).
+        self.comment_count = 0
 
     def add_line(self, line: int, rules: Iterable[str]) -> None:
         """Suppress ``rules`` (or all, for ``"*"``) on ``line``."""
@@ -71,15 +82,84 @@ class SuppressionTable:
     def __bool__(self) -> bool:
         return bool(self._by_line or self._file_wide)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize for the on-disk result cache."""
+        return {
+            "lines": {
+                str(line): sorted(rules)
+                for line, rules in self._by_line.items()
+            },
+            "file": sorted(self._file_wide),
+            "comments": self.comment_count,
+        }
 
-def parse_suppressions(source: str) -> SuppressionTable:
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SuppressionTable":
+        table = cls()
+        for line, rules in data.get("lines", {}).items():
+            table.add_line(int(line), rules)
+        table.add_file(data.get("file", ()))
+        table.comment_count = int(data.get("comments", 0))
+        return table
+
+
+def _statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """(start, end) line spans of every statement, innermost-friendly.
+
+    Simple statements span their full source extent.  Compound
+    statements (anything with a body) span their *header* only:
+    decorators through the line before the first body statement, so a
+    suppression on a decorator or a wrapped signature covers the whole
+    header without blanketing the body.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for decorator in getattr(node, "decorator_list", []):
+            start = min(start, decorator.lineno)
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        spans.append((start, end))
+    return spans
+
+
+def _expand_to_statement(
+    line: int, spans: List[Tuple[int, int]]
+) -> range:
+    """Lines of the innermost statement span containing ``line``."""
+    best: Optional[Tuple[int, int]] = None
+    for start, end in spans:
+        if start <= line <= end:
+            if best is None or (end - start) < (best[1] - best[0]):
+                best = (start, end)
+    if best is None:
+        return range(line, line + 1)
+    return range(best[0], best[1] + 1)
+
+
+def parse_suppressions(
+    source: str, tree: Optional[ast.AST] = None
+) -> SuppressionTable:
     """Extract every suppression comment from ``source``.
 
+    When ``tree`` is provided (or the source parses), line-scope
+    suppressions expand to the whole statement the comment sits on.
     Unreadable files (tokenize errors) yield an empty table — the
     parser, not the suppression scanner, is responsible for reporting
     syntax problems.
     """
     table = SuppressionTable()
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            tree = None
+    spans = _statement_spans(tree) if tree is not None else []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -89,10 +169,12 @@ def parse_suppressions(source: str) -> SuppressionTable:
             if match is None:
                 continue
             rules = _parse_rule_list(match.group("rules"))
+            table.comment_count += 1
             if match.group("scope").lower() == "disable-file":
                 table.add_file(rules)
             else:
-                table.add_line(token.start[0], rules)
+                for line in _expand_to_statement(token.start[0], spans):
+                    table.add_line(line, rules)
     except (tokenize.TokenError, IndentationError):
         pass
     return table

@@ -106,7 +106,9 @@ def _describe_exception(exc: BaseException) -> TaskFailure:
     )
 
 
-def _worker_main(conn, runner: Callable[[Any], Any], clock: Optional[Clock]) -> None:
+def _worker_main(  # lint: fork-entry
+    conn, runner: Callable[[Any], Any], clock: Optional[Clock]
+) -> None:
     """Worker loop: receive tasks, run them, send results or errors.
 
     Any exception from ``runner`` is caught and reported as data so the

@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintError, lint_paths, lint_source, select_rules
+from repro.lint import LintError, lint_paths, lint_project, lint_source, select_rules
 from repro.lint.engine import PARSE_ERROR_CODE
 from repro.lint.suppressions import parse_suppressions
 
@@ -106,6 +106,75 @@ class TestSuppressions:
         )
         assert not table
 
+    def test_marker_inside_string_does_not_suppress_findings(self):
+        """End-to-end: a string literal carrying the marker text on an
+        offending line must not silence the finding."""
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import time
+
+                def f():
+                    return (time.time(), "# lint: disable=DET003")
+                """
+            )
+        )
+        assert [finding.rule for finding in findings] == ["DET003"]
+
+    def test_multiline_statement_suppressed_as_a_whole(self):
+        """A disable comment on any line of a multi-line statement
+        covers the statement's full span."""
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import time
+
+                def f():
+                    value = max(
+                        0.0,  # lint: disable=DET003
+                        time.time(),
+                    )
+                    return value
+                """
+            )
+        )
+        assert findings == []
+
+    def test_decorated_def_suppression_covers_the_header(self):
+        """A disable on a decorator line applies to the whole header
+        (decorators through the signature), not just that line."""
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import functools
+                import time
+
+                @functools.lru_cache(  # lint: disable=DET003
+                    maxsize=int(time.time()) and 8,
+                )
+                def f():
+                    return 1
+                """
+            )
+        )
+        assert findings == []
+
+    def test_statement_suppression_does_not_blanket_compound_bodies(self):
+        """A disable on an ``if`` header must not suppress the body."""
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import time
+
+                def f(flag):
+                    if flag:  # lint: disable=DET003
+                        return time.time()
+                    return 0.0
+                """
+            )
+        )
+        assert [finding.rule for finding in findings] == ["DET003"]
+
     def test_unrelated_comments_ignored(self):
         table = parse_suppressions("x = 1  # just a comment\n")
         assert not table
@@ -162,11 +231,20 @@ class TestDiscoveryAndSelection:
 
 class TestSelfHosting:
     def test_src_repro_is_lint_clean(self):
-        """The tree enforces its own determinism discipline."""
-        result = lint_paths([str(REPO_SRC)])
+        """The tree enforces its own determinism discipline.
+
+        The whole-program pass must come out clean — per-file rules,
+        the interprocedural DET003 waiver standing in for the deleted
+        suppressions, and the FLOW/FORK/PAR families — with zero live
+        suppression comments anywhere in the tree.
+        """
+        result = lint_project([str(REPO_SRC)])
         assert result.checked_files > 70
         offenders = "\n".join(f.format_text() for f in result.findings)
         assert result.ok, f"src/repro has lint findings:\n{offenders}"
+        assert result.suppression_count == 0
+        # The burned-down timing suppressions are now waived statically.
+        assert len(result.waived_clock_findings) >= 14
 
     def test_injected_unseeded_rng_is_caught(self, tmp_path):
         """Acceptance check: a fresh DET001 violation names file and line."""

@@ -7,6 +7,7 @@ Usage::
     repro bench --quick --compare benchmarks/results/BENCH_baseline.json \
         --threshold 0.25                # exit 1 on regression
     repro bench --only event_loop_churn shuffle_round --repeats 5
+    repro bench --quick --skip million_node_churn   # everything but the scale run
 """
 
 from __future__ import annotations
@@ -47,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         choices=workload_names(),
         help="run only these benchmarks",
+    )
+    parser.add_argument(
+        "--skip",
+        nargs="+",
+        metavar="NAME",
+        choices=workload_names(),
+        help="run everything except these benchmarks (applied after --only)",
     )
     parser.add_argument(
         "--json",
@@ -92,6 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         repeats=args.repeats,
         only=args.only,
+        skip=args.skip,
         progress=print,
     )
     print()

@@ -24,8 +24,14 @@ time regression; reports that lack ``peak_rss_kb`` on either side
 
 Any regression makes the comparison fail (process exit code 1), which
 is what stops a PR from silently doubling simulation time or memory.
-Benchmarks present on only one side are reported but never fail the
-gate — that keeps adding/renaming benchmarks a one-PR change.
+Benchmarks present only in the *baseline* are reported as warnings but
+never fail the gate — that keeps ``--only``/``--skip`` subset runs
+(the CI ``scale-smoke`` job compares one workload against the full
+baseline) and benchmark removals painless.  A benchmark present in the
+*current* run but absent from the baseline, however, is a hard failure
+with an explicit remedy: a new workload is ungated until the baseline
+knows about it, so the PR adding it must refresh
+``benchmarks/results/BENCH_baseline.json`` in the same change.
 """
 
 from __future__ import annotations
@@ -56,8 +62,17 @@ class BenchComparison:
 
     @property
     def ok(self) -> bool:
-        """Whether the gate passes (no time or memory regression)."""
-        return not self.regressions and not self.mem_regressions
+        """Whether the gate passes.
+
+        Fails on any time or memory regression, and on a benchmark the
+        baseline has never seen (an ungated workload is a silent hole
+        in the regression gate — refresh the baseline to close it).
+        """
+        return (
+            not self.regressions
+            and not self.mem_regressions
+            and not self.missing_in_baseline
+        )
 
 
 def load_report(path: str) -> Dict[str, Any]:
@@ -189,7 +204,12 @@ def format_comparison(comparison: BenchComparison) -> str:
     for name in comparison.missing_in_current:
         lines.append(f"warning: {name} present in baseline only (not compared)")
     for name in comparison.missing_in_baseline:
-        lines.append(f"warning: {name} present in current run only (not compared)")
+        lines.append(
+            f"error: {name} is not in the baseline, so it runs ungated — "
+            "regenerate benchmarks/results/BENCH_baseline.json with "
+            "`repro bench --quick --repeats 5 --json "
+            "benchmarks/results/BENCH_baseline.json` and commit it"
+        )
     if comparison.ok:
         lines.append("PASS: no benchmark regressed beyond the threshold")
     else:
@@ -198,6 +218,10 @@ def format_comparison(comparison: BenchComparison) -> str:
             f"{name} (memory)"
             for name in comparison.mem_regressions
             if name not in comparison.regressions
+        )
+        failed.extend(
+            f"{name} (missing from baseline)"
+            for name in comparison.missing_in_baseline
         )
         lines.append("FAIL: regressed benchmark(s): " + ", ".join(failed))
     return "\n".join(lines)

@@ -61,6 +61,7 @@ def run_suite(
     seed: int = 1,
     repeats: int = 3,
     only: Optional[Sequence[str]] = None,
+    skip: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
     """Run the benchmark suite and return the report dict.
@@ -75,6 +76,10 @@ def run_suite(
         Timed repetitions per benchmark (fresh setup each repeat).
     only:
         Optional subset of workload names to run.
+    skip:
+        Optional workload names to leave out (applied after ``only``);
+        how the CI bench-smoke job keeps the scale workload off its
+        plate while ``scale-smoke`` runs it alone.
     progress:
         Optional callable fed one line per benchmark as it finishes.
     """
@@ -82,12 +87,20 @@ def run_suite(
         raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    names = {workload.name for workload in SUITE}
     selected: List[Workload] = list(SUITE)
     if only:
-        unknown = set(only) - {workload.name for workload in SUITE}
+        unknown = set(only) - names
         if unknown:
             raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
         selected = [workload for workload in SUITE if workload.name in set(only)]
+    if skip:
+        unknown = set(skip) - names
+        if unknown:
+            raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
+        selected = [
+            workload for workload in selected if workload.name not in set(skip)
+        ]
 
     benchmarks: Dict[str, Any] = {}
     for workload in selected:

@@ -26,7 +26,16 @@ from typing import Any, Callable, Dict, List, Tuple
 import numpy as np
 
 from ..churn import generate_trace, homogeneous_specs, stationary_online_mask
-from ..core import Pseudonym, SamplerSlots
+from ..config import SystemConfig
+from ..core import (
+    BatchOverlay,
+    LinkSet,
+    NodeArena,
+    Pseudonym,
+    PseudonymArena,
+    PseudonymCache,
+    SamplerSlots,
+)
 from ..errors import ExperimentError, ParallelError
 from ..experiments import (
     SMOKE,
@@ -43,7 +52,7 @@ from ..privlink import (
     TrafficLog,
     make_mixnet_link_layer,
 )
-from ..rng import RandomStreams
+from ..rng import PSEUDONYM_BITS, RandomStreams, random_bits
 from ..sim import Simulator
 
 __all__ = ["Workload", "SUITE", "workload_names"]
@@ -664,6 +673,265 @@ def _prepare_overlay_churn(mode: str, seed: int) -> Callable[[], Dict[str, Any]]
     return run
 
 
+# ----------------------------------------------------------------------
+# node plane (arena batch kernels vs legacy per-node objects)
+# ----------------------------------------------------------------------
+
+
+def _prepare_node_plane(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Shuffle/slot hot path: arena batch kernels vs per-node objects.
+
+    The same gossip traffic — per-node candidate batches over many
+    rounds, with expiry, own-pseudonym filtering, slot competition, and
+    link re-derivation — is folded twice: once through the legacy
+    per-node classes (one :class:`SamplerSlots` / ``PseudonymCache`` /
+    ``LinkSet`` triple per node, Python loop over nodes), once through
+    the :class:`NodeArena` batch kernels (``batch_expire``,
+    ``batch_cache_merge``, ``batch_offer``, ``batch_links_from_slots``
+    over all rows at once).  Both phases start from identical slot
+    reference values and see identical candidates, and the run *raises*
+    unless the final per-node slot, cache, and link state — and every
+    cumulative change counter — matches exactly, so the benchmark
+    doubles as a continuous differential test of the kernels.  The
+    phase wall clocks feed ``wall_speedup``.
+    """
+    if mode == "quick":
+        num_nodes, rounds = 256, 12
+    else:
+        num_nodes, rounds = 768, 20
+    batch_size, slot_count, cache_capacity = 24, 24, 48
+    data_rng = RandomStreams(seed).substream("bench", "node-plane-data")
+    own_values = [
+        int(x)
+        for x in data_rng.integers(0, 1 << PSEUDONYM_BITS, size=num_nodes)
+    ]
+    own_pseudonyms = [
+        Pseudonym(
+            value=own_values[n],
+            address=Address(n + 1),
+            expires_at=float(rounds + 10),
+        )
+        for n in range(num_nodes)
+    ]
+    cand_values = data_rng.integers(
+        0, 1 << PSEUDONYM_BITS, size=(rounds, num_nodes, batch_size)
+    )
+    cand_expires = data_rng.uniform(0.5, 8.0, size=(rounds, num_nodes, batch_size))
+    batches: List[List[List[Pseudonym]]] = []
+    for r in range(rounds):
+        per_round: List[List[Pseudonym]] = []
+        for n in range(num_nodes):
+            batch = [
+                Pseudonym(
+                    value=int(cand_values[r, n, j]),
+                    address=Address(int(cand_values[r, n, j]) + 1),
+                    expires_at=float(r) + float(cand_expires[r, n, j]),
+                )
+                for j in range(batch_size)
+            ]
+            # Every seventh (node, round) receives its own pseudonym
+            # back, exercising the merge's own-value filter.
+            if (n + r) % 7 == 0:
+                batch[0] = own_pseudonyms[n]
+            per_round.append(batch)
+        batches.append(per_round)
+
+    def run() -> Dict[str, Any]:
+        # Legacy phase: per-node objects, Python loop over nodes.
+        ref_rng = RandomStreams(seed).substream("bench", "node-plane-refs")
+        slots = [SamplerSlots(slot_count, ref_rng) for _ in range(num_nodes)]
+        caches = [PseudonymCache(cache_capacity) for _ in range(num_nodes)]
+        links = [LinkSet(()) for _ in range(num_nodes)]
+        legacy_changed = legacy_inserted = 0
+        gc.collect()
+        started = time.process_time()
+        for r in range(rounds):
+            now = float(r)
+            for n in range(num_nodes):
+                slots[n].expire(now)
+                caches[n].remove_expired(now)
+                batch = batches[r][n]
+                legacy_inserted += caches[n].merge(
+                    batch, now, own_value=own_values[n]
+                )
+                legacy_changed += slots[n].offer_batch(batch)
+                links[n].update_from_sample(slots[n].sample())
+        wall_legacy = time.process_time() - started
+        legacy_added = sum(link.additions_total for link in links)
+        legacy_removed = sum(link.replacements_total for link in links)
+
+        # Arena phase: the same traffic through the batch kernels.  The
+        # identical reference draw order reproduces the legacy slots'
+        # reference values exactly.
+        arena = NodeArena(
+            PseudonymArena(chunk=4096),
+            node_chunk=num_nodes,
+            track_insert_times=False,
+        )
+        arena.register_batch(num_nodes, slot_count, cache_capacity)
+        ref_rng = RandomStreams(seed).substream("bench", "node-plane-refs")
+        for n in range(num_nodes):
+            arena.slot_refs[n, :slot_count] = [
+                random_bits(ref_rng, PSEUDONYM_BITS) for _ in range(slot_count)
+            ]
+        table = arena.pseudonyms
+        own_ids = np.array(
+            [table.intern(p) for p in own_pseudonyms], dtype=np.int64
+        )
+        cand_ids = np.array(
+            [
+                [[table.intern(p) for p in batch] for batch in batches[r]]
+                for r in range(rounds)
+            ],
+            dtype=np.int64,
+        )
+        rows = np.arange(num_nodes, dtype=np.int64)
+        arena_changed = arena_inserted = arena_added = arena_removed = 0
+        gc.collect()
+        started = time.process_time()
+        for r in range(rounds):
+            now = float(r)
+            arena.batch_expire(now)
+            arena_inserted += int(
+                arena.batch_cache_merge(rows, cand_ids[r], now, own_ids).sum()
+            )
+            arena_changed += int(arena.batch_offer(rows, cand_ids[r]).sum())
+            added, removed = arena.batch_links_from_slots(rows)
+            arena_added += int(added.sum())
+            arena_removed += int(removed.sum())
+        wall_fast = time.process_time() - started
+
+        # Differential check: counters and exact final per-node state.
+        counters_match = (
+            legacy_changed == arena_changed
+            and legacy_inserted == arena_inserted
+            and legacy_added == arena_added
+            and legacy_removed == arena_removed
+        )
+        if not counters_match:
+            raise ExperimentError(
+                "arena batch kernels diverged from the per-node classes: "
+                f"changed {legacy_changed}/{arena_changed}, inserted "
+                f"{legacy_inserted}/{arena_inserted}, links "
+                f"{legacy_added}-{legacy_removed}/{arena_added}-{arena_removed}"
+            )
+        state: List[Any] = []
+        for n in range(num_nodes):
+            legacy_slots = [
+                None if entry is None else (entry.value, entry.expires_at)
+                for entry in (slots[n].entry(i) for i in range(slot_count))
+            ]
+            arena_slots = [
+                None
+                if pid < 0
+                else (int(table.values[pid]), float(table.expires_at[pid]))
+                for pid in arena.slot_ids[n, :slot_count]
+            ]
+            legacy_cache = [p.value for p in caches[n].pseudonyms()]
+            arena_cache = [
+                int(table.values[pid])
+                for pid in arena.cache_ids[n, : arena.cache_len[n]]
+            ]
+            legacy_links = [p.value for p in links[n].pseudonym_links()]
+            arena_links = [
+                int(table.values[pid])
+                for pid in arena.link_ids[n, : arena.link_len[n]]
+            ]
+            if (
+                legacy_slots != arena_slots
+                or legacy_cache != arena_cache
+                or legacy_links != arena_links
+            ):
+                raise ExperimentError(
+                    f"arena row {n} diverged from the per-node classes "
+                    "(slot/cache/link state mismatch)"
+                )
+            state.append((legacy_slots, legacy_cache, legacy_links))
+        return {
+            "operations": rounds * num_nodes * batch_size,
+            "nodes": num_nodes,
+            "rounds": rounds,
+            "batch_size": batch_size,
+            "slots_changed": legacy_changed,
+            "cache_inserted": legacy_inserted,
+            "links_added": legacy_added,
+            "links_removed": legacy_removed,
+            "state_digest": _digest(state),
+            "states_match": True,
+            "wall_legacy_s": wall_legacy,
+            "wall_fast_s": wall_fast,
+            "wall_speedup": wall_legacy / wall_fast if wall_fast > 0 else 0.0,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# million-node churned overlay (the scale-smoke gate)
+# ----------------------------------------------------------------------
+
+
+def _prepare_million_node_churn(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """A churned overlay at scale through the round-based batch engine.
+
+    Builds a ring-lattice trust graph, seats the population under
+    discretized exponential churn, runs full shuffle rounds (mint,
+    expiry, partner selection, shuffle-set exchange, link refresh) with
+    :class:`BatchOverlay`, then assembles the online snapshot and
+    computes the disconnection metric.  Quick mode runs 10^5 nodes (the
+    CI ``scale-smoke`` gate); full mode is the million-node run from
+    the ISSUE acceptance criteria.  Peak RSS is the fact that matters —
+    this workload must stay LAST in the suite because ``peak_rss_kb``
+    is a process-wide high-water mark and would contaminate every later
+    entry.
+    """
+    num_nodes, rounds = (100_000, 5) if mode == "quick" else (1_000_000, 6)
+    config = SystemConfig(
+        num_nodes=num_nodes,
+        cache_size=16,
+        shuffle_length=8,
+        target_degree=12,
+        min_pseudonym_links=8,
+        availability=0.6,
+        mean_offline_time=8.0,
+        seed=seed,
+    )
+
+    def run() -> Dict[str, Any]:
+        gc.collect()
+        started = time.perf_counter()
+        overlay = BatchOverlay.build(config, extra_edges_per_node=4)
+        wall_build = time.perf_counter() - started
+        started = time.perf_counter()
+        overlay.run(rounds)
+        wall_rounds = time.perf_counter() - started
+        started = time.perf_counter()
+        analysis = overlay.analysis()
+        fraction = analysis.fraction_disconnected()
+        wall_metrics = time.perf_counter() - started
+        stats = overlay.stats()
+        return {
+            "operations": stats["exchanges"],
+            "nodes": num_nodes,
+            "rounds": rounds,
+            "online_nodes": stats["online_nodes"],
+            "exchanges": stats["exchanges"],
+            "pseudonyms_created": stats["pseudonyms_created"],
+            "link_additions": stats["link_additions"],
+            "link_removals": stats["link_removals"],
+            "fraction_disconnected": round(fraction, 12),
+            "mean_degree": round(overlay.mean_out_degree(), 12),
+            "engine_bytes": overlay.memory_bytes(),
+            "state_digest": overlay.state_digest()[:16],
+            "wall_build_s": wall_build,
+            "wall_rounds_s": wall_rounds,
+            "wall_round_s": wall_rounds / rounds,
+            "wall_metrics_s": wall_metrics,
+        }
+
+    return run
+
+
 SUITE: Tuple[Workload, ...] = (
     Workload(
         "event_loop_churn",
@@ -709,6 +977,18 @@ SUITE: Tuple[Workload, ...] = (
         "parallel_sweep",
         "serial vs multiprocess grid sweep (digest-checked equivalence)",
         _prepare_parallel_sweep,
+    ),
+    Workload(
+        "node_plane",
+        "arena batch kernels vs per-node objects (state-checked differential)",
+        _prepare_node_plane,
+    ),
+    # Keep this one LAST: peak_rss_kb is a process-wide high-water mark,
+    # and the scale run would contaminate every later entry's reading.
+    Workload(
+        "million_node_churn",
+        "churned overlay at scale through the batch engine (peak-RSS gate)",
+        _prepare_million_node_churn,
     ),
 )
 

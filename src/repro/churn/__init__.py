@@ -9,6 +9,7 @@ from .availability import (
     online_subgraph,
     stationary_online_mask,
 )
+from .batch import BatchChurnModel
 from .distributions import (
     DurationDistribution,
     Exponential,
@@ -25,6 +26,7 @@ __all__ = [
     "Pareto",
     "Weibull",
     "distribution_from_name",
+    "BatchChurnModel",
     "ChurnProcess",
     "NodeChurnSpec",
     "homogeneous_specs",

@@ -1,0 +1,105 @@
+"""Vectorized whole-population churn for the round-based batch engine.
+
+The event-driven :class:`~repro.churn.model.ChurnProcess` schedules one
+simulator event per session transition — perfect for the paper-scale
+runs, hopeless at 10⁶ nodes.  :class:`BatchChurnModel` discretizes the
+same alternating-renewal model (exponential online/offline durations,
+Section IV-B) to one step per shuffle round: every online node leaves
+with probability ``1 - exp(-1/T_on)`` and every offline node rejoins
+with probability ``1 - exp(-1/T_off)``, evaluated for the whole
+population with one uniform draw per node per round.  The stationary
+availability ``T_on / (T_on + T_off)`` and the mean session lengths
+match the continuous model; only sub-round timing is coarsened.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ChurnError
+
+__all__ = ["BatchChurnModel"]
+
+
+class BatchChurnModel:
+    """Discretized exponential churn over a whole node population.
+
+    Parameters
+    ----------
+    num_nodes:
+        Population size.
+    availability:
+        Stationary online fraction ``a`` in (0, 1].
+    mean_offline_time:
+        Mean offline duration ``T_off`` in rounds; the mean online
+        duration follows as ``a * T_off / (1 - a)`` (the same relation
+        :class:`~repro.config.SystemConfig` uses).
+    rng:
+        The model's private random stream; one ``random(num_nodes)``
+        draw at construction (stationary seating) and one per
+        :meth:`step`.
+    start_all_online:
+        Seat every node online instead of a stationary draw.
+    """
+
+    __slots__ = ("num_nodes", "p_leave", "p_join", "online", "_rng")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        availability: float,
+        mean_offline_time: float,
+        rng: np.random.Generator,
+        start_all_online: bool = False,
+    ) -> None:
+        if num_nodes < 1:
+            raise ChurnError(f"num_nodes must be >= 1, got {num_nodes}")
+        if not 0.0 < availability <= 1.0:
+            raise ChurnError(
+                f"availability must be in (0, 1], got {availability}"
+            )
+        if mean_offline_time <= 0:
+            raise ChurnError(
+                f"mean_offline_time must be positive, got {mean_offline_time}"
+            )
+        self.num_nodes = num_nodes
+        if availability >= 1.0:
+            self.p_leave = 0.0
+            self.p_join = 1.0
+        else:
+            mean_online = availability * mean_offline_time / (1.0 - availability)
+            self.p_leave = 1.0 - math.exp(-1.0 / mean_online)
+            self.p_join = 1.0 - math.exp(-1.0 / mean_offline_time)
+        self._rng = rng
+        if start_all_online:
+            self.online = np.ones(num_nodes, dtype=bool)
+        else:
+            self.online = rng.random(num_nodes) < availability
+
+    def step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance one round; returns ``(joined_rows, left_rows)``.
+
+        Each node draws one uniform and flips according to its state's
+        per-round hazard, so the whole transition is two boolean masks.
+        """
+        draws = self._rng.random(self.num_nodes)
+        online = self.online
+        left = online & (draws < self.p_leave)
+        joined = ~online & (draws < self.p_join)
+        online ^= left | joined
+        return np.flatnonzero(joined), np.flatnonzero(left)
+
+    def online_rows(self) -> np.ndarray:
+        """Ids of currently online nodes, ascending."""
+        return np.flatnonzero(self.online)
+
+    def online_count(self) -> int:
+        """Number of currently online nodes."""
+        return int(self.online.sum())
+
+    def online_fraction(self) -> float:
+        """Currently online fraction of the population."""
+        return self.online_count() / self.num_nodes

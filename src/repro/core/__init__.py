@@ -6,6 +6,17 @@ Brahms-style sampling — converges to random-graph-like robustness
 without ever disclosing node identities or trust relations.
 """
 
+from .arena import (
+    ArenaCache,
+    ArenaLinkSet,
+    ArenaSlots,
+    NodeArena,
+    PseudonymArena,
+    get_node_plane,
+    resolve_node_plane,
+    set_node_plane,
+)
+from .batch import BatchOverlay
 from .cache import PseudonymCache
 from .links import LinkSet, LinkTarget
 from .maintenance import AdaptiveLifetime, FixedLifetime, LifetimePolicy
@@ -22,6 +33,15 @@ __all__ = [
     "SamplerSlots",
     "LinkSet",
     "LinkTarget",
+    "PseudonymArena",
+    "NodeArena",
+    "ArenaLinkSet",
+    "ArenaCache",
+    "ArenaSlots",
+    "BatchOverlay",
+    "get_node_plane",
+    "set_node_plane",
+    "resolve_node_plane",
     "ShuffleRequest",
     "ShuffleResponse",
     "make_shuffle_set",

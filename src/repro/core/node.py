@@ -27,6 +27,7 @@ import numpy as np
 from ..errors import NodeOfflineError, ProtocolError
 from ..privlink import LinkLayer
 from ..sim import EventHandle, PeriodicProcess, Simulator
+from .arena import ArenaCache, ArenaLinkSet, ArenaSlots, NodeArena
 from .cache import PseudonymCache
 from .links import LinkSet, LinkTarget
 from .maintenance import FixedLifetime, LifetimePolicy
@@ -126,6 +127,7 @@ class OverlayNode:
         pseudonym_listener: Optional[PseudonymListener] = None,
         sampler_mode: str = "slots",
         lifetime_policy: Optional[LifetimePolicy] = None,
+        arena: Optional[NodeArena] = None,
     ) -> None:
         if shuffle_length < 1:
             raise ProtocolError("shuffle_length must be at least 1")
@@ -136,9 +138,19 @@ class OverlayNode:
                 f"sampler_mode must be 'slots' or 'cache', got {sampler_mode!r}"
             )
         self.node_id = node_id
-        self.links = LinkSet(trusted_neighbors)
-        self.cache = PseudonymCache(cache_size)
-        self.slots = SamplerSlots(slot_count, rng)
+        if arena is None:
+            # The per-object reference plane (REPRO_NODE_PLANE=objects,
+            # or a node constructed outside an overlay).
+            self.links = LinkSet(trusted_neighbors)
+            self.cache = PseudonymCache(cache_size)
+            self.slots = SamplerSlots(slot_count, rng)
+        else:
+            # The columnar plane: state lives in this node's arena row;
+            # the views are byte-identical drop-ins (docs/node_plane.md).
+            arena.register_node(node_id, slot_count, cache_size)
+            self.links = ArenaLinkSet(arena, node_id, trusted_neighbors)
+            self.cache = ArenaCache(arena, node_id, cache_size)
+            self.slots = ArenaSlots(arena, node_id, slot_count, rng)
         self._shuffle_length = shuffle_length
         self._lifetime_policy = (
             lifetime_policy

@@ -38,6 +38,7 @@ from ..graphs.fastgraph import FlatSnapshot
 from ..privlink import Address, LinkLayer, make_ideal_link_layer
 from ..rng import RandomStreams
 from ..sim import Simulator
+from .arena import NodeArena, resolve_node_plane
 from .maintenance import AdaptiveLifetime, LifetimePolicy
 from .node import OverlayNode
 from .pseudonym import Pseudonym
@@ -152,8 +153,17 @@ class _SnapshotStore:
     def _rebuild_slot(
         self, node_id: int, node: OverlayNode, value_owner: Dict[int, int]
     ) -> None:
-        links = node.links.pseudonym_links()
-        count = len(links)
+        link_rows = getattr(node.links, "link_rows", None)
+        if link_rows is not None:
+            # Arena-backed link set: read the (values, expiries) columns
+            # directly, no pseudonym objects materialized.
+            values, expiries = link_rows()
+            values = values.tolist()
+        else:
+            links = node.links.pseudonym_links()
+            values = [pseudonym.value for pseudonym in links]
+            expiries = [pseudonym.expires_at for pseudonym in links]
+        count = len(values)
         if count <= self.caps[node_id]:
             start = self.starts[node_id]
             self.live += count - self.lens[node_id]
@@ -172,13 +182,14 @@ class _SnapshotStore:
         row_owner = self.row_owner
         row_expiry = self.row_expiry
         self.row_node[start : start + self.caps[node_id]] = node_id
-        for offset, pseudonym in enumerate(links):
+        get_owner = value_owner.get
+        for offset, value in enumerate(values):
             # Unresolvable pseudonyms keep a row pointing at the holder
             # itself: excluded from edges (self-loop) but still counted
             # by the out-degree kernel, matching OverlayNode.out_degree.
-            owner = value_owner.get(pseudonym.value)
+            owner = get_owner(value)
             row_owner[start + offset] = node_id if owner is None else owner
-            row_expiry[start + offset] = pseudonym.expires_at
+        row_expiry[start : start + count] = expiries
         row_expiry[start + count : start + self.caps[node_id]] = -1.0
         self.lens[node_id] = count
 
@@ -282,6 +293,7 @@ class Overlay:
         "link_layer",
         "churn",
         "nodes",
+        "arena",
         "_streams",
         "_churn_trace",
         "_value_owner",
@@ -326,6 +338,12 @@ class Overlay:
         self._value_owner: Dict[int, int] = {}
         self._address_owner: Dict[Address, int] = {}
 
+        #: The columnar node plane backing every node's link/cache/slot
+        #: state (None under REPRO_NODE_PLANE=objects).  Both planes are
+        #: byte-identical; see docs/node_plane.md.
+        self.arena: Optional[NodeArena] = (
+            NodeArena() if resolve_node_plane() == "arena" else None
+        )
         self.nodes: List[OverlayNode] = []
         for node_id in range(num_nodes):
             neighbors = list(trust_graph.neighbors(node_id))
@@ -353,6 +371,7 @@ class Overlay:
                 pseudonym_listener=self._record_pseudonym,
                 sampler_mode=config.sampler_mode,
                 lifetime_policy=policy,
+                arena=self.arena,
             )
             node.online_listener = self._on_online_change
             self.nodes.append(node)
@@ -555,6 +574,7 @@ class Overlay:
             pseudonym_listener=self._record_pseudonym,
             sampler_mode=config.sampler_mode,
             lifetime_policy=policy,
+            arena=self.arena,
         )
         node.online_listener = self._on_online_change
         self.nodes.append(node)

@@ -61,7 +61,9 @@ class ParityPair:
     evidence: Tuple[str, ...]
 
 
-#: The shipping registry: the three fast/legacy pairs grown in PRs 3–5.
+#: The shipping registry: the fast/legacy pairs grown in PRs 3–5 (CSR
+#: graph kernels, columnar traffic log, circuit cache) and PR 7 (the
+#: struct-of-arrays node plane).
 PARITY_PAIRS: Tuple[ParityPair, ...] = (
     ParityPair(
         name="graph-metrics",
@@ -115,6 +117,57 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
             ),
         ),
         evidence=("circuit_cache",),
+    ),
+    # PR 7: the struct-of-arrays node plane.  The arena views must stay
+    # byte-identical to the per-node classes (the golden-hash suite runs
+    # on the arena plane), and the batch kernels must stay semantically
+    # identical (the node_plane bench raises on any state divergence).
+    ParityPair(
+        name="node-plane-slots",
+        fast_module="repro.core.arena",
+        legacy_module="repro.core.slots",
+        symbols=(
+            (
+                "ArenaSlots.offer_batch",
+                "SamplerSlots.offer_batch",
+                ("pseudonyms",),
+            ),
+            ("ArenaSlots.expire", "SamplerSlots.expire", ("now",)),
+            ("NodeArena.batch_offer", "SamplerSlots.offer_batch", ()),
+        ),
+        evidence=("ArenaSlots", "offer_batch"),
+    ),
+    ParityPair(
+        name="node-plane-cache",
+        fast_module="repro.core.arena",
+        legacy_module="repro.core.cache",
+        symbols=(
+            (
+                "ArenaCache.merge",
+                "PseudonymCache.merge",
+                ("received", "now", "just_sent", "own_value"),
+            ),
+            ("NodeArena.batch_cache_merge", "PseudonymCache.merge", ("now",)),
+        ),
+        evidence=("ArenaCache", "merge"),
+    ),
+    ParityPair(
+        name="node-plane-links",
+        fast_module="repro.core.arena",
+        legacy_module="repro.core.links",
+        symbols=(
+            (
+                "ArenaLinkSet.update_from_sample",
+                "LinkSet.update_from_sample",
+                ("sample",),
+            ),
+            (
+                "NodeArena.batch_links_from_slots",
+                "LinkSet.update_from_sample",
+                (),
+            ),
+        ),
+        evidence=("ArenaLinkSet", "update_from_sample"),
     ),
 )
 

@@ -1,0 +1,568 @@
+"""Tests for the struct-of-arrays node plane (``repro.core.arena``).
+
+Three layers of pinning, matching the parity-pair registry:
+
+* **View parity** — :class:`ArenaSlots` / :class:`ArenaCache` /
+  :class:`ArenaLinkSet` must behave exactly like the legacy per-node
+  classes on identical operation streams (same results, same rng draw
+  order, same iteration order).
+* **Batch-kernel parity** — ``NodeArena.batch_offer`` /
+  ``batch_cache_merge`` / ``batch_links_from_slots`` / ``batch_expire``
+  must produce the same final state as per-node object loops over the
+  same traffic (a miniature of the ``node_plane`` benchmark).
+* **Whole-overlay differential** — a smoke-scale overlay run on the
+  arena plane must be byte-identical to the ``objects`` plane (the
+  golden-hash suite separately pins the arena-default run to the
+  pre-arena output).
+
+Plus the arena-specific edge cases: interning/refcount bookkeeping,
+growth past the preallocated chunk, and free-list id reuse under
+long churned runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (
+    ArenaCache,
+    ArenaLinkSet,
+    ArenaSlots,
+    BatchOverlay,
+    LinkSet,
+    NodeArena,
+    Pseudonym,
+    PseudonymArena,
+    PseudonymCache,
+    SamplerSlots,
+    get_node_plane,
+    resolve_node_plane,
+    set_node_plane,
+)
+from repro.churn import BatchChurnModel
+from repro.core.batch import ring_lattice_csr
+from repro.errors import ChurnError, ProtocolError
+from repro.privlink import Address
+from repro.rng import RandomStreams
+
+SEED = 11
+
+
+def _p(value, expires=100.0):
+    """A deterministic test pseudonym."""
+    return Pseudonym(value=value, address=Address(value + 1), expires_at=expires)
+
+
+def _batch(rng, count, now=0.0, life=(1.0, 9.0)):
+    """A batch of random pseudonyms with expiries in ``now + life``."""
+    values = rng.integers(1, 1 << 62, size=count)
+    spans = rng.uniform(*life, size=count)
+    return [
+        _p(int(values[i]), now + float(spans[i])) for i in range(count)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _restore_plane():
+    """Never leak a plane override into other tests."""
+    yield
+    set_node_plane(None)
+
+
+class TestPlaneKnob:
+    def test_default_is_arena(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NODE_PLANE", raising=False)
+        set_node_plane(None)
+        assert get_node_plane() == "arena"
+
+    def test_env_var_selects_plane(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NODE_PLANE", "objects")
+        set_node_plane(None)
+        assert get_node_plane() == "objects"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NODE_PLANE", "objects")
+        set_node_plane("arena")
+        assert get_node_plane() == "arena"
+
+    def test_resolve_prefers_explicit_override(self):
+        set_node_plane("objects")
+        assert resolve_node_plane("arena") == "arena"
+        assert resolve_node_plane() == "objects"
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown node plane"):
+            set_node_plane("linked-lists")
+        with pytest.raises(ProtocolError, match="unknown node plane"):
+            resolve_node_plane("nope")
+
+
+class TestPseudonymArena:
+    def test_intern_dedups_and_refcounts(self):
+        table = PseudonymArena(chunk=8)
+        p = _p(42)
+        pid = table.intern(p)
+        assert table.intern(p) == pid
+        assert table.refcounts[pid] == 2
+        assert table.matches(pid, p)
+        assert table.view(pid) is p
+        assert table.live == 1
+
+    def test_release_returns_id_to_free_list(self):
+        table = PseudonymArena(chunk=8)
+        pid = table.intern(_p(1))
+        table.release(pid)
+        assert table.live == 0
+        # The freed id is reused by the next intern.
+        assert table.intern(_p(2)) == pid
+
+    def test_growth_past_preallocated_chunk(self):
+        table = PseudonymArena(chunk=4)
+        ids = [table.intern(_p(v)) for v in range(1, 11)]
+        assert len(set(ids)) == 10
+        assert table.grows >= 2
+        assert table.capacity >= 10
+        # Every interned pseudonym survived the growth copies.
+        for value, pid in zip(range(1, 11), ids):
+            assert int(table.values[pid]) == value
+
+    def test_mint_batch_sets_owner_column(self):
+        table = PseudonymArena(chunk=4)
+        pids = table.mint_batch(
+            np.array([5, 6], dtype=np.int64),
+            np.array([50.0, 60.0]),
+            np.array([0, 1], dtype=np.int64),
+        )
+        assert list(table.owners[pids]) == [0, 1]
+        assert list(table.refcounts[pids]) == [1, 1]
+        view = table.view(int(pids[0]))
+        assert view.value == 5 and view.expires_at == 50.0
+
+    def test_release_batch_counts_duplicates(self):
+        table = PseudonymArena(chunk=8)
+        p = _p(9)
+        pid = table.intern(p)
+        table.intern(p)
+        table.intern(p)
+        table.release_batch(np.array([pid, pid], dtype=np.int64))
+        assert table.refcounts[pid] == 1
+        assert table.live == 1
+
+
+class TestNodeArenaRows:
+    def test_register_must_be_sequential(self):
+        arena = NodeArena(node_chunk=2)
+        arena.register_node(0, 4, 4)
+        with pytest.raises(ProtocolError, match="sequential"):
+            arena.register_node(2, 4, 4)
+
+    def test_row_growth_past_node_chunk(self):
+        arena = NodeArena(node_chunk=2)
+        for node_id in range(7):
+            arena.register_node(node_id, 4, 4)
+        assert arena.num_nodes == 7
+        assert arena.row_capacity >= 7
+        assert arena.slot_n[6] == 4
+
+    def test_column_growth_preserves_state(self):
+        """A later node with wider slots/cache must not corrupt row 0."""
+        arena = NodeArena(node_chunk=2)
+        arena.register_node(0, 2, 2)
+        rng = RandomStreams(SEED).substream("refs", 0)
+        slots = ArenaSlots(arena, 0, 2, rng)
+        cache = ArenaCache(arena, 0, 2)
+        offered = [_p(10, 50.0), _p(20, 60.0)]
+        slots.offer_batch(offered)
+        cache.merge(offered, now=0.0)
+        before_slots = [slots.entry(i) for i in range(2)]
+        before_cache = sorted(p.value for p in cache.pseudonyms())
+        # Registering a wider node widens every column family.
+        arena.register_node(1, 16, 32)
+        assert arena.slot_cols >= 16 and arena.cache_cols >= 32
+        assert [slots.entry(i) for i in range(2)] == before_slots
+        assert sorted(p.value for p in cache.pseudonyms()) == before_cache
+
+
+class TestViewParity:
+    """Arena views against the legacy classes on identical streams."""
+
+    def test_slots_match_legacy_exactly(self):
+        data = RandomStreams(SEED).substream("slots", "data")
+        legacy = SamplerSlots(12, RandomStreams(SEED).substream("slots", "refs"))
+        arena = NodeArena(node_chunk=1)
+        arena.register_node(0, 12, 4)
+        view = ArenaSlots(
+            arena, 0, 12, RandomStreams(SEED).substream("slots", "refs")
+        )
+        assert list(view.references) == list(legacy.references)
+        for round_index in range(8):
+            now = float(round_index)
+            assert legacy.expire(now) == view.expire(now)
+            batch = _batch(data, 20, now)
+            assert legacy.offer_batch(batch) == view.offer_batch(batch)
+            assert [p.value for p in legacy.sample()] == [
+                p.value for p in view.sample()
+            ]
+        assert legacy.filled() == view.filled()
+        for i in range(12):
+            assert legacy.entry(i) == view.entry(i)
+        assert view.holds(legacy.sample())
+
+    def test_cache_matches_legacy_exactly(self):
+        data = RandomStreams(SEED).substream("cache", "data")
+        legacy = PseudonymCache(16)
+        arena = NodeArena(node_chunk=1)
+        arena.register_node(0, 0, 16)
+        view = ArenaCache(arena, 0, 16)
+        own = 77
+        previous = []
+        for round_index in range(10):
+            now = float(round_index)
+            batch = _batch(data, 12, now)
+            if round_index % 3 == 0:
+                batch[0] = _p(own, now + 5.0)  # own value is never cached
+            just_sent = previous[:4] if round_index % 2 else None
+            assert legacy.merge(
+                batch, now, just_sent=just_sent, own_value=own
+            ) == view.merge(batch, now, just_sent=just_sent, own_value=own)
+            assert len(legacy) == len(view)
+            assert [p.value for p in legacy.pseudonyms()] == [
+                p.value for p in view.pseudonyms()
+            ]
+            previous = batch
+        now = 10.0
+        assert legacy.remove_expired(now) == view.remove_expired(now)
+        assert legacy.newest(5, now) == view.newest(5, now)
+        picks_a = legacy.select_for_shuffle(
+            RandomStreams(SEED).substream("cache", "pick"), 6, now
+        )
+        picks_b = view.select_for_shuffle(
+            RandomStreams(SEED).substream("cache", "pick"), 6, now
+        )
+        assert picks_a == picks_b
+        victim = legacy.pseudonyms()[0]
+        assert legacy.remove(victim) == view.remove(victim)
+        assert victim not in legacy and victim not in view
+
+    def test_links_match_legacy_exactly(self):
+        data = RandomStreams(SEED).substream("links", "data")
+        legacy = LinkSet([3, 1, 2])
+        arena = NodeArena(node_chunk=1)
+        arena.register_node(0, 8, 4)
+        view = ArenaLinkSet(arena, 0, [3, 1, 2])
+        assert legacy.trusted == view.trusted
+        pool = _batch(data, 30, 0.0, life=(50.0, 90.0))
+        for round_index in range(12):
+            count = int(data.integers(0, 9))
+            picks = [pool[int(i)] for i in data.integers(0, len(pool), count)]
+            sample = list({p.value: p for p in picks}.values())
+            assert legacy.update_from_sample(sample) == view.update_from_sample(
+                sample
+            )
+            assert [p.value for p in legacy.pseudonym_links()] == [
+                p.value for p in view.pseudonym_links()
+            ]
+        assert legacy.out_degree() == view.out_degree()
+        assert legacy.pseudonym_degree() == view.pseudonym_degree()
+        assert legacy.additions_total == view.additions_total
+        assert legacy.replacements_total == view.replacements_total
+        target_a = legacy.pick_random_target(
+            RandomStreams(SEED).substream("links", "pick")
+        )
+        target_b = view.pick_random_target(
+            RandomStreams(SEED).substream("links", "pick")
+        )
+        assert (target_a.node_id, target_a.pseudonym) == (
+            target_b.node_id,
+            target_b.pseudonym,
+        )
+        assert legacy.add_trusted(9) == view.add_trusted(9)
+        assert legacy.trusted == view.trusted
+        assert [t.is_trusted for t in legacy.all_targets()] == [
+            t.is_trusted for t in view.all_targets()
+        ]
+
+
+class TestBatchKernelParity:
+    """The vectorized kernels against per-node object loops."""
+
+    def test_kernels_match_object_loops(self):
+        num_nodes, rounds, k = 40, 8, 10
+        slot_count, capacity = 8, 12
+        data = RandomStreams(SEED).substream("kernels", "data")
+        own_values = [int(v) for v in data.integers(1, 1 << 62, size=num_nodes)]
+        owns = [_p(own_values[n], float(rounds + 5)) for n in range(num_nodes)]
+        traffic = [
+            [_batch(data, k, float(r), life=(0.5, 4.0)) for _ in range(num_nodes)]
+            for r in range(rounds)
+        ]
+        for r in range(rounds):
+            for n in range(num_nodes):
+                if (n + r) % 5 == 0:
+                    traffic[r][n][0] = owns[n]
+
+        refs = RandomStreams(SEED).substream("kernels", "refs")
+        slots = [SamplerSlots(slot_count, refs) for _ in range(num_nodes)]
+        caches = [PseudonymCache(capacity) for _ in range(num_nodes)]
+        links = [LinkSet(()) for _ in range(num_nodes)]
+        for r in range(rounds):
+            now = float(r)
+            for n in range(num_nodes):
+                slots[n].expire(now)
+                caches[n].remove_expired(now)
+                caches[n].merge(traffic[r][n], now, own_value=own_values[n])
+                slots[n].offer_batch(traffic[r][n])
+                links[n].update_from_sample(slots[n].sample())
+
+        arena = NodeArena(
+            PseudonymArena(chunk=64), node_chunk=8, track_insert_times=False
+        )
+        arena.register_batch(num_nodes, slot_count, capacity)
+        refs = RandomStreams(SEED).substream("kernels", "refs")
+        for n in range(num_nodes):
+            arena.slot_refs[n, :slot_count] = SamplerSlots(
+                slot_count, refs
+            ).references
+        table = arena.pseudonyms
+        own_ids = np.array([table.intern(p) for p in owns], dtype=np.int64)
+        rows = np.arange(num_nodes, dtype=np.int64)
+        for r in range(rounds):
+            now = float(r)
+            cand_ids = np.array(
+                [[table.intern(p) for p in traffic[r][n]] for n in range(num_nodes)],
+                dtype=np.int64,
+            )
+            arena.batch_expire(now)
+            arena.batch_cache_merge(rows, cand_ids, now, own_ids)
+            arena.batch_offer(rows, cand_ids)
+            arena.batch_links_from_slots(rows)
+
+        for n in range(num_nodes):
+            assert [
+                None if e is None else (e.value, e.expires_at)
+                for e in (slots[n].entry(i) for i in range(slot_count))
+            ] == [
+                None
+                if pid < 0
+                else (int(table.values[pid]), float(table.expires_at[pid]))
+                for pid in arena.slot_ids[n, :slot_count]
+            ], f"slot row {n} diverged"
+            assert [p.value for p in caches[n].pseudonyms()] == [
+                int(table.values[pid])
+                for pid in arena.cache_ids[n, : arena.cache_len[n]]
+            ], f"cache row {n} diverged"
+            assert [p.value for p in links[n].pseudonym_links()] == [
+                int(table.values[pid])
+                for pid in arena.link_ids[n, : arena.link_len[n]]
+            ], f"link row {n} diverged"
+
+    def test_sample_cache_is_uniform_without_replacement(self):
+        arena = NodeArena(track_insert_times=False)
+        arena.register_batch(2, 0, 8)
+        table = arena.pseudonyms
+        for n in range(2):
+            ids = np.array(
+                [[table.intern(_p(10 * (n + 1) + j)) for j in range(6)]],
+                dtype=np.int64,
+            )
+            arena.batch_cache_merge(np.array([n]), ids, 0.0)
+        keys = RandomStreams(SEED).substream("sample").random((2, arena.cache_cols))
+        picks = arena.sample_cache(np.arange(2), 3, keys)
+        for n in range(2):
+            chosen = picks[n][picks[n] >= 0]
+            assert len(chosen) == 3
+            assert len(set(chosen.tolist())) == 3
+            row = set(arena.cache_ids[n, : arena.cache_len[n]].tolist())
+            assert set(chosen.tolist()) <= row
+
+
+class TestOverlayPlaneDifferential:
+    """Both planes must produce byte-identical overlay runs."""
+
+    def _run(self, plane):
+        from repro.experiments import SMOKE, make_config, make_trust_graph
+        from repro.experiments.runner import run_overlay_experiment
+
+        set_node_plane(plane)
+        try:
+            trust = make_trust_graph(SMOKE, f=0.5, seed=SEED)
+            config = make_config(SMOKE, alpha=0.5, f=0.5, seed=SEED)
+            result = run_overlay_experiment(
+                trust_graph=trust,
+                config=config,
+                horizon=20.0,
+                measure_window=10.0,
+                collector_interval=2.0,
+                path_length_every=0,
+            )
+        finally:
+            set_node_plane(None)
+        series = result.collector.disconnected
+        return (
+            list(series.times),
+            list(series.values),
+            result.full_edge_count,
+            round(result.disconnected, 15),
+        )
+
+    def test_arena_run_is_byte_identical_to_objects_run(self):
+        assert self._run("arena") == self._run("objects")
+
+
+class TestBatchChurnModel:
+    def test_validation(self):
+        rng = RandomStreams(SEED).substream("churn")
+        with pytest.raises(ChurnError, match="num_nodes"):
+            BatchChurnModel(0, 0.5, 8.0, rng)
+        with pytest.raises(ChurnError, match="availability"):
+            BatchChurnModel(10, 0.0, 8.0, rng)
+        with pytest.raises(ChurnError, match="availability"):
+            BatchChurnModel(10, 1.5, 8.0, rng)
+        with pytest.raises(ChurnError, match="mean_offline_time"):
+            BatchChurnModel(10, 0.5, 0.0, rng)
+
+    def test_full_availability_never_leaves(self):
+        model = BatchChurnModel(
+            50, 1.0, 8.0, RandomStreams(SEED).substream("churn")
+        )
+        for _ in range(5):
+            joined, left = model.step()
+            assert len(left) == 0
+        assert model.online_count() == 50
+
+    def test_stationary_fraction_tracks_availability(self):
+        model = BatchChurnModel(
+            20_000, 0.6, 8.0, RandomStreams(SEED).substream("churn")
+        )
+        fractions = []
+        for _ in range(40):
+            model.step()
+            fractions.append(model.online_fraction())
+        assert abs(np.mean(fractions) - 0.6) < 0.02
+
+    def test_step_masks_are_consistent(self):
+        model = BatchChurnModel(
+            200, 0.5, 4.0, RandomStreams(SEED).substream("churn")
+        )
+        before = model.online.copy()
+        joined, left = model.step()
+        assert not np.intersect1d(joined, left).size
+        assert not before[joined].any()
+        assert before[left].all()
+        expected = before.copy()
+        expected[joined] = True
+        expected[left] = False
+        assert (model.online == expected).all()
+
+    def test_same_seed_same_trajectory(self):
+        runs = []
+        for _ in range(2):
+            model = BatchChurnModel(
+                100, 0.5, 6.0, RandomStreams(SEED).substream("churn")
+            )
+            masks = [model.online.copy()]
+            for _ in range(10):
+                model.step()
+                masks.append(model.online.copy())
+            runs.append(np.array(masks))
+        assert (runs[0] == runs[1]).all()
+
+
+class TestRingLatticeCsr:
+    def test_symmetric_simple_graph(self):
+        indptr, indices = ring_lattice_csr(
+            200, 3, RandomStreams(SEED).substream("graph")
+        )
+        assert len(indptr) == 201
+        degrees = np.diff(indptr)
+        assert degrees.min() >= 2  # the ring alone provides two
+        for node in (0, 57, 199):
+            neighbors = indices[indptr[node] : indptr[node + 1]].tolist()
+            assert node not in neighbors
+            assert len(set(neighbors)) == len(neighbors)
+            assert sorted(neighbors) == neighbors
+            for other in neighbors:
+                back = indices[indptr[other] : indptr[other + 1]]
+                assert node in back
+
+    def test_deterministic(self):
+        a = ring_lattice_csr(100, 4, RandomStreams(SEED).substream("graph"))
+        b = ring_lattice_csr(100, 4, RandomStreams(SEED).substream("graph"))
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+
+def _batch_config(num_nodes, **overrides):
+    defaults = dict(
+        num_nodes=num_nodes,
+        cache_size=12,
+        shuffle_length=6,
+        target_degree=12,
+        min_pseudonym_links=6,
+        availability=0.6,
+        mean_offline_time=8.0,
+        seed=SEED,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestBatchOverlay:
+    def test_same_config_same_digest(self):
+        digests = []
+        for _ in range(2):
+            overlay = BatchOverlay.build(_batch_config(400))
+            overlay.run(12)
+            digests.append(overlay.state_digest())
+        assert digests[0] == digests[1]
+
+    def test_slot_references_are_seeded(self):
+        overlay = BatchOverlay.build(_batch_config(100))
+        refs = overlay.arena.slot_refs[:100, : overlay.slot_count]
+        # Distinct random 63-bit references, not a shared constant.
+        assert len(np.unique(refs)) > 90
+        assert (refs >= 0).all()
+
+    def test_converges_toward_target_degree(self):
+        overlay = BatchOverlay.build(_batch_config(1000))
+        overlay.run(25)
+        analysis = overlay.analysis()
+        assert overlay.mean_out_degree() > 8.0
+        assert 0.0 <= analysis.fraction_disconnected() < 0.1
+        stats = overlay.stats()
+        assert stats["exchanges"] > 0
+        assert stats["pseudonyms_created"] >= stats["online_nodes"] > 0
+        assert overlay.memory_bytes() > 0
+
+    def test_expiry_reuses_interned_ids(self):
+        """Long churned runs must recycle ids through the free list."""
+        overlay = BatchOverlay.build(
+            _batch_config(300, mean_offline_time=2.0)
+        )
+        overlay.run(150)
+        table = overlay.arena.pseudonyms
+        assert table.grows == 0
+        assert table.total_interned > table.capacity
+        assert table.live <= table.capacity
+
+    def test_mismatched_csr_rejected(self):
+        indptr, indices = ring_lattice_csr(
+            50, 2, RandomStreams(SEED).substream("graph")
+        )
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="trusted_indptr"):
+            BatchOverlay(_batch_config(60), indptr, indices)
+
+    def test_offline_nodes_do_not_exchange(self):
+        overlay = BatchOverlay.build(_batch_config(300, availability=0.4))
+        overlay.run(10)
+        online = overlay.churn.online
+        # Offline rows may hold state (links survive going offline) but
+        # the round loop only ever mints for online rows.
+        own = overlay.own_ids
+        table = overlay.arena.pseudonyms
+        held = own >= 0
+        assert held.any()
+        owners = table.owners[own[held]]
+        assert (owners == np.flatnonzero(held)).all()
+        assert online.sum() < 300

@@ -99,6 +99,16 @@ class TestRunSuite:
         with pytest.raises(ValueError, match="unknown benchmark"):
             run_suite(mode="quick", seed=1, repeats=1, only=["nope"])
 
+    def test_skip_excludes_named_workloads(self):
+        report = run_suite(
+            mode="quick", seed=1, repeats=1, only=FAST, skip=[FAST[0]]
+        )
+        assert set(report["benchmarks"]) == set(FAST[1:])
+
+    def test_skip_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_suite(mode="quick", seed=1, repeats=1, only=FAST, skip=["nope"])
+
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError, match="mode"):
             run_suite(mode="fast", seed=1, repeats=1)
@@ -156,16 +166,33 @@ class TestCompareGate:
             entry["timing"]["min_s"] /= 1.1
         assert compare_reports(near, quick_report, threshold=0.25).ok
 
-    def test_missing_benchmarks_warn_but_pass(self, quick_report):
+    def test_workload_missing_from_baseline_fails(self, quick_report):
+        """A new workload the baseline has never seen must trip the gate.
+
+        Otherwise a PR adding a benchmark would merge with that
+        benchmark silently ungated; the failure message names the
+        baseline file to refresh.
+        """
         partial = copy.deepcopy(quick_report)
         removed = FAST[0]
         del partial["benchmarks"][removed]
         forward = compare_reports(partial, quick_report, threshold=0.2)
-        assert forward.ok
+        assert not forward.ok
         assert forward.missing_in_baseline == [removed]
+        rendered = format_comparison(forward)
+        assert "FAIL" in rendered
+        assert f"{removed} (missing from baseline)" in rendered
+        assert "BENCH_baseline.json" in rendered
+
+    def test_subset_run_warns_but_passes(self, quick_report):
+        """``--only``/``--skip`` subset runs never fail on coverage."""
+        partial = copy.deepcopy(quick_report)
+        removed = FAST[0]
+        del partial["benchmarks"][removed]
         backward = compare_reports(quick_report, partial, threshold=0.2)
         assert backward.ok
         assert backward.missing_in_current == [removed]
+        assert "warning" in format_comparison(backward)
 
     def test_negative_threshold_rejected(self, quick_report):
         with pytest.raises(ValueError, match="threshold"):
@@ -289,6 +316,32 @@ class TestCli:
         )
         assert code == 1
         assert "MEM REGRESSION" in capsys.readouterr().out
+
+    def test_skip_flag_excludes_workload(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_micro.json"
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--skip", FAST[-1], "--json", str(path)]
+        )
+        assert code == 0
+        assert set(load_report(str(path))["benchmarks"]) == set(FAST[:-1])
+
+    def test_ungated_workload_exit_code(self, tmp_path, capsys):
+        """Comparing against a baseline missing a workload must exit 1."""
+        baseline_path = tmp_path / "baseline.json"
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST[1:],
+             "--json", str(baseline_path)]
+        )
+        assert code == 0
+        code = bench_main(
+            ["--quick", "--repeats", "1", "--only", *FAST,
+             "--compare", str(baseline_path), "--threshold", "1000"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "missing from baseline" in out
+        assert "BENCH_baseline.json" in out
 
     def test_negative_threshold_exit_code(self, capsys):
         assert bench_main(["--quick", "--threshold", "-1"]) == 2

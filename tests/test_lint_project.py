@@ -469,9 +469,16 @@ class TestParityRules:
         result = lint_project([str(pkg)], parity_pairs=[registered])
         assert _rules(result, "PAR003") == []
 
-    def test_shipping_registry_covers_the_three_pairs(self):
+    def test_shipping_registry_covers_the_known_pairs(self):
         names = {pair.name for pair in PARITY_PAIRS}
-        assert names == {"graph-metrics", "traffic-log", "circuit-cache"}
+        assert names == {
+            "graph-metrics",
+            "traffic-log",
+            "circuit-cache",
+            "node-plane-slots",
+            "node-plane-cache",
+            "node-plane-links",
+        }
 
 
 class TestBaselineRatchet:

@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..shutdown import EXIT_INTERRUPTED, graceful_shutdown
 from .compare import compare_reports, format_comparison, load_report
 from .harness import format_report, run_suite, write_json
 from .workloads import workload_names
@@ -95,19 +96,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     mode = "quick" if args.quick else "full"
-    report = run_suite(
-        mode=mode,
-        seed=args.seed,
-        repeats=args.repeats,
-        only=args.only,
-        skip=args.skip,
-        progress=print,
-    )
+    try:
+        with graceful_shutdown():
+            report = run_suite(
+                mode=mode,
+                seed=args.seed,
+                repeats=args.repeats,
+                only=args.only,
+                skip=args.skip,
+                progress=print,
+            )
+    except KeyboardInterrupt:
+        # The signal landed outside run_suite's workload loop: nothing
+        # measured yet, nothing to flush.
+        print("\ninterrupted before any benchmark completed", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print()
     print(format_report(report))
     if args.json:
         write_json(report, args.json)
         print(f"\nreport written to {args.json}")
+
+    if report.get("interrupted"):
+        # Partial run: the report (if any) is flushed above, but it
+        # covers only the workloads that finished — never gate on it.
+        print(
+            f"\ninterrupted: {len(report['benchmarks'])} benchmark(s) "
+            "completed before the signal; comparison skipped",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
 
     if args.compare:
         baseline = load_report(args.compare)

@@ -103,15 +103,22 @@ def run_suite(
         ]
 
     benchmarks: Dict[str, Any] = {}
+    interrupted = False
     for workload in selected:
         times: List[float] = []
         facts: Dict[str, Any] = {}
-        for _ in range(repeats):
-            run_once = workload.prepare(mode, seed)
-            started = time.perf_counter()
-            facts = run_once()
-            elapsed = time.perf_counter() - started
-            times.append(elapsed)
+        try:
+            for _ in range(repeats):
+                run_once = workload.prepare(mode, seed)
+                started = time.perf_counter()
+                facts = run_once()
+                elapsed = time.perf_counter() - started
+                times.append(elapsed)
+        except KeyboardInterrupt:
+            # Drop the half-measured workload; keep what finished so the
+            # caller can still flush a partial report.
+            interrupted = True
+            break
         ordered = sorted(times)
         median_s = _percentile(ordered, 0.5)
         operations = int(facts.get("operations", 0))
@@ -139,7 +146,7 @@ def run_suite(
                 f"({operations} ops x {repeats} repeats)"
             )
 
-    return {
+    report = {
         "schema": SCHEMA,
         "mode": mode,
         "seed": seed,
@@ -151,6 +158,11 @@ def run_suite(
             "platform": sys.platform,
         },
     }
+    if interrupted:
+        # Only present on interrupted runs, so complete reports keep
+        # their schema (and the determinism pins) unchanged.
+        report["interrupted"] = True
+    return report
 
 
 def strip_nondeterministic(report: Dict[str, Any]) -> Dict[str, Any]:

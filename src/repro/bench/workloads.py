@@ -871,6 +871,141 @@ def _prepare_node_plane(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
 # ----------------------------------------------------------------------
 
 
+def _prepare_net_codec(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Wire-codec throughput: encode + strict decode of live-mesh traffic.
+
+    Builds a seeded message mix shaped like real mesh traffic — mostly
+    shuffle offers/replies with full pseudonym entry sets, plus the
+    bootstrap/liveness/pseudonym-service control frames — and times
+    round-tripping it through :func:`encode_frame` / :func:`decode_frame`.
+    A sprinkle of corrupt frames keeps the rejection path honest (and
+    measured): strict decode must classify them without raising.
+    """
+    from ..net.codec import (
+        CodecError,
+        Goodbye,
+        Heartbeat,
+        Hello,
+        HelloAck,
+        Lookup,
+        LookupReply,
+        PeerInfo,
+        Register,
+        ShuffleOffer,
+        ShuffleReply,
+        WireEntry,
+        decode_frame,
+        encode_frame,
+    )
+    from ..net.codec import AppPayload as WireAppPayload
+
+    num_messages = 2_000 if mode == "quick" else 20_000
+    rng = RandomStreams(seed).substream("bench", "net-codec")
+
+    def entries(count: int) -> Tuple[WireEntry, ...]:
+        return tuple(
+            WireEntry(
+                value=int(rng.integers(0, 2**32, dtype=np.uint32)),
+                token=int(rng.integers(1, 2**63)),
+                ttl=float(rng.uniform(0.5, 20.0)),
+                host="127.0.0.1",
+                port=int(rng.integers(1024, 65536)),
+            )
+            for _ in range(count)
+        )
+
+    messages: List[Any] = []
+    for index in range(num_messages):
+        kind = index % 10
+        if kind < 4:
+            messages.append(
+                ShuffleOffer(
+                    entries=entries(8),
+                    reply_node=int(rng.integers(0, 2**32, dtype=np.uint32)),
+                )
+            )
+        elif kind < 7:
+            messages.append(ShuffleReply(entries=entries(8)))
+        elif kind == 7:
+            messages.append(
+                Heartbeat(
+                    node_id=int(rng.integers(0, 2**32, dtype=np.uint32)),
+                    seq=index,
+                    reply_wanted=bool(index & 1),
+                )
+            )
+        elif kind == 8:
+            messages.append(
+                HelloAck(
+                    node_id=int(rng.integers(0, 2**32, dtype=np.uint32)),
+                    peers=tuple(
+                        PeerInfo(node_id=p, host="127.0.0.1", port=40000 + p)
+                        for p in range(8)
+                    ),
+                )
+            )
+        else:
+            messages.append(
+                [
+                    Hello(node_id=index, host="127.0.0.1", port=41000),
+                    Register(
+                        node_id=index,
+                        token=int(rng.integers(1, 2**63)),
+                        host="127.0.0.1",
+                        port=41000,
+                    ),
+                    Lookup(token=int(rng.integers(1, 2**63))),
+                    LookupReply(
+                        token=int(rng.integers(1, 2**63)),
+                        found=True,
+                        host="127.0.0.1",
+                        port=41001,
+                    ),
+                    WireAppPayload(kind="bench", body=b"x" * 64),
+                    Goodbye(node_id=index),
+                ][index % 6]
+            )
+    # Pre-corrupted frames for the rejection path: truncations and
+    # byte flips of valid frames, plus pure noise.
+    corrupt: List[bytes] = []
+    for index in range(num_messages // 10):
+        frame = bytearray(encode_frame(messages[index % len(messages)]))
+        style = index % 3
+        if style == 0:
+            corrupt.append(bytes(frame[: max(1, len(frame) // 2)]))
+        elif style == 1:
+            flip = int(rng.integers(0, len(frame)))
+            frame[flip] ^= 0xFF
+            corrupt.append(bytes(frame))
+        else:
+            corrupt.append(bytes(rng.integers(0, 256, size=32, dtype=np.uint8)))
+
+    def run() -> Dict[str, Any]:
+        encoded: List[bytes] = [encode_frame(message) for message in messages]
+        decoded_ok = 0
+        for frame in encoded:
+            if not isinstance(decode_frame(frame), CodecError):
+                decoded_ok += 1
+        rejected = 0
+        for frame in corrupt:
+            if isinstance(decode_frame(frame), CodecError):
+                rejected += 1
+        wire_bytes = sum(len(frame) for frame in encoded)
+        return {
+            # One operation = one encode or one decode attempt.
+            "operations": len(encoded) * 2 + len(corrupt),
+            "messages": len(encoded),
+            "decoded_ok": decoded_ok,
+            "corrupt_frames": len(corrupt),
+            "corrupt_rejected": rejected,
+            "wire_bytes": wire_bytes,
+            "mean_frame_bytes": round(wire_bytes / len(encoded), 6),
+            "frames_digest": _digest(tuple(encoded[:64]), wire_bytes),
+        }
+
+    return run
+
+
 def _prepare_million_node_churn(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
     """A churned overlay at scale through the round-based batch engine.
 
@@ -982,6 +1117,11 @@ SUITE: Tuple[Workload, ...] = (
         "node_plane",
         "arena batch kernels vs per-node objects (state-checked differential)",
         _prepare_node_plane,
+    ),
+    Workload(
+        "net_codec",
+        "wire-frame encode + strict decode of live-mesh traffic",
+        _prepare_net_codec,
     ),
     # Keep this one LAST: peak_rss_kb is a process-wide high-water mark,
     # and the scale run would contaminate every later entry's reading.

@@ -9,6 +9,8 @@ Usage::
     repro lint src --format json    # determinism/hygiene linter
     repro bench --quick --json BENCH_micro.json
     repro sweep --axis availability=0.25,0.5 --workers 4 --resume
+    repro mesh --nodes 20 --duration 40     # live localhost mesh
+    repro node --port 9000 --node-id 0      # one live UDP node
     python -m repro.cli fig9
 
 Scales: ``smoke`` (tests), ``quick`` (default), ``paper`` (Table I).
@@ -210,6 +212,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .parallel.cli import main as sweep_main
 
         return sweep_main(list(argv[1:]))
+    if argv and argv[0] in ("node", "mesh"):
+        # And for the live-network layer (repro node / repro mesh);
+        # see docs/networking.md.
+        from .net.cli import main as net_main
+
+        return net_main(list(argv))
 
     parser = argparse.ArgumentParser(
         prog="repro",

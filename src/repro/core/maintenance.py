@@ -17,7 +17,11 @@ participating nodes".  This module implements that extension:
   expected to be offline before rejoining").
 
 Policies are deliberately *local*: they consume only what a node can
-observe about itself, so the extension adds no privacy exposure.
+observe about itself, so the extension adds no privacy exposure.  They
+are also *clock-agnostic*: inputs are durations and the caller's
+``clock.now``, never a wall-clock read, so the same policy objects run
+unmodified under the simulator and under ``repro.net``'s wall clock
+(see :class:`repro.sim.clock.Clock`).
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..errors import NodeOfflineError, ProtocolError
 from ..privlink import LinkLayer
-from ..sim import EventHandle, PeriodicProcess, Simulator
+from ..sim import Clock, EventHandle, PeriodicProcess
 from .arena import ArenaCache, ArenaLinkSet, ArenaSlots, NodeArena
 from .cache import PseudonymCache
 from .links import LinkSet, LinkTarget
@@ -121,7 +121,7 @@ class OverlayNode:
         cache_size: int,
         shuffle_length: int,
         pseudonym_lifetime: float,
-        sim: Simulator,
+        sim: Clock,
         link_layer: LinkLayer,
         rng: np.random.Generator,
         pseudonym_listener: Optional[PseudonymListener] = None,

@@ -37,7 +37,7 @@ from ..errors import GraphError, ProtocolError
 from ..graphs.fastgraph import FlatSnapshot
 from ..privlink import Address, LinkLayer, make_ideal_link_layer
 from ..rng import RandomStreams
-from ..sim import Simulator
+from ..sim import Clock, Simulator
 from .arena import NodeArena, resolve_node_plane
 from .maintenance import AdaptiveLifetime, LifetimePolicy
 from .node import OverlayNode
@@ -312,7 +312,7 @@ class Overlay:
         self,
         trust_graph: nx.Graph,
         config: SystemConfig,
-        sim: Simulator,
+        sim: Clock,
         link_layer: LinkLayer,
         streams: RandomStreams,
         churn: Optional[ChurnProcess] = None,

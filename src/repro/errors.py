@@ -64,6 +64,15 @@ class DisseminationError(ReproError):
     """A broadcast protocol was misused."""
 
 
+class NetError(ReproError):
+    """The live-network layer (repro.net) was misconfigured or misused.
+
+    Wire-level *decode* failures are deliberately not exceptions — the
+    codec returns a typed :class:`repro.net.codec.CodecError` value so a
+    malformed datagram can never unwind a receive loop.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment scenario or runner was misconfigured."""
 

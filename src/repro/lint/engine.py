@@ -154,6 +154,19 @@ def lint_source(
     return findings
 
 
+#: The wall-clock boundary (DET003): the live-network layer is the one
+#: package permitted to read the host clock — its WallClock *is* the
+#: mapping from ``time.monotonic()`` to shuffling periods.  Simulation
+#: and analysis code must keep going through a Clock object.
+_WALL_CLOCK_PATHS: Tuple[str, ...] = ("repro/net/",)
+
+
+def _in_wall_clock_boundary(path: str) -> bool:
+    """Whether ``path`` lies inside the wall-clock waiver boundary."""
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _WALL_CLOCK_PATHS)
+
+
 def _discover(paths: Sequence[str]) -> List[Path]:
     files: List[Path] = []
     for raw in paths:
@@ -333,21 +346,25 @@ def lint_project(
     index = ProjectIndex(summaries)
 
     # Interprocedural DET003 waiver: drop reporting-only clock findings.
+    # The live-network package is additionally waived wholesale — it
+    # *implements* wall time (WallClock maps time.monotonic() onto
+    # shuffling periods; see docs/networking.md), so host-clock reads
+    # are its job, and only there.  Both waivers are recorded in
+    # ``waived_clock_findings`` so the boundary stays auditable.
     waived = index.waived_clock_lines()
     waived_pairs: List[Tuple[str, int]] = []
-    if waived:
-        kept: List[Finding] = []
-        for finding in findings:
+    kept: List[Finding] = []
+    for finding in findings:
+        if finding.rule == "DET003":
             lines = waived.get(finding.path)
-            if (
-                finding.rule == "DET003"
-                and lines is not None
-                and any(line == finding.line for line, _ in lines)
-            ):
+            structurally_waived = lines is not None and any(
+                line == finding.line for line, _ in lines
+            )
+            if structurally_waived or _in_wall_clock_boundary(finding.path):
                 waived_pairs.append((finding.path, finding.line))
                 continue
-            kept.append(finding)
-        findings = kept
+        kept.append(finding)
+    findings = kept
 
     if tests_root is None:
         candidate = _default_tests_root(paths)

@@ -169,6 +169,30 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         ),
         evidence=("ArenaLinkSet", "update_from_sample"),
     ),
+    # PR 8: the live-network layer.  WallClock must keep the exact
+    # scheduling surface of SimClock — the protocol objects are driven
+    # through the shared Clock contract, so a parameter renamed on one
+    # side silently forks sim and live behavior.
+    ParityPair(
+        name="net-clock",
+        fast_module="repro.net.clock",
+        legacy_module="repro.sim.clock",
+        symbols=(
+            ("WallClock.schedule", "SimClock.schedule", ("time", "callback")),
+            (
+                "WallClock.schedule_after",
+                "SimClock.schedule_after",
+                ("delay", "callback"),
+            ),
+            ("WallClock.post", "SimClock.post", ("time", "callback")),
+            (
+                "WallClock.post_after",
+                "SimClock.post_after",
+                ("delay", "callback"),
+            ),
+        ),
+        evidence=("WallClock", "SimClock"),
+    ),
 )
 
 

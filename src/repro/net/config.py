@@ -1,0 +1,190 @@
+"""Seed-node / live-node configuration (TOML or JSON).
+
+A live node is described by one small config file::
+
+    {
+      "node": {"node_id": 3, "host": "127.0.0.1", "port": 9003,
+               "seconds_per_period": 0.5, "seed": 1},
+      "bootstrap": ["127.0.0.1:9000"],
+      "trusted": [0, 1, 2],
+      "protocol": {"slot_count": 8, "cache_size": 40,
+                   "shuffle_length": 8, "pseudonym_lifetime": 20.0},
+      "liveness": {"heartbeat_interval": 1.0, "suspect_after": 3.0,
+                   "dead_after": 9.0},
+      "backoff": {"base": 0.25, "factor": 2.0, "max": 4.0, "attempts": 10}
+    }
+
+The same structure in TOML works on Python 3.11+ (:mod:`tomllib`); on
+older interpreters only JSON is accepted — the repo supports 3.9 and
+must not grow dependencies, so TOML support is feature-gated, not
+vendored.  All times are in *shuffling periods*; ``seconds_per_period``
+maps them to wall seconds (see :mod:`repro.net.clock`).
+
+CLI flags override file values (see ``repro node --help``); a separate
+*trust file* — ``{"<node_id>": [trusted ids...]}`` — can supply the
+trusted-neighbor lists for whole deployments in one shared artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback path
+    tomllib = None
+
+from ..errors import NetError
+from .transport import Endpoint
+
+__all__ = [
+    "NetNodeConfig",
+    "load_net_config",
+    "parse_hostport",
+    "load_trust_file",
+    "merge_overrides",
+]
+
+
+def parse_hostport(text: str) -> Endpoint:
+    """Parse ``"host:port"`` into an endpoint tuple."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise NetError(f"expected host:port, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise NetError(f"invalid port in {text!r}") from None
+    if not 0 < port <= 65535:
+        raise NetError(f"port out of range in {text!r}")
+    return (host, port)
+
+
+@dataclasses.dataclass(frozen=True)
+class NetNodeConfig:
+    """Everything one live node needs to start."""
+
+    node_id: int = 0
+    host: str = "127.0.0.1"
+    port: int = 0
+    seconds_per_period: float = 1.0
+    seed: int = 1
+    bootstrap: Tuple[Endpoint, ...] = ()
+    trusted: Tuple[int, ...] = ()
+    # protocol parameters (defaults match SystemConfig's scale-free
+    # small-mesh settings)
+    slot_count: int = 8
+    cache_size: int = 40
+    shuffle_length: int = 8
+    pseudonym_lifetime: float = 20.0
+    # liveness
+    heartbeat_interval: float = 1.0
+    suspect_after: float = 3.0
+    dead_after: float = 9.0
+    # bootstrap backoff
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 4.0
+    bootstrap_attempts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise NetError("node_id must be non-negative")
+        if self.seconds_per_period <= 0:
+            raise NetError("seconds_per_period must be positive")
+        if self.pseudonym_lifetime <= 0:
+            raise NetError("pseudonym_lifetime must be positive")
+
+
+def _read_document(path: Path) -> dict:
+    raw = path.read_bytes()
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise NetError(
+                f"{path} is TOML but this Python lacks tomllib (3.11+); "
+                "use the JSON form of the same config"
+            )
+        try:
+            return tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as error:
+            raise NetError(f"cannot parse {path}: {error}") from error
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise NetError(f"cannot parse {path}: {error}") from error
+    if not isinstance(document, dict):
+        raise NetError(f"{path} must contain a table/object at top level")
+    return document
+
+
+def load_net_config(path: str) -> NetNodeConfig:
+    """Load a :class:`NetNodeConfig` from a TOML or JSON file."""
+    document = _read_document(Path(path))
+    node = document.get("node", {})
+    protocol = document.get("protocol", {})
+    liveness = document.get("liveness", {})
+    backoff = document.get("backoff", {})
+    for name, section in (
+        ("node", node), ("protocol", protocol),
+        ("liveness", liveness), ("backoff", backoff),
+    ):
+        if not isinstance(section, dict):
+            raise NetError(f"config section {name!r} must be a table")
+    bootstrap_raw = document.get("bootstrap", [])
+    if not isinstance(bootstrap_raw, list):
+        raise NetError("config key 'bootstrap' must be a list of host:port")
+    trusted_raw = document.get("trusted", [])
+    if not isinstance(trusted_raw, list):
+        raise NetError("config key 'trusted' must be a list of node ids")
+    try:
+        return NetNodeConfig(
+            node_id=int(node.get("node_id", 0)),
+            host=str(node.get("host", "127.0.0.1")),
+            port=int(node.get("port", 0)),
+            seconds_per_period=float(node.get("seconds_per_period", 1.0)),
+            seed=int(node.get("seed", 1)),
+            bootstrap=tuple(parse_hostport(str(b)) for b in bootstrap_raw),
+            trusted=tuple(int(t) for t in trusted_raw),
+            slot_count=int(protocol.get("slot_count", 8)),
+            cache_size=int(protocol.get("cache_size", 40)),
+            shuffle_length=int(protocol.get("shuffle_length", 8)),
+            pseudonym_lifetime=float(protocol.get("pseudonym_lifetime", 20.0)),
+            heartbeat_interval=float(liveness.get("heartbeat_interval", 1.0)),
+            suspect_after=float(liveness.get("suspect_after", 3.0)),
+            dead_after=float(liveness.get("dead_after", 9.0)),
+            backoff_base=float(backoff.get("base", 0.25)),
+            backoff_factor=float(backoff.get("factor", 2.0)),
+            backoff_max=float(backoff.get("max", 4.0)),
+            bootstrap_attempts=int(backoff.get("attempts", 10)),
+        )
+    except (TypeError, ValueError) as error:
+        raise NetError(f"invalid value in {path}: {error}") from error
+
+
+def load_trust_file(path: str, node_id: int) -> Tuple[int, ...]:
+    """Extract one node's trusted-neighbor list from a shared trust file."""
+    document = _read_document(Path(path))
+    entry: Optional[List] = None
+    if str(node_id) in document:
+        entry = document[str(node_id)]
+    elif node_id in document:  # pragma: no cover - JSON keys are strings
+        entry = document[node_id]
+    if entry is None:
+        raise NetError(f"trust file {path} has no entry for node {node_id}")
+    if not isinstance(entry, list):
+        raise NetError(f"trust file entry for node {node_id} must be a list")
+    return tuple(int(t) for t in entry)
+
+
+def merge_overrides(
+    config: NetNodeConfig,
+    **overrides,
+) -> NetNodeConfig:
+    """A copy of ``config`` with non-None override values applied."""
+    changes: Dict[str, object] = {
+        key: value for key, value in overrides.items() if value is not None
+    }
+    return dataclasses.replace(config, **changes)

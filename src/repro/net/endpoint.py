@@ -1,0 +1,544 @@
+"""One participant's network machinery: codec + transport + liveness.
+
+:class:`NetEndpoint` is everything a single overlay node needs to live
+on a datagram network:
+
+* **bootstrap** — hello the configured seed addresses with exponential
+  backoff until one acks (the ack carries the seed's peer list, which
+  we then greet, flooding knowledge of us outward);
+* **liveness** — periodic heartbeats to every known peer and the
+  two-level suspect/dead detection of :class:`~repro.net.peers
+  .PeerTable`;
+* **pseudonym service** — mint 63-bit endpoint tokens locally, register
+  them with the seeds, resolve unknown tokens with lookup queries
+  (queueing outbound messages until the route answer lands), and learn
+  routes passively from the hints shuffle entries carry;
+* **protocol bridging** — translate :class:`~repro.core.shuffle
+  .ShuffleRequest` / :class:`ShuffleResponse` to and from their wire
+  images so :class:`~repro.core.node.OverlayNode` runs unmodified.
+
+The endpoint never touches a socket API directly — everything goes
+through a :class:`~repro.net.transport.Transport` — and never reads a
+wall clock — everything goes through a :class:`~repro.sim.clock.Clock`
+— so the same code is exercised deterministically on the loopback
+fabric and for real over UDP.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.pseudonym import Pseudonym
+from ..core.shuffle import ShuffleRequest, ShuffleResponse
+from ..errors import NetError
+from ..privlink import Address
+from ..rng import random_bits
+from ..sim import PeriodicProcess
+from ..sim.clock import Clock
+from .codec import (
+    AppPayload,
+    CodecError,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    HelloAck,
+    Lookup,
+    LookupReply,
+    Register,
+    ShuffleOffer,
+    ShuffleReply,
+    WireEntry,
+    decode_frame,
+    encode_frame,
+)
+from .peers import PeerTable
+from .transport import Endpoint, Transport
+
+__all__ = ["NetEndpoint", "ADDRESS_KIND"]
+
+#: ``Address.kind`` for endpoints minted by the live network layer.
+ADDRESS_KIND = "net"
+
+#: Outbound messages queued per unresolved token before we start
+#: dropping (bounds memory under a hostile or dead directory).
+_MAX_PENDING = 16
+
+Inbox = Callable[[Any], None]
+OnlineCheck = Callable[[], bool]
+
+
+class NetEndpoint:
+    """A node's datagram presence (see module docstring).
+
+    Parameters
+    ----------
+    node_id, clock, transport, rng:
+        Identity, time source, datagram transport (already bound), and
+        a seeded generator (endpoint tokens, timer jitter).
+    bootstrap:
+        Seed ``(host, port)`` addresses.  Empty means *we* are a seed:
+        bootstrapping is trivially complete and lookups are answered
+        from the local directory.
+    heartbeat_interval, suspect_after, dead_after:
+        Liveness cadence and the two-level timeouts, in clock units.
+    backoff_base, backoff_factor, backoff_max, bootstrap_attempts:
+        Exponential-backoff schedule for bootstrap retries.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        clock: Clock,
+        transport: Transport,
+        rng: np.random.Generator,
+        bootstrap: Tuple[Endpoint, ...] = (),
+        heartbeat_interval: float = 1.0,
+        suspect_after: float = 3.0,
+        dead_after: float = 9.0,
+        backoff_base: float = 0.25,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 4.0,
+        bootstrap_attempts: int = 10,
+    ) -> None:
+        if bootstrap_attempts < 1:
+            raise NetError("bootstrap_attempts must be at least 1")
+        if backoff_base <= 0 or backoff_factor < 1 or backoff_max < backoff_base:
+            raise NetError("invalid backoff schedule")
+        self.node_id = node_id
+        self._clock = clock
+        self._transport = transport
+        self._rng = rng
+        self._bootstrap = tuple(bootstrap)
+        self._backoff_base = backoff_base
+        self._backoff_factor = backoff_factor
+        self._backoff_max = backoff_max
+        self._bootstrap_attempts = bootstrap_attempts
+
+        self.table = PeerTable(suspect_after=suspect_after, dead_after=dead_after)
+        self._inbox: Optional[Inbox] = None
+        self._is_online: OnlineCheck = lambda: True
+        #: Tokens this endpoint owns (its own pseudonym endpoints).
+        self._owned: Set[int] = set()
+        #: Learned token -> transport address routes.
+        self._routes: Dict[int, Endpoint] = {}
+        #: Directory served to others (seeds accumulate registrations).
+        self._directory: Dict[int, Endpoint] = {}
+        #: Outbound payloads parked until a lookup resolves their token.
+        self._pending: Dict[int, List[Any]] = {}
+        self._greeted: Set[int] = set()
+        self._hb_seq = 0
+        #: True once a seed acked our hello (seeds start bootstrapped).
+        self.bootstrapped = not self._bootstrap
+        self._started = False
+        self._closed = False
+        self.log: List[str] = []
+        self.counters: Dict[str, int] = {
+            "codec_rejects": 0,
+            "unknown_peer_drops": 0,
+            "unknown_endpoint_drops": 0,
+            "offline_drops": 0,
+            "pending_overflow_drops": 0,
+            "bootstrap_attempts": 0,
+            "bootstrap_failures": 0,
+            "probes_sent": 0,
+            "peers_declared_dead": 0,
+            "shuffle_offers_in": 0,
+            "shuffle_replies_in": 0,
+        }
+
+        self._heartbeat = PeriodicProcess(
+            clock, period=heartbeat_interval, callback=self._heartbeat_tick,
+            rng=rng, jitter=0.1,
+        )
+        self._liveness = PeriodicProcess(
+            clock, period=heartbeat_interval, callback=self._liveness_tick,
+            rng=rng, jitter=0.1,
+        )
+        transport.set_receiver(self._on_frame)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def local_address(self) -> Endpoint:
+        """Where peers reach this endpoint."""
+        return self._transport.local_address
+
+    def attach(self, inbox: Inbox, is_online: OnlineCheck) -> None:
+        """Install the overlay node's message sink and liveness predicate."""
+        self._inbox = inbox
+        self._is_online = is_online
+
+    def start(self) -> None:
+        """Begin heartbeating and (when not a seed) bootstrapping."""
+        if self._started:
+            raise NetError("endpoint already started")
+        self._started = True
+        self._heartbeat.start()
+        self._liveness.start()
+        if not self.bootstrapped:
+            self._bootstrap_tick(0)
+
+    def shutdown(self) -> None:
+        """Drain politely: goodbye every peer, then close the transport."""
+        if self._closed:
+            return
+        self._closed = True
+        self._heartbeat.stop()
+        self._liveness.stop()
+        farewell = encode_frame(Goodbye(node_id=self.node_id))
+        for peer_id in self.table.peer_ids():
+            address = self.table.address_of(peer_id)
+            if address is not None:
+                self._transport.send(address, farewell)
+        self._log("shutdown: goodbye sent to "
+                  f"{len(self.table)} peers")
+        self._transport.close()
+
+    def _log(self, message: str) -> None:
+        self.log.append(f"[t={self._clock.now:.3f}] n{self.node_id}: {message}")
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap_tick(self, attempt: int) -> None:
+        if self.bootstrapped or self._closed:
+            return
+        if attempt >= self._bootstrap_attempts:
+            self.counters["bootstrap_failures"] += 1
+            self._log(
+                f"bootstrap failed after {attempt} attempts; giving up"
+            )
+            return
+        self.counters["bootstrap_attempts"] += 1
+        host, port = self.local_address
+        hello = encode_frame(Hello(node_id=self.node_id, host=host, port=port))
+        for seed in self._bootstrap:
+            self._transport.send(seed, hello)
+        delay = min(
+            self._backoff_base * (self._backoff_factor ** attempt),
+            self._backoff_max,
+        )
+        self._log(
+            f"bootstrap attempt {attempt + 1}/{self._bootstrap_attempts}, "
+            f"retry in {delay:.2f}"
+        )
+        self._clock.schedule_after(delay, self._bootstrap_tick, attempt + 1)
+
+    def _greet(self, node_id: int, address: Endpoint) -> None:
+        """Hello a newly learned peer once, so it learns us symmetrically."""
+        if node_id == self.node_id or node_id in self._greeted:
+            return
+        self._greeted.add(node_id)
+        host, port = self.local_address
+        self._transport.send(
+            address, encode_frame(Hello(node_id=self.node_id, host=host, port=port))
+        )
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self._closed:
+            return
+        self._hb_seq += 1
+        beat = encode_frame(
+            Heartbeat(node_id=self.node_id, seq=self._hb_seq)
+        )
+        for peer_id in self.table.peer_ids():
+            address = self.table.address_of(peer_id)
+            if address is not None:
+                self._transport.send(address, beat)
+
+    def _liveness_tick(self) -> None:
+        if self._closed:
+            return
+        newly_suspect, dead = self.table.check(self._clock.now)
+        for record in newly_suspect:
+            self.counters["probes_sent"] += 1
+            self._log(f"peer n{record.node_id} silent; probing")
+            self._transport.send(
+                record.address,
+                encode_frame(
+                    Heartbeat(
+                        node_id=self.node_id,
+                        seq=self._hb_seq,
+                        reply_wanted=True,
+                    )
+                ),
+            )
+        for record in dead:
+            self.counters["peers_declared_dead"] += 1
+            self._log(f"peer n{record.node_id} declared dead")
+            self._drop_routes_via(record.address)
+
+    def _drop_routes_via(self, address: Endpoint) -> None:
+        stale = [
+            token for token, route in self._routes.items() if route == address
+        ]
+        for token in stale:
+            del self._routes[token]
+
+    # ------------------------------------------------------------------
+    # link-layer operations (called via the adapter facades)
+    # ------------------------------------------------------------------
+
+    def send_to_node(self, dest_id: int, payload: Any) -> None:
+        """Trusted-link send: resolve the peer table, frame, transmit."""
+        address = self.table.address_of(dest_id)
+        if address is None:
+            self.counters["unknown_peer_drops"] += 1
+            return
+        self._transport.send(address, self._encode_payload(payload))
+
+    def send_to_endpoint(self, address: Address, payload: Any) -> None:
+        """Pseudonym-link send: route by token, or look it up and queue."""
+        token = address.token
+        route = self._route_for(token)
+        if route is not None:
+            self._transport.send(route, self._encode_payload(payload))
+            return
+        directory = self._directory_peer()
+        if directory is None:
+            self.counters["unknown_endpoint_drops"] += 1
+            return
+        queue = self._pending.setdefault(token, [])
+        if len(queue) >= _MAX_PENDING:
+            self.counters["pending_overflow_drops"] += 1
+            return
+        queue.append(payload)
+        self._transport.send(directory, encode_frame(Lookup(token=token)))
+
+    def create_endpoint(self) -> Address:
+        """Mint a fresh pseudonym endpoint and register it with the seeds."""
+        token = random_bits(self._rng, 63)
+        while token == 0 or token in self._owned:
+            token = random_bits(self._rng, 63)
+        self._owned.add(token)
+        host, port = self.local_address
+        self._directory[token] = (host, port)
+        registration = encode_frame(
+            Register(
+                node_id=self.node_id, token=token, host=host, port=port,
+                active=True,
+            )
+        )
+        for seed in self._bootstrap:
+            self._transport.send(seed, registration)
+        return Address(token=token, kind=ADDRESS_KIND)
+
+    def close_endpoint(self, address: Address) -> None:
+        """Retire an owned endpoint; unregister it from the seeds."""
+        token = address.token
+        self._owned.discard(token)
+        self._directory.pop(token, None)
+        self._routes.pop(token, None)
+        host, port = self.local_address
+        unregistration = encode_frame(
+            Register(
+                node_id=self.node_id, token=token, host=host, port=port,
+                active=False,
+            )
+        )
+        for seed in self._bootstrap:
+            self._transport.send(seed, unregistration)
+
+    def _route_for(self, token: int) -> Optional[Endpoint]:
+        if token in self._owned:
+            return self.local_address
+        route = self._routes.get(token)
+        if route is not None:
+            return route
+        return self._directory.get(token)
+
+    def _directory_peer(self) -> Optional[Endpoint]:
+        """Whom to ask about unknown tokens (the first seed)."""
+        return self._bootstrap[0] if self._bootstrap else None
+
+    # ------------------------------------------------------------------
+    # wire conversion
+    # ------------------------------------------------------------------
+
+    def _route_hint(self, token: int) -> Tuple[str, int]:
+        route = self._route_for(token)
+        return route if route is not None else ("", 0)
+
+    def _entries_to_wire(
+        self, entries: Tuple[Pseudonym, ...], now: float
+    ) -> Tuple[WireEntry, ...]:
+        wires = []
+        for pseudonym in entries:
+            token = pseudonym.address.token
+            host, port = self._route_hint(token)
+            wires.append(
+                WireEntry(
+                    value=pseudonym.value,
+                    token=token,
+                    ttl=pseudonym.expires_at - now,
+                    host=host,
+                    port=port,
+                )
+            )
+        return tuple(wires)
+
+    def _entries_from_wire(
+        self, wires: Tuple[WireEntry, ...], now: float
+    ) -> Tuple[Pseudonym, ...]:
+        entries = []
+        for wire in wires:
+            if wire.host and wire.token not in self._owned:
+                self._routes[wire.token] = (wire.host, wire.port)
+            entries.append(
+                Pseudonym(
+                    value=wire.value,
+                    address=Address(token=wire.token, kind=ADDRESS_KIND),
+                    expires_at=now + wire.ttl,
+                )
+            )
+        return tuple(entries)
+
+    def _encode_payload(self, payload: Any) -> bytes:
+        now = self._clock.now
+        if isinstance(payload, ShuffleRequest):
+            entries = self._entries_to_wire(payload.entries, now)
+            if payload.reply_node is not None:
+                offer = ShuffleOffer(entries=entries, reply_node=payload.reply_node)
+            else:
+                token = payload.reply_address.token
+                host, port = self._route_hint(token)
+                offer = ShuffleOffer(
+                    entries=entries,
+                    reply_token=token,
+                    reply_host=host,
+                    reply_port=port,
+                )
+            return encode_frame(offer)
+        if isinstance(payload, ShuffleResponse):
+            return encode_frame(
+                ShuffleReply(entries=self._entries_to_wire(payload.entries, now))
+            )
+        try:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise NetError(
+                f"application payload is not JSON-encodable: {error}"
+            ) from error
+        return encode_frame(AppPayload(kind="json", body=body))
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def _deliver(self, payload: Any) -> None:
+        if self._inbox is None or not self._is_online():
+            self.counters["offline_drops"] += 1
+            return
+        self._inbox(payload)
+
+    def _on_frame(self, data: bytes, source: Endpoint) -> None:
+        if self._closed:
+            return
+        message = decode_frame(data)
+        if isinstance(message, CodecError):
+            self.counters["codec_rejects"] += 1
+            self._log(f"rejected frame from {source}: {message.code}")
+            return
+        now = self._clock.now
+        if isinstance(message, Hello):
+            self.table.note_heard(message.node_id, (message.host, message.port), now)
+            self._greeted.add(message.node_id)
+            ack = HelloAck(node_id=self.node_id, peers=self.table.peer_infos())
+            self._transport.send((message.host, message.port), encode_frame(ack))
+            return
+        if isinstance(message, HelloAck):
+            if not self.bootstrapped:
+                self.bootstrapped = True
+                self._log(f"bootstrapped via n{message.node_id}")
+            self.table.note_heard(message.node_id, source, now)
+            for peer in message.peers:
+                self._greet(peer.node_id, (peer.host, peer.port))
+            return
+        if isinstance(message, Heartbeat):
+            self.table.note_heard(message.node_id, source, now)
+            if message.reply_wanted:
+                self._transport.send(
+                    source,
+                    encode_frame(
+                        Heartbeat(node_id=self.node_id, seq=self._hb_seq)
+                    ),
+                )
+            return
+        if isinstance(message, Goodbye):
+            record = self.table.remove(message.node_id)
+            if record is not None:
+                self._drop_routes_via(record.address)
+                self._log(f"peer n{message.node_id} said goodbye")
+            return
+        if isinstance(message, Register):
+            if message.active:
+                self._directory[message.token] = (message.host, message.port)
+            else:
+                self._directory.pop(message.token, None)
+                self._routes.pop(message.token, None)
+            return
+        if isinstance(message, Lookup):
+            route = self._route_for(message.token)
+            reply = LookupReply(
+                token=message.token,
+                found=route is not None,
+                host=route[0] if route is not None else "",
+                port=route[1] if route is not None else 0,
+            )
+            self._transport.send(source, encode_frame(reply))
+            return
+        if isinstance(message, LookupReply):
+            queued = self._pending.pop(message.token, [])
+            if not message.found:
+                self.counters["unknown_endpoint_drops"] += len(queued)
+                return
+            route = (message.host, message.port)
+            self._routes[message.token] = route
+            for payload in queued:
+                self._transport.send(route, self._encode_payload(payload))
+            return
+        if isinstance(message, ShuffleOffer):
+            self.counters["shuffle_offers_in"] += 1
+            entries = self._entries_from_wire(message.entries, now)
+            if message.reply_node is not None:
+                request = ShuffleRequest(entries=entries, reply_node=message.reply_node)
+            else:
+                reply_route = (
+                    (message.reply_host, message.reply_port)
+                    if message.reply_host
+                    else source
+                )
+                if message.reply_token not in self._owned:
+                    self._routes[message.reply_token] = reply_route
+                request = ShuffleRequest(
+                    entries=entries,
+                    reply_address=Address(
+                        token=message.reply_token, kind=ADDRESS_KIND
+                    ),
+                )
+            self._deliver(request)
+            return
+        if isinstance(message, ShuffleReply):
+            self.counters["shuffle_replies_in"] += 1
+            self._deliver(
+                ShuffleResponse(entries=self._entries_from_wire(message.entries, now))
+            )
+            return
+        # AppPayload — the only remaining type.
+        try:
+            payload = json.loads(message.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self.counters["codec_rejects"] += 1
+            self._log(f"rejected app payload from {source}: bad JSON")
+            return
+        self._deliver(payload)

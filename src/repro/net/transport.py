@@ -1,0 +1,294 @@
+"""Datagram transports: real UDP and a deterministic in-process loopback.
+
+Both speak the same tiny surface (:class:`Transport`): frames go out
+with :meth:`~Transport.send`, frames come in through a receiver
+callback, and both ends are named by ``(host, port)`` pairs.  The
+overlay's endpoint layer (:mod:`repro.net.endpoint`) is written against
+this surface only, so every protocol test can run on the loopback
+network with *injected* faults and a seeded RNG — byte-identical runs —
+while deployments swap in :class:`UdpTransport` untouched.
+
+Fault injection (:class:`FaultPlan`) models what UDP actually does to
+you: independent loss, latency jitter, reordering (expressed as extra
+latency on a random subset, which is how reordering manifests at a
+receiver), and network partitions that can be healed mid-run.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import NetError
+from ..sim.clock import Clock
+
+__all__ = [
+    "Endpoint",
+    "Transport",
+    "FaultPlan",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "UdpTransport",
+]
+
+#: A transport address: (host, port).
+Endpoint = Tuple[str, int]
+Receiver = Callable[[bytes, Endpoint], None]
+
+
+class Transport(abc.ABC):
+    """One datagram socket's worth of behavior."""
+
+    __slots__ = ("sent_frames", "received_frames", "dropped_frames", "_receiver")
+
+    def __init__(self) -> None:
+        self.sent_frames = 0
+        self.received_frames = 0
+        #: Frames that arrived but had nowhere to go (no receiver yet,
+        #: or — loopback only — destination unknown/closed).
+        self.dropped_frames = 0
+        self._receiver: Optional[Receiver] = None
+
+    @property
+    @abc.abstractmethod
+    def local_address(self) -> Endpoint:
+        """The address peers should send to."""
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the frame handler ``receiver(data, source)``."""
+        self._receiver = receiver
+
+    @abc.abstractmethod
+    def send(self, dest: Endpoint, data: bytes) -> None:
+        """Fire one datagram at ``dest`` (best effort, never blocks)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the underlying socket/registration.  Idempotent."""
+
+    def _handle(self, data: bytes, source: Endpoint) -> None:
+        if self._receiver is None:
+            self.dropped_frames += 1
+            return
+        self.received_frames += 1
+        self._receiver(data, source)
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Injectable network pathologies for the loopback transport.
+
+    All draws come from the :class:`LoopbackNetwork`'s seeded RNG, so a
+    given (seed, traffic) pair reproduces the same drops, delays, and
+    reorderings every run.
+    """
+
+    #: Independent per-frame drop probability.
+    loss_rate: float = 0.0
+    #: One-way latency bounds (uniform), in clock time units.
+    latency_min: float = 0.001
+    latency_max: float = 0.05
+    #: Probability a frame is held back by ``reorder_extra`` — enough to
+    #: leapfrog frames sent after it.
+    reorder_rate: float = 0.0
+    reorder_extra: float = 0.1
+    #: Active partitions as (group_a, group_b) address sets; frames
+    #: crossing any pair are dropped until :meth:`heal`.
+    partitions: List[Tuple[frozenset, frozenset]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetError("loss_rate must be in [0, 1)")
+        if self.latency_min < 0 or self.latency_max < self.latency_min:
+            raise NetError("need 0 <= latency_min <= latency_max")
+        if not 0.0 <= self.reorder_rate < 1.0:
+            raise NetError("reorder_rate must be in [0, 1)")
+        if self.reorder_extra < 0:
+            raise NetError("reorder_extra must be non-negative")
+
+    def partition(self, group_a, group_b) -> None:
+        """Split the network: frames between the two groups are dropped."""
+        self.partitions.append((frozenset(group_a), frozenset(group_b)))
+
+    def heal(self) -> None:
+        """Remove every active partition."""
+        self.partitions.clear()
+
+    def blocks(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Whether an active partition separates ``src`` from ``dst``."""
+        for group_a, group_b in self.partitions:
+            if (src in group_a and dst in group_b) or (
+                src in group_b and dst in group_a
+            ):
+                return True
+        return False
+
+
+class LoopbackNetwork:
+    """An in-process datagram fabric driven by any :class:`Clock`.
+
+    Frames hop between registered :class:`LoopbackTransport` instances
+    via ``clock.post_after`` with latencies (and faults) drawn from the
+    seeded ``rng`` — under a :class:`~repro.sim.simulator.Simulator`
+    the whole mesh is a deterministic function of the seed.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        rng: np.random.Generator,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self._clock = clock
+        self._rng = rng
+        self.faults = faults if faults is not None else FaultPlan()
+        self._transports: Dict[Endpoint, "LoopbackTransport"] = {}
+        self._next_port = 40000
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        self.frames_blocked = 0
+        self.frames_reordered = 0
+        self.bytes_sent = 0
+
+    def transport(
+        self, host: str = "127.0.0.1", port: Optional[int] = None
+    ) -> "LoopbackTransport":
+        """Open a transport; ``port=None`` auto-assigns (like bind(0))."""
+        if port is None:
+            port = self._next_port
+            self._next_port += 1
+        address = (host, port)
+        if address in self._transports:
+            raise NetError(f"loopback address {address} already bound")
+        transport = LoopbackTransport(self, address)
+        self._transports[address] = transport
+        return transport
+
+    def _unbind(self, address: Endpoint) -> None:
+        self._transports.pop(address, None)
+
+    def _send(self, src: Endpoint, dest: Endpoint, data: bytes) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        faults = self.faults
+        if faults.blocks(src, dest):
+            self.frames_blocked += 1
+            return
+        if faults.loss_rate > 0.0 and self._rng.random() < faults.loss_rate:
+            self.frames_lost += 1
+            return
+        latency = float(
+            self._rng.uniform(faults.latency_min, faults.latency_max)
+        )
+        if (
+            faults.reorder_rate > 0.0
+            and self._rng.random() < faults.reorder_rate
+        ):
+            latency += faults.reorder_extra
+            self.frames_reordered += 1
+        self._clock.post_after(latency, self._deliver, src, dest, data)
+
+    def _deliver(self, src: Endpoint, dest: Endpoint, data: bytes) -> None:
+        transport = self._transports.get(dest)
+        if transport is None:
+            return  # destination closed while the frame was in flight
+        self.frames_delivered += 1
+        transport._handle(data, src)
+
+
+class LoopbackTransport(Transport):
+    """One endpoint on a :class:`LoopbackNetwork`."""
+
+    __slots__ = ("_network", "_address", "_closed")
+
+    def __init__(self, network: LoopbackNetwork, address: Endpoint) -> None:
+        super().__init__()
+        self._network = network
+        self._address = address
+        self._closed = False
+
+    @property
+    def local_address(self) -> Endpoint:
+        return self._address
+
+    def send(self, dest: Endpoint, data: bytes) -> None:
+        if self._closed:
+            raise NetError(f"transport {self._address} is closed")
+        self.sent_frames += 1
+        self._network._send(self._address, dest, bytes(data))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._network._unbind(self._address)
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    """Glue between the asyncio datagram machinery and a UdpTransport."""
+
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._handle(bytes(data), (addr[0], addr[1]))
+
+    def error_received(self, exc: OSError) -> None:
+        self._owner.socket_errors += 1
+
+
+class UdpTransport(Transport):
+    """A real asyncio UDP socket behind the :class:`Transport` surface.
+
+    Usage is two-phase because binding is asynchronous::
+
+        transport = UdpTransport(port=0)      # 0 = ephemeral
+        await transport.start()
+        transport.local_address               # actual bound (host, port)
+    """
+
+    __slots__ = ("_host", "_port", "_transport", "_bound", "socket_errors")
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__()
+        self._host = host
+        self._port = port
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._bound: Optional[Endpoint] = None
+        self.socket_errors = 0
+
+    async def start(self) -> None:
+        """Bind the socket on the running loop."""
+        if self._transport is not None:
+            raise NetError("UdpTransport already started")
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self), local_addr=(self._host, self._port)
+        )
+        self._transport = transport
+        sockname = transport.get_extra_info("sockname")
+        self._bound = (sockname[0], sockname[1])
+
+    @property
+    def local_address(self) -> Endpoint:
+        if self._bound is None:
+            raise NetError("UdpTransport not started; await start() first")
+        return self._bound
+
+    def send(self, dest: Endpoint, data: bytes) -> None:
+        if self._transport is None:
+            raise NetError("UdpTransport not started; await start() first")
+        self.sent_frames += 1
+        self._transport.sendto(data, dest)
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

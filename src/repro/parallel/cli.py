@@ -21,6 +21,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError, ParallelError
+from ..shutdown import EXIT_INTERRUPTED, graceful_shutdown
 from .experiments import OverlayPointExperiment
 from .sweep import run_parallel_sweep
 
@@ -141,23 +142,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     store = ResultStore(args.store)
 
     try:
-        run = run_parallel_sweep(
-            base_config,
-            axes,
-            experiment,
-            workers=args.workers,
-            store=store,
-            store_prefix=args.prefix,
-            resume=args.resume,
-            timeout=args.timeout,
-            max_attempts=max(1, args.retries),
-            # Wall-clock feeds only operator-facing ledger durations and
-            # timeout enforcement, never results.  Passing the clock by
-            # reference (not calling it here) keeps the package clean
-            # under lint rule DET003 with no suppressions.
-            clock=time.perf_counter,
-            sleep=time.sleep,
+        with graceful_shutdown():
+            run = run_parallel_sweep(
+                base_config,
+                axes,
+                experiment,
+                workers=args.workers,
+                store=store,
+                store_prefix=args.prefix,
+                resume=args.resume,
+                timeout=args.timeout,
+                max_attempts=max(1, args.retries),
+                # Wall-clock feeds only operator-facing ledger durations and
+                # timeout enforcement, never results.  Passing the clock by
+                # reference (not calling it here) keeps the package clean
+                # under lint rule DET003 with no suppressions.
+                clock=time.perf_counter,
+                sleep=time.sleep,
+            )
+    except KeyboardInterrupt:
+        # Every completed point is already on disk (the ledger flushes
+        # per append), so the run picks up where it stopped.
+        print(
+            f"\ninterrupted: completed points are in {args.store}; "
+            "rerun with --resume to finish"
         )
+        return EXIT_INTERRUPTED
     except (ExperimentError, ParallelError) as exc:
         print(f"error: {exc}")
         return 1

@@ -8,15 +8,18 @@ phase/jitter), and :class:`~repro.sim.trace.Tracer` (structured
 tracing).
 """
 
+from .clock import Clock, SimClock
 from .events import Event, EventHandle
 from .process import PeriodicProcess
 from .simulator import Simulator
 from .trace import NullTracer, Tracer, TraceRecord
 
 __all__ = [
+    "Clock",
     "Event",
     "EventHandle",
     "PeriodicProcess",
+    "SimClock",
     "Simulator",
     "Tracer",
     "NullTracer",

@@ -1,0 +1,146 @@
+"""The shared clock contract behind simulated and wall time.
+
+The overlay protocol is written against a *clock*, not against the
+simulator: every protocol object (:class:`~repro.core.node.OverlayNode`,
+:class:`~repro.sim.process.PeriodicProcess`, the metrics collector)
+only ever reads ``clock.now`` and schedules callbacks at absolute times
+or after delays.  :class:`Clock` names that contract so the same
+protocol code runs unmodified on
+
+* :class:`~repro.sim.simulator.Simulator` — discrete-event simulated
+  time (the evaluation path; ``Simulator`` subclasses :class:`Clock`);
+* :class:`SimClock` — an explicit adapter over a ``Simulator``, the
+  deterministic half of the ``SimClock``/``WallClock`` parity pair;
+* :class:`repro.net.clock.WallClock` — real wall time over an asyncio
+  event loop (the deployable path; see ``docs/networking.md``).
+
+Time is always measured in **shuffling periods** (the paper's unit),
+whatever the backing clock: a wall clock maps periods to seconds with a
+configurable scale, so protocol parameters (pseudonym lifetimes,
+heartbeat intervals) keep their meaning in live deployments.
+
+Contract notes
+--------------
+* ``schedule``/``post`` take *absolute* times on the clock's own axis;
+  ``schedule_after``/``post_after`` take non-negative delays.
+* ``schedule``/``schedule_after`` return a cancellable handle exposing
+  ``cancel()`` and ``cancelled`` (the :class:`~repro.sim.events
+  .EventHandle` surface); ``post``/``post_after`` are the
+  fire-and-forget fast path and return nothing.
+* Simulated clocks *reject* scheduling in the past
+  (:class:`~repro.errors.SchedulerError`); wall clocks cannot refuse
+  the past and clamp it to "run as soon as possible".  Code portable
+  across both must not rely on the rejection.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .simulator import Simulator
+
+__all__ = ["Clock", "SimClock"]
+
+
+class Clock(abc.ABC):
+    """Scheduling surface shared by simulated and wall clocks."""
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in shuffling periods on this clock's axis."""
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> Any:
+        """Run ``callback(*args)`` at absolute ``time``; cancellable."""
+
+    @abc.abstractmethod
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> Any:
+        """Run ``callback(*args)`` after ``delay``; cancellable."""
+
+    @abc.abstractmethod
+    def post(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule` (no handle allocated)."""
+
+    @abc.abstractmethod
+    def post_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_after` (no handle allocated)."""
+
+
+class SimClock(Clock):
+    """A :class:`Clock` view of a discrete-event :class:`Simulator`.
+
+    ``Simulator`` already *is* a clock (it subclasses :class:`Clock`);
+    this adapter exists for call sites that want the clock role spelled
+    out — the network harness accepts either a ``SimClock`` or a
+    ``WallClock`` and treats them identically.  All scheduling
+    delegates to the wrapped simulator, so events interleave with the
+    rest of the simulation in deterministic ``(time, seq)`` order.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    @property
+    def sim(self) -> Simulator:
+        """The backing simulator (for ``run_until`` and inspection)."""
+        return self._sim
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        return self._sim.schedule(time, callback, *args, label=label)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        return self._sim.schedule_after(delay, callback, *args, label=label)
+
+    def post(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        self._sim.post(time, callback, *args)
+
+    def post_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        self._sim.post_after(delay, callback, *args)
+
+    def run_until(self, horizon: float) -> None:
+        """Advance the backing simulator to ``horizon``."""
+        self._sim.run_until(horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({self._sim!r})"

@@ -15,8 +15,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ..errors import SimulationError
-from .events import EventHandle
-from .simulator import Simulator
+from .clock import Clock
 
 __all__ = ["PeriodicProcess"]
 
@@ -24,10 +23,15 @@ __all__ = ["PeriodicProcess"]
 class PeriodicProcess:
     """Repeatedly invoke a callback with a fixed period.
 
+    Scheduling goes through the :class:`~repro.sim.clock.Clock`
+    contract only, so the same process drives protocol ticks under the
+    discrete-event simulator and under a wall clock (``repro.net``).
+
     Parameters
     ----------
     sim:
-        The simulator driving the process.
+        The clock driving the process (a :class:`Simulator`, or any
+        other :class:`Clock`).
     period:
         Interval between invocations, in simulated time units.
     callback:
@@ -45,7 +49,7 @@ class PeriodicProcess:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         period: float,
         callback: Callable[[], Any],
         rng: Optional[np.random.Generator] = None,
@@ -60,7 +64,7 @@ class PeriodicProcess:
         self._callback = callback
         self._rng = rng
         self._jitter = jitter
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[Any] = None
         self._ticks = 0
 
     @property

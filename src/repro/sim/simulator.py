@@ -32,12 +32,13 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SchedulerError
+from .clock import Clock
 from .events import EventHandle
 
 __all__ = ["Simulator"]
 
 
-class Simulator:
+class Simulator(Clock):
     """A deterministic discrete-event simulator.
 
     Example

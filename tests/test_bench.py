@@ -95,6 +95,15 @@ class TestRunSuite:
         assert not any(key.startswith("wall_") for key in stripped_facts)
         assert stripped_facts["digest"] == facts["digest"]
 
+    def test_net_codec_workload_round_trips_and_rejects(self):
+        """Every clean frame decodes; every corrupt frame is classified."""
+        report = run_suite(mode="quick", seed=1, repeats=1, only=["net_codec"])
+        facts = report["benchmarks"]["net_codec"]["workload"]
+        assert facts["decoded_ok"] == facts["messages"]
+        assert facts["corrupt_frames"] > 0
+        assert facts["wire_bytes"] > 0
+        assert len(facts["frames_digest"]) == 16
+
     def test_only_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown benchmark"):
             run_suite(mode="quick", seed=1, repeats=1, only=["nope"])
@@ -116,6 +125,51 @@ class TestRunSuite:
     def test_invalid_repeats_rejected(self):
         with pytest.raises(ValueError, match="repeats"):
             run_suite(mode="quick", seed=1, repeats=0)
+
+
+class TestInterrupt:
+    """SIGINT/SIGTERM mid-suite: keep finished results, exit 130."""
+
+    @pytest.fixture()
+    def tiny_suite(self, monkeypatch):
+        from repro.bench import harness as harness_module
+        from repro.bench.workloads import Workload
+
+        def fast(mode, seed):
+            return lambda: {"operations": 1}
+
+        def boom(mode, seed):
+            def run():
+                raise KeyboardInterrupt
+
+            return run
+
+        suite = (
+            Workload("alpha", "finishes", fast),
+            Workload("beta", "interrupted mid-measure", boom),
+            Workload("gamma", "never reached", fast),
+        )
+        monkeypatch.setattr(harness_module, "SUITE", suite)
+        return suite
+
+    def test_run_suite_keeps_completed_workloads(self, tiny_suite):
+        report = run_suite(mode="quick", seed=1, repeats=1)
+        assert report["interrupted"] is True
+        assert set(report["benchmarks"]) == {"alpha"}
+
+    def test_complete_runs_have_no_interrupted_key(self, quick_report):
+        assert "interrupted" not in quick_report
+
+    def test_cli_flushes_partial_report_and_exits_130(
+        self, tiny_suite, tmp_path, capsys
+    ):
+        path = tmp_path / "partial.json"
+        code = bench_main(["--quick", "--repeats", "1", "--json", str(path)])
+        assert code == 130
+        report = load_report(str(path))
+        assert report["interrupted"] is True
+        assert set(report["benchmarks"]) == {"alpha"}
+        assert "interrupted" in capsys.readouterr().err
 
     def test_format_report_lists_every_benchmark(self, quick_report):
         table = format_report(quick_report)

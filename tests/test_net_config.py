@@ -1,0 +1,186 @@
+"""Seed-node configuration: parsing, validation, overrides, node CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import NetError
+from repro.net.config import (
+    NetNodeConfig,
+    load_net_config,
+    load_trust_file,
+    merge_overrides,
+    parse_hostport,
+)
+
+try:
+    import tomllib  # noqa: F401 - availability probe (3.11+)
+
+    HAVE_TOMLLIB = True
+except ImportError:  # pragma: no cover - 3.9/3.10 environments
+    HAVE_TOMLLIB = False
+
+
+class TestHostport:
+    def test_parses(self):
+        assert parse_hostport("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_hostport("seed.example:80") == ("seed.example", 80)
+
+    @pytest.mark.parametrize(
+        "bad", ["nohost", ":9000", "host:", "host:abc", "host:0", "host:70000"]
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(NetError):
+            parse_hostport(bad)
+
+
+class TestConfigFile:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "node": {
+                        "node_id": 3,
+                        "host": "127.0.0.1",
+                        "port": 9003,
+                        "seconds_per_period": 0.5,
+                        "seed": 11,
+                    },
+                    "bootstrap": ["127.0.0.1:9000", "127.0.0.1:9001"],
+                    "trusted": [0, 1, 2],
+                    "protocol": {"shuffle_length": 4, "cache_size": 20},
+                    "liveness": {"suspect_after": 2.0, "dead_after": 6.0},
+                    "backoff": {"base": 0.5, "attempts": 5},
+                }
+            )
+        )
+        config = load_net_config(str(path))
+        assert config.node_id == 3
+        assert config.port == 9003
+        assert config.seconds_per_period == 0.5
+        assert config.seed == 11
+        assert config.bootstrap == (("127.0.0.1", 9000), ("127.0.0.1", 9001))
+        assert config.trusted == (0, 1, 2)
+        assert config.shuffle_length == 4
+        assert config.cache_size == 20
+        assert config.suspect_after == 2.0
+        assert config.backoff_base == 0.5
+        assert config.bootstrap_attempts == 5
+
+    def test_defaults_for_missing_sections(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text("{}")
+        config = load_net_config(str(path))
+        assert config == NetNodeConfig()
+
+    @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+    def test_toml_parses_when_available(self, tmp_path):
+        path = tmp_path / "node.toml"
+        path.write_text(
+            'bootstrap = ["127.0.0.1:9000"]\ntrusted = [0, 1]\n\n'
+            '[node]\nnode_id = 2\nport = 9002\n'
+        )
+        config = load_net_config(str(path))
+        assert config.node_id == 2
+        assert config.bootstrap == (("127.0.0.1", 9000),)
+
+    def test_garbage_json_wrapped_as_neterror(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text("{not json")
+        with pytest.raises(NetError):
+            load_net_config(str(path))
+
+    def test_non_object_top_level_refused(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(NetError):
+            load_net_config(str(path))
+
+    def test_bad_section_type_refused(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text('{"node": [1]}')
+        with pytest.raises(NetError):
+            load_net_config(str(path))
+
+    def test_bad_value_wrapped(self, tmp_path):
+        path = tmp_path / "node.json"
+        path.write_text('{"node": {"node_id": "seven"}}')
+        with pytest.raises(NetError):
+            load_net_config(str(path))
+
+    def test_validation_in_dataclass(self):
+        with pytest.raises(NetError):
+            NetNodeConfig(node_id=-1)
+        with pytest.raises(NetError):
+            NetNodeConfig(seconds_per_period=0.0)
+        with pytest.raises(NetError):
+            NetNodeConfig(pseudonym_lifetime=-1.0)
+
+
+class TestTrustFile:
+    def test_extracts_node_entry(self, tmp_path):
+        path = tmp_path / "trust.json"
+        path.write_text(json.dumps({"0": [1, 2], "1": [0, 2]}))
+        assert load_trust_file(str(path), 1) == (0, 2)
+
+    def test_missing_node_refused(self, tmp_path):
+        path = tmp_path / "trust.json"
+        path.write_text(json.dumps({"0": [1]}))
+        with pytest.raises(NetError):
+            load_trust_file(str(path), 5)
+
+    def test_non_list_entry_refused(self, tmp_path):
+        path = tmp_path / "trust.json"
+        path.write_text(json.dumps({"0": "everyone"}))
+        with pytest.raises(NetError):
+            load_trust_file(str(path), 0)
+
+
+class TestOverrides:
+    def test_none_values_skipped(self):
+        base = NetNodeConfig(node_id=1, port=9001)
+        merged = merge_overrides(base, node_id=None, port=9100, seed=None)
+        assert merged.node_id == 1
+        assert merged.port == 9100
+
+    def test_validation_reapplied(self):
+        with pytest.raises(NetError):
+            merge_overrides(NetNodeConfig(), seconds_per_period=-1.0)
+
+
+class TestNodeCli:
+    def test_bad_config_exits_2(self, tmp_path, capsys):
+        from repro.net.cli import node_main
+
+        path = tmp_path / "node.json"
+        path.write_text("{broken")
+        assert node_main(["--config", str(path)]) == 2
+        assert "repro node:" in capsys.readouterr().err
+
+    def test_bad_bootstrap_exits_2(self, capsys):
+        from repro.net.cli import node_main
+
+        assert node_main(["--bootstrap", "nope"]) == 2
+
+    def test_short_seed_run_exits_0(self, capsys):
+        # A seed node with a duration: starts, idles, drains, exits 0.
+        from repro.net.cli import node_main
+
+        code = node_main(
+            [
+                "--port", "0",
+                "--node-id", "0",
+                "--seconds-per-period", "0.01",
+                "--duration", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "listening on" in out
+        assert "stopped at period" in out
+
+    def test_usage_error_for_unknown_command(self, capsys):
+        from repro.net.cli import main
+
+        assert main(["frobnicate"]) == 2

@@ -1,0 +1,303 @@
+"""NetEndpoint behavior: bootstrap backoff, liveness, pseudonym service."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetError
+from repro.net.codec import Goodbye, Heartbeat, decode_frame, encode_frame
+from repro.net.endpoint import ADDRESS_KIND, NetEndpoint
+from repro.net.peers import PeerTable
+from repro.net.transport import FaultPlan, LoopbackNetwork
+from repro.privlink import Address
+from repro.sim import Simulator
+
+
+def _endpoint(sim, network, node_id, bootstrap=(), **kwargs):
+    transport = network.transport()
+    return NetEndpoint(
+        node_id=node_id,
+        clock=sim,
+        transport=transport,
+        rng=np.random.default_rng(1000 + node_id),
+        bootstrap=bootstrap,
+        **kwargs,
+    )
+
+
+def _pair(sim, seed=5, faults=None, **kwargs):
+    """A seed endpoint plus one node bootstrapping to it."""
+    network = LoopbackNetwork(sim, np.random.default_rng(seed), faults=faults)
+    seed_ep = _endpoint(sim, network, 0)
+    joiner = _endpoint(
+        sim, network, 1, bootstrap=(seed_ep.local_address,), **kwargs
+    )
+    return network, seed_ep, joiner
+
+
+class TestPeerTable:
+    def test_two_level_detection(self):
+        table = PeerTable(suspect_after=3.0, dead_after=9.0)
+        table.note_heard(1, ("h", 1), now=0.0)
+        assert table.check(2.0) == ([], [])
+        newly_suspect, dead = table.check(4.0)
+        assert [r.node_id for r in newly_suspect] == [1]
+        assert dead == []
+        # Already suspect: not reported twice.
+        assert table.check(5.0) == ([], [])
+        # Traffic clears suspicion.
+        table.note_heard(1, ("h", 1), now=5.0)
+        assert not table._peers[1].suspect
+        # Full silence kills.
+        _, dead = table.check(15.0)
+        assert [r.node_id for r in dead] == [1]
+        assert 1 not in table
+        assert table.suspected_total == 1
+        assert table.declared_dead_total == 1
+
+    def test_invalid_timeouts(self):
+        with pytest.raises(NetError):
+            PeerTable(suspect_after=5.0, dead_after=5.0)
+        with pytest.raises(NetError):
+            PeerTable(suspect_after=0.0, dead_after=5.0)
+
+
+class TestBootstrap:
+    def test_seed_starts_bootstrapped(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        seed_ep = _endpoint(sim, network, 0)
+        assert seed_ep.bootstrapped
+
+    def test_join_via_seed(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        assert not joiner.bootstrapped
+        sim.run_until(2.0)
+        assert joiner.bootstrapped
+        assert joiner.counters["bootstrap_attempts"] == 1
+        assert 1 in seed_ep.table and 0 in joiner.table
+
+    def test_backoff_retries_until_seed_appears(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(5))
+        # Reserve the seed's address but install the seed only later.
+        seed_transport = network.transport()
+        joiner = _endpoint(
+            sim, network, 1, bootstrap=(seed_transport.local_address,),
+            backoff_base=0.25, backoff_factor=2.0, backoff_max=4.0,
+        )
+        joiner.start()
+        sim.run_until(3.0)
+        attempts_before = joiner.counters["bootstrap_attempts"]
+        assert attempts_before > 1  # kept retrying
+        assert not joiner.bootstrapped
+        # The seed comes up on the reserved address: next retry succeeds.
+        seed_ep = NetEndpoint(
+            node_id=0, clock=sim, transport=seed_transport,
+            rng=np.random.default_rng(1000),
+        )
+        seed_ep.start()
+        sim.run_until(10.0)
+        assert joiner.bootstrapped
+
+    def test_gives_up_after_max_attempts(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(5))
+        joiner = _endpoint(
+            sim, network, 1, bootstrap=(("127.0.0.1", 1),),
+            bootstrap_attempts=3, backoff_base=0.1, backoff_max=0.2,
+        )
+        joiner.start()
+        sim.run_until(20.0)
+        assert joiner.counters["bootstrap_attempts"] == 3
+        assert joiner.counters["bootstrap_failures"] == 1
+        assert not joiner.bootstrapped
+
+    def test_backoff_delays_grow_exponentially_to_cap(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(5))
+        joiner = _endpoint(
+            sim, network, 1, bootstrap=(("127.0.0.1", 1),),
+            backoff_base=0.25, backoff_factor=2.0, backoff_max=1.0,
+            bootstrap_attempts=5,
+        )
+        joiner.start()
+        sim.run_until(20.0)
+        delays = [
+            float(line.rsplit("retry in ", 1)[1])
+            for line in joiner.log
+            if "retry in" in line
+        ]
+        assert delays == [0.25, 0.5, 1.0, 1.0, 1.0]
+
+    def test_invalid_schedule_refused(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        with pytest.raises(NetError):
+            _endpoint(sim, network, 1, bootstrap_attempts=0)
+        with pytest.raises(NetError):
+            _endpoint(sim, network, 1, backoff_base=-1.0)
+
+
+class TestLiveness:
+    def test_heartbeats_keep_peers_alive(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(30.0)
+        assert 1 in seed_ep.table
+        assert seed_ep.counters["peers_declared_dead"] == 0
+        assert joiner.counters["peers_declared_dead"] == 0
+
+    def test_silent_peer_probed_then_declared_dead(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(
+            sim, suspect_after=3.0, dead_after=9.0
+        )
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        assert 1 in seed_ep.table
+        # The joiner crashes: timers die and the socket closes, but —
+        # unlike shutdown() — no goodbye goes out.
+        joiner._heartbeat.stop()
+        joiner._liveness.stop()
+        joiner._transport.close()
+        sim.run_until(6.0)
+        assert seed_ep.counters["probes_sent"] >= 1
+        assert 1 in seed_ep.table  # still suspect, not dead
+        sim.run_until(15.0)
+        assert 1 not in seed_ep.table
+        assert seed_ep.counters["peers_declared_dead"] == 1
+
+    def test_goodbye_removes_immediately(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        joiner.shutdown()  # polite: sends Goodbye
+        sim.run_until(3.0)
+        assert 1 not in seed_ep.table
+        assert seed_ep.counters["peers_declared_dead"] == 0
+        assert any("goodbye" in line for line in seed_ep.log)
+
+
+class TestPseudonymService:
+    def test_create_registers_with_seed(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        address = joiner.create_endpoint()
+        assert address.kind == ADDRESS_KIND
+        assert address.token != 0
+        sim.run_until(3.0)
+        # The seed's directory now resolves the token.
+        assert seed_ep._directory[address.token] == joiner.local_address
+
+    def test_lookup_flushes_pending_payloads(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        other = _endpoint(
+            sim, network, 2, bootstrap=(seed_ep.local_address,)
+        )
+        seed_ep.start()
+        joiner.start()
+        other.start()
+        sim.run_until(2.0)
+        address = joiner.create_endpoint()
+        sim.run_until(3.0)
+        received = []
+        joiner.attach(received.append, lambda: True)
+        # 'other' has no route for the token: the payload parks behind a
+        # lookup to the seed, then flushes when the reply lands.
+        other.send_to_endpoint(address, {"msg": "hi"})
+        assert received == []
+        sim.run_until(5.0)
+        assert received == [{"msg": "hi"}]
+
+    def test_unknown_token_drops_when_not_found(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        joiner.send_to_endpoint(
+            Address(token=999, kind=ADDRESS_KIND), {"msg": "lost"}
+        )
+        sim.run_until(4.0)
+        assert joiner.counters["unknown_endpoint_drops"] == 1
+
+    def test_close_endpoint_unregisters(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        address = joiner.create_endpoint()
+        sim.run_until(3.0)
+        joiner.close_endpoint(address)
+        sim.run_until(4.0)
+        assert address.token not in seed_ep._directory
+
+
+class TestReceivePath:
+    def test_garbage_frame_counted_not_raised(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        raw = network.transport()
+        raw.send(seed_ep.local_address, b"\xde\xad\xbe\xef")
+        sim.run_until(1.0)
+        assert seed_ep.counters["codec_rejects"] == 1
+
+    def test_probe_answered(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        inbox = []
+        raw = network.transport()
+        raw.set_receiver(lambda data, source: inbox.append(decode_frame(data)))
+        raw.send(
+            seed_ep.local_address,
+            encode_frame(Heartbeat(node_id=1, seq=1, reply_wanted=True)),
+        )
+        sim.run_until(3.0)
+        beats = [m for m in inbox if isinstance(m, Heartbeat)]
+        assert beats and beats[0].node_id == 0
+
+    def test_offline_node_drops_delivery(self):
+        sim = Simulator()
+        network, seed_ep, joiner = _pair(sim)
+        seed_ep.attach(lambda payload: None, lambda: False)  # offline
+        seed_ep.start()
+        joiner.start()
+        sim.run_until(2.0)
+        joiner.send_to_node(0, {"app": 1})
+        sim.run_until(3.0)
+        assert seed_ep.counters["offline_drops"] == 1
+
+    def test_double_start_refused(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        endpoint = _endpoint(sim, network, 0)
+        endpoint.start()
+        with pytest.raises(NetError):
+            endpoint.start()
+
+    def test_shutdown_idempotent(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        endpoint = _endpoint(sim, network, 0)
+        endpoint.start()
+        endpoint.shutdown()
+        endpoint.shutdown()  # no error
+        assert any("shutdown" in line for line in endpoint.log)

@@ -1,0 +1,191 @@
+"""Transports: deterministic loopback faults and real UDP round trips."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import NetError
+from repro.net.transport import (
+    FaultPlan,
+    LoopbackNetwork,
+    UdpTransport,
+)
+from repro.sim import Simulator
+
+
+def _mesh(sim, seed=7, faults=None, nodes=2):
+    network = LoopbackNetwork(sim, np.random.default_rng(seed), faults=faults)
+    transports = [network.transport() for _ in range(nodes)]
+    inboxes = [[] for _ in range(nodes)]
+    for transport, inbox in zip(transports, inboxes):
+        transport.set_receiver(
+            lambda data, source, box=inbox: box.append((data, source))
+        )
+    return network, transports, inboxes
+
+
+class TestLoopback:
+    def test_frames_arrive_with_latency(self):
+        sim = Simulator()
+        network, (a, b), (inbox_a, inbox_b) = _mesh(sim)
+        a.send(b.local_address, b"hello")
+        assert inbox_b == []  # nothing before time passes
+        sim.run_until(1.0)
+        assert inbox_b == [(b"hello", a.local_address)]
+        assert network.frames_delivered == 1
+
+    def test_auto_assigned_ports_are_distinct(self):
+        sim = Simulator()
+        _, (a, b), _ = _mesh(sim)
+        assert a.local_address != b.local_address
+
+    def test_double_bind_refused(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        network.transport(port=5000)
+        with pytest.raises(NetError):
+            network.transport(port=5000)
+
+    def test_send_after_close_refused(self):
+        sim = Simulator()
+        _, (a, b), _ = _mesh(sim)
+        a.close()
+        with pytest.raises(NetError):
+            a.send(b.local_address, b"x")
+
+    def test_frame_to_closed_destination_vanishes(self):
+        sim = Simulator()
+        network, (a, b), (_, inbox_b) = _mesh(sim)
+        a.send(b.local_address, b"x")
+        b.close()
+        sim.run_until(1.0)
+        assert inbox_b == []
+        assert network.frames_delivered == 0
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator()
+            network, (a, b), (_, inbox_b) = _mesh(
+                sim, seed=seed, faults=FaultPlan(loss_rate=0.5)
+            )
+            for i in range(100):
+                a.send(b.local_address, bytes([i]))
+            sim.run_until(5.0)
+            return network.frames_lost, tuple(data for data, _ in inbox_b)
+
+        first = run(42)
+        second = run(42)
+        other = run(43)
+        assert first == second
+        assert 0 < first[0] < 100
+        assert first != other
+
+    def test_reordering_leapfrogs(self):
+        sim = Simulator()
+        faults = FaultPlan(
+            latency_min=0.01,
+            latency_max=0.011,
+            reorder_rate=0.3,
+            reorder_extra=0.5,
+        )
+        network, (a, b), (_, inbox_b) = _mesh(sim, seed=3, faults=faults)
+        for i in range(50):
+            a.send(b.local_address, bytes([i]))
+        sim.run_until(5.0)
+        received = [data[0] for data, _ in inbox_b]
+        assert sorted(received) == list(range(50))  # nothing lost
+        assert received != list(range(50))  # ...but not in send order
+        assert network.frames_reordered > 0
+
+    def test_partition_blocks_and_heals(self):
+        sim = Simulator()
+        network, (a, b), (inbox_a, inbox_b) = _mesh(sim)
+        network.faults.partition([a.local_address], [b.local_address])
+        a.send(b.local_address, b"during")
+        sim.run_until(1.0)
+        assert inbox_b == []
+        assert network.frames_blocked == 1
+        network.faults.heal()
+        a.send(b.local_address, b"after")
+        sim.run_until(2.0)
+        assert [data for data, _ in inbox_b] == [b"after"]
+
+    def test_no_receiver_counts_drop(self):
+        sim = Simulator()
+        network = LoopbackNetwork(sim, np.random.default_rng(1))
+        a = network.transport()
+        b = network.transport()  # never sets a receiver
+        a.send(b.local_address, b"x")
+        sim.run_until(1.0)
+        assert b.dropped_frames == 1
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(NetError):
+            FaultPlan(loss_rate=1.5)
+        with pytest.raises(NetError):
+            FaultPlan(latency_min=0.5, latency_max=0.1)
+        with pytest.raises(NetError):
+            FaultPlan(reorder_rate=-0.1)
+        with pytest.raises(NetError):
+            FaultPlan(reorder_extra=-1.0)
+
+
+class TestUdp:
+    def test_round_trip_over_real_sockets(self):
+        async def run():
+            a = UdpTransport(port=0)
+            b = UdpTransport(port=0)
+            await a.start()
+            await b.start()
+            received = asyncio.get_running_loop().create_future()
+            b.set_receiver(
+                lambda data, source: (
+                    received.set_result((data, source))
+                    if not received.done()
+                    else None
+                )
+            )
+            a.send(b.local_address, b"ping")
+            data, source = await asyncio.wait_for(received, timeout=5.0)
+            a.close()
+            b.close()
+            return data, source, a.local_address
+
+        data, source, addr_a = asyncio.run(run())
+        assert data == b"ping"
+        assert source == addr_a
+
+    def test_ephemeral_ports_differ(self):
+        async def run():
+            a = UdpTransport(port=0)
+            b = UdpTransport(port=0)
+            await a.start()
+            await b.start()
+            addresses = (a.local_address, b.local_address)
+            a.close()
+            b.close()
+            return addresses
+
+        addr_a, addr_b = asyncio.run(run())
+        assert addr_a != addr_b
+        assert addr_a[1] != 0 and addr_b[1] != 0
+
+    def test_unstarted_usage_refused(self):
+        transport = UdpTransport()
+        with pytest.raises(NetError):
+            transport.local_address
+        with pytest.raises(NetError):
+            transport.send(("127.0.0.1", 9), b"x")
+
+    def test_double_start_refused(self):
+        async def run():
+            transport = UdpTransport(port=0)
+            await transport.start()
+            try:
+                with pytest.raises(NetError):
+                    await transport.start()
+            finally:
+                transport.close()
+
+        asyncio.run(run())

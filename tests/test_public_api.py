@@ -24,6 +24,7 @@ _PACKAGES = [
     "repro.baselines",
     "repro.experiments",
     "repro.parallel",
+    "repro.net",
 ]
 
 

@@ -1,0 +1,67 @@
+"""Graceful SIGINT/SIGTERM shutdown shared by the long-running CLIs."""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.shutdown import (
+    EXIT_INTERRUPTED,
+    graceful_shutdown,
+    install_async_shutdown,
+)
+
+
+class TestGracefulShutdown:
+    def test_exit_code_is_shell_convention(self):
+        assert EXIT_INTERRUPTED == 130
+
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        with graceful_shutdown():
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    def test_previous_handler_restored(self):
+        sentinel = []
+
+        def previous(signum, frame):
+            sentinel.append(signum)
+
+        old = signal.signal(signal.SIGTERM, previous)
+        try:
+            with graceful_shutdown():
+                assert signal.getsignal(signal.SIGTERM) is not previous
+            assert signal.getsignal(signal.SIGTERM) is previous
+        finally:
+            signal.signal(signal.SIGTERM, old)
+
+    def test_restores_even_after_interrupt(self):
+        old = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with graceful_shutdown():
+                raise KeyboardInterrupt
+        assert signal.getsignal(signal.SIGTERM) is old
+
+
+class TestAsyncShutdown:
+    def test_sigterm_sets_stop_event(self):
+        async def run():
+            loop = asyncio.get_running_loop()
+            stop = install_async_shutdown(loop)
+            assert not stop.is_set()
+            os.kill(os.getpid(), signal.SIGTERM)
+            await asyncio.wait_for(stop.wait(), timeout=5.0)
+            return stop.is_set()
+
+        assert asyncio.run(run())
+
+    def test_sigint_sets_stop_event(self):
+        async def run():
+            loop = asyncio.get_running_loop()
+            stop = install_async_shutdown(loop)
+            os.kill(os.getpid(), signal.SIGINT)
+            await asyncio.wait_for(stop.wait(), timeout=5.0)
+            return stop.is_set()
+
+        assert asyncio.run(run())

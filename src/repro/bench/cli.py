@@ -47,14 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="+",
         metavar="NAME",
-        choices=workload_names(),
         help="run only these benchmarks",
     )
     parser.add_argument(
         "--skip",
         nargs="+",
         metavar="NAME",
-        choices=workload_names(),
         help="run everything except these benchmarks (applied after --only)",
     )
     parser.add_argument(
@@ -85,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_names(option: str, names: Optional[List[str]]) -> Optional[str]:
+    """An error message for unknown workload names, or None if all known.
+
+    Explicit (rather than argparse ``choices=``) so a typo gets the
+    full known-name list on stderr instead of a truncated usage line.
+    """
+    if not names:
+        return None
+    known = workload_names()
+    unknown = sorted(set(names) - set(known))
+    if not unknown:
+        return None
+    return (
+        f"error: unknown benchmark name(s) for {option}: "
+        f"{', '.join(unknown)}\nknown benchmarks: {', '.join(known)}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -94,6 +110,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.mem_threshold < 0:
         print("error: --mem-threshold must be non-negative", file=sys.stderr)
         return 2
+    for option, names in (("--only", args.only), ("--skip", args.skip)):
+        message = _validate_names(option, names)
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 2
 
     mode = "quick" if args.quick else "full"
     try:

@@ -13,14 +13,21 @@ slows a repeat down), so the fastest repeat is the least-contaminated
 estimate of the true cost; medians of small repeat counts wobble enough
 to trip a coarse threshold on their own.
 
-Peak memory is gated the same way on each benchmark's ``peak_rss_kb``
-(resident-set high-water mark after the benchmark ran), with its own —
-deliberately lenient — ``mem_threshold``: RSS only ever grows within a
-process, it is reported in coarse kernel units, and the allocator may
-or may not return freed pages, so only a large sustained jump (default
-2x) is meaningful.  A memory regression fails the gate exactly like a
-time regression; reports that lack ``peak_rss_kb`` on either side
-(older baselines) skip the memory gate for that benchmark.
+Memory is gated per benchmark with its own — deliberately lenient —
+``mem_threshold``.  When the *baseline* records ``rss_delta_kb`` (the
+amount the workload raised the process high-water mark — attributable
+to the workload regardless of suite order), the gate compares deltas,
+with a small fixed floor added to both sides so the frequent
+delta-of-zero entries (the workload fit in already-chartered pages)
+cannot produce infinite or hair-trigger ratios.  Older baselines that
+only have ``peak_rss_kb`` (the process-wide high-water mark) are gated
+on that instead — whichever field the baseline has wins, so refreshing
+the baseline upgrades the gate without a flag day.  RSS only ever grows
+within a process, it is reported in coarse kernel units, and the
+allocator may or may not return freed pages, so only a large sustained
+jump (default 2x) is meaningful.  A memory regression fails the gate
+exactly like a time regression; reports lacking both fields on either
+side skip the memory gate for that benchmark.
 
 Any regression makes the comparison fail (process exit code 1), which
 is what stops a PR from silently doubling simulation time or memory.
@@ -41,6 +48,12 @@ import json
 from typing import Any, Dict, List, Optional
 
 __all__ = ["BenchComparison", "compare_reports", "load_report", "format_comparison"]
+
+#: KiB added to both sides of an ``rss_delta_kb`` ratio.  Deltas of a
+#: monotone high-water mark are frequently zero; the floor keeps those
+#: entries gateable (ratio 1.0) instead of infinite or undefined, and
+#: makes the gate insensitive to sub-4MiB wiggle.
+RSS_DELTA_FLOOR_KB = 4096.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,18 +143,29 @@ def compare_reports(
             regressions.append(name)
         elif ratio < 1.0 - improvement_margin:
             improvements.append(name)
-        base_rss = base_benchmarks[name].get("peak_rss_kb")
-        cur_rss = cur_benchmarks[name].get("peak_rss_kb")
-        if base_rss is None or cur_rss is None:
-            # Older reports predate the memory gate; skip, never fail.
-            continue
-        base_rss = float(base_rss)
-        cur_rss = float(cur_rss)
+        # The baseline picks the memory metric: per-workload RSS delta
+        # when it records one, the legacy process-wide peak otherwise.
+        base_delta = base_benchmarks[name].get("rss_delta_kb")
+        cur_delta = cur_benchmarks[name].get("rss_delta_kb")
+        if base_delta is not None and cur_delta is not None:
+            base_rss = float(base_delta) + RSS_DELTA_FLOOR_KB
+            cur_rss = float(cur_delta) + RSS_DELTA_FLOOR_KB
+            metric = "rss_delta_kb"
+        else:
+            base_peak = base_benchmarks[name].get("peak_rss_kb")
+            cur_peak = cur_benchmarks[name].get("peak_rss_kb")
+            if base_peak is None or cur_peak is None:
+                # Neither metric available on both sides; skip, never fail.
+                continue
+            base_rss = float(base_peak)
+            cur_rss = float(cur_peak)
+            metric = "peak_rss_kb"
         mem_ratio = (cur_rss / base_rss) if base_rss > 0 else float("inf")
         mem_rows[name] = {
             "baseline_kb": base_rss,
             "current_kb": cur_rss,
             "ratio": mem_ratio,
+            "metric": metric,
         }
         if mem_ratio > 1.0 + mem_threshold:
             mem_regressions.append(name)

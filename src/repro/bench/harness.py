@@ -34,7 +34,13 @@ __all__ = [
 SCHEMA = "repro-bench/1"
 
 #: Report keys that may differ between identical-seed runs.
-NONDETERMINISTIC_KEYS = ("timing", "peak_rss_kb", "environment", "generated_by")
+NONDETERMINISTIC_KEYS = (
+    "timing",
+    "peak_rss_kb",
+    "rss_delta_kb",
+    "environment",
+    "generated_by",
+)
 
 
 def _peak_rss_kb() -> Optional[int]:
@@ -48,6 +54,27 @@ def _peak_rss_kb() -> Optional[int]:
     if sys.platform == "darwin":  # pragma: no cover - linux CI
         return int(usage // 1024)
     return int(usage)
+
+
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark down to the current RSS.
+
+    Linux-only (writing ``5`` to ``/proc/self/clear_refs``).  Doing this
+    before each workload makes its ``rss_delta_kb`` an order-independent
+    measurement of the workload's own footprint: without the reset the
+    high-water mark is monotone for the life of the process, so a
+    workload running after a bigger one reads a delta of zero while the
+    same workload run ``--only``-solo reads its full working set — and
+    the memory gate would flag the difference as a regression.  Returns
+    ``False`` where the proc interface is unavailable, in which case
+    deltas degrade to differences of the monotone peak.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:  # pragma: no cover - non-Linux / restricted proc
+        return False
+    return True
 
 
 def _percentile(sorted_times: Sequence[float], fraction: float) -> float:
@@ -104,9 +131,15 @@ def run_suite(
 
     benchmarks: Dict[str, Any] = {}
     interrupted = False
+    overall_peak_kb: Optional[int] = None
     for workload in selected:
         times: List[float] = []
         facts: Dict[str, Any] = {}
+        # Resetting the high-water mark (Linux) also resets ru_maxrss,
+        # so peak_rss_kb keeps its process-wide meaning via the running
+        # maximum below.
+        _reset_peak_rss()
+        rss_before = _peak_rss_kb()
         try:
             for _ in range(repeats):
                 run_once = workload.prepare(mode, seed)
@@ -125,6 +158,21 @@ def run_suite(
         workload_facts = {
             key: value for key, value in facts.items() if key != "operations"
         }
+        rss_after = _peak_rss_kb()
+        # How much this workload raised the RSS high-water mark above
+        # the RSS it started from.  With the per-workload reset above
+        # this is the workload's own footprint, independent of where in
+        # the suite (or how `--only`-restricted a run) it executed — it
+        # is what the memory gate prefers when the baseline has it (see
+        # bench.compare).  Without the reset (non-Linux) the delta
+        # degrades to a difference of the monotone peak, where zero
+        # means the workload fit inside already-chartered pages.
+        if rss_before is None or rss_after is None:
+            rss_delta = None
+        else:
+            rss_delta = max(0, rss_after - rss_before)
+        if rss_after is not None:
+            overall_peak_kb = max(overall_peak_kb or 0, rss_after)
         benchmarks[workload.name] = {
             "description": workload.description,
             "operations": operations,
@@ -136,7 +184,8 @@ def run_suite(
                 "per_repeat_s": times,
                 "ops_per_sec": (operations / median_s) if median_s > 0 else 0.0,
             },
-            "peak_rss_kb": _peak_rss_kb(),
+            "peak_rss_kb": overall_peak_kb if rss_after is not None else None,
+            "rss_delta_kb": rss_delta,
         }
         if progress is not None:
             entry = benchmarks[workload.name]

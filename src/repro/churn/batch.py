@@ -15,13 +15,13 @@ match the continuous model; only sub-round timing is coarsened.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ChurnError
 
-__all__ = ["BatchChurnModel"]
+__all__ = ["BatchChurnModel", "ShardedChurn"]
 
 
 class BatchChurnModel:
@@ -102,4 +102,97 @@ class BatchChurnModel:
 
     def online_fraction(self) -> float:
         """Currently online fraction of the population."""
+        return self.online_count() / self.num_nodes
+
+
+class ShardedChurn:
+    """Shard-decomposed churn: independent :class:`BatchChurnModel` per
+    contiguous node range, presented as one population-wide mask.
+
+    Each shard draws from its own private stream, so the global online
+    trajectory is a pure function of ``(seed, shard grid)`` — it does
+    not depend on how many processes host the shards.  Workers replicate
+    the full grid (every shard's model is cheap: one uniform draw per
+    node per round), which gives every process the whole population's
+    online mask locally for partner-reachability checks.
+
+    Parameters
+    ----------
+    bounds:
+        Shard boundaries, ``len == num_shards + 1``, ``bounds[0] == 0``;
+        shard ``s`` owns global node ids ``[bounds[s], bounds[s+1])``.
+        Empty shards are allowed.
+    rngs:
+        One private generator per shard, consumed in shard order.
+    """
+
+    __slots__ = ("num_nodes", "bounds", "models", "online")
+
+    def __init__(
+        self,
+        bounds: Sequence[int],
+        availability: float,
+        mean_offline_time: float,
+        rngs: Sequence[np.random.Generator],
+        start_all_online: bool = False,
+    ) -> None:
+        bounds_arr = np.asarray(bounds, dtype=np.int64)
+        if bounds_arr.ndim != 1 or len(bounds_arr) < 2 or bounds_arr[0] != 0:
+            raise ChurnError(f"malformed shard bounds: {bounds_arr!r}")
+        if np.any(np.diff(bounds_arr) < 0):
+            raise ChurnError(f"shard bounds must be nondecreasing: {bounds_arr!r}")
+        if len(rngs) != len(bounds_arr) - 1:
+            raise ChurnError(
+                f"need one rng per shard: {len(rngs)} rngs for "
+                f"{len(bounds_arr) - 1} shards"
+            )
+        self.bounds = bounds_arr
+        self.num_nodes = int(bounds_arr[-1])
+        self.models: List[Optional[BatchChurnModel]] = []
+        self.online = np.zeros(self.num_nodes, dtype=bool)
+        for shard, rng in enumerate(rngs):
+            lo = int(bounds_arr[shard])
+            hi = int(bounds_arr[shard + 1])
+            if hi == lo:
+                # Empty shard: no model, no draws — serial and sharded
+                # drivers must both skip it to stay in lockstep.
+                self.models.append(None)
+                continue
+            model = BatchChurnModel(
+                hi - lo, availability, mean_offline_time, rng, start_all_online
+            )
+            self.models.append(model)
+            self.online[lo:hi] = model.online
+
+    def step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance every shard one round, in shard order; returns global
+        ``(joined_rows, left_rows)``."""
+        joined_parts: List[np.ndarray] = []
+        left_parts: List[np.ndarray] = []
+        for shard, model in enumerate(self.models):
+            if model is None:
+                continue
+            lo = int(self.bounds[shard])
+            hi = int(self.bounds[shard + 1])
+            joined, left = model.step()
+            self.online[lo:hi] = model.online
+            joined_parts.append(joined + lo)
+            left_parts.append(left + lo)
+        if not joined_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(joined_parts), np.concatenate(left_parts)
+
+    def online_rows(self) -> np.ndarray:
+        """Ids of currently online nodes, ascending."""
+        return np.flatnonzero(self.online)
+
+    def online_count(self) -> int:
+        """Number of currently online nodes."""
+        return int(self.online.sum())
+
+    def online_fraction(self) -> float:
+        """Currently online fraction of the population."""
+        if self.num_nodes == 0:
+            return 0.0
         return self.online_count() / self.num_nodes

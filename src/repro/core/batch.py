@@ -27,6 +27,33 @@ byte-identical replica of the event-driven simulator):
 * Offline nodes keep their state; expired material is dropped eagerly
   rather than lazily on rejoin (the post-rejoin state is identical).
 
+Sharding
+--------
+
+The population can be partitioned into ``num_shards`` contiguous node
+ranges, each advanced by its own :class:`ShardEngine` (private arena,
+private RNG streams spawned per shard).  A round is then three phases
+in lockstep — a conservative synchronization window of exactly one
+shuffle period, the minimum cross-shard message latency:
+
+1. ``begin_round``: churn, expiry, minting, partner selection; emits
+   per-destination-shard :class:`PairBatch` notifications.
+2. ``build_sets``: every participant (initiator or partner) builds its
+   shuffle set; emits :class:`SetBatch` payloads carrying the set
+   *columns* (values / expiries / owners) toward remote exchange peers.
+3. ``absorb``: deliveries are assembled in a canonical order
+   (requests sorted by initiator id, then responses sorted by
+   initiator id — exactly the serial engine's delivery order), remote
+   pseudonyms are interned into the local table by value, and the wave
+   fold runs unchanged.
+
+The shard grid is *semantic*: digests are a function of
+``(config, num_shards)`` and nothing else, so the same grid run
+serially in one process or spread over N worker processes
+(:class:`~repro.parallel.shard.ShardedOverlay`) is byte-identical.
+``num_shards=1`` reproduces the historical single-shard draw sequence
+exactly.
+
 Everything is deterministic in ``config.seed``: the trust graph, the
 churn, the minted values, and every sampling draw come from named
 :class:`~repro.rng.RandomStreams` substreams.
@@ -35,18 +62,26 @@ churn, the minted values, and every sampling draw come from named
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import SystemConfig
-from ..churn.batch import BatchChurnModel
+from ..churn.batch import ShardedChurn
 from ..errors import GraphError, ProtocolError
 from ..graphs.fastgraph import FlatSnapshot, SnapshotAnalysis
 from ..rng import PSEUDONYM_BITS, RandomStreams
 from .arena import NodeArena, PseudonymArena
 
-__all__ = ["BatchOverlay", "ring_lattice_csr"]
+__all__ = [
+    "BatchOverlay",
+    "PairBatch",
+    "SetBatch",
+    "ShardEngine",
+    "combine_shard_digests",
+    "ring_lattice_csr",
+    "shard_ranges",
+]
 
 
 def ring_lattice_csr(
@@ -91,94 +126,202 @@ def ring_lattice_csr(
     return indptr, dst[order]
 
 
-class BatchOverlay:
-    """A whole overlay system advanced one shuffle round at a time.
+def shard_ranges(total: int, num_shards: int) -> np.ndarray:
+    """Balanced contiguous partition boundaries for ``total`` items.
 
-    Parameters
-    ----------
-    config:
-        Protocol parameters; ``num_nodes`` may be millions.  The
-        sampler size is uniform:
-        ``S = max(min_pseudonym_links, target_degree - mean_degree)``.
-    trusted_indptr, trusted_indices:
-        The trust graph as a symmetric CSR adjacency
-        (:func:`ring_lattice_csr`, or any CSR over ``0..n-1``).
-    start_all_online:
-        Seat every node online instead of the stationary draw.
+    Returns an int64 array of length ``num_shards + 1`` with
+    ``bounds[0] == 0`` and ``bounds[-1] == total``; shard ``s`` owns
+    ``[bounds[s], bounds[s+1])``.  The first ``total % num_shards``
+    shards get one extra item; when ``num_shards > total`` the tail
+    shards are empty.
+    """
+    if num_shards < 1:
+        raise ProtocolError(f"num_shards must be >= 1, got {num_shards}")
+    if total < 0:
+        raise ProtocolError(f"total must be non-negative, got {total}")
+    counts = np.full(num_shards, total // num_shards, dtype=np.int64)
+    counts[: total % num_shards] += 1
+    return np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+
+
+def shard_of(bounds: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Shard index of every global node id under ``bounds``."""
+    return np.searchsorted(bounds, nodes, side="right") - 1
+
+
+def shard_stream(
+    seed: int, shard_id: int, num_shards: int, name: str
+) -> np.random.Generator:
+    """The named private stream of one shard.
+
+    With ``num_shards == 1`` this is the historical ``("batch", name)``
+    substream, keeping the single-shard engine byte-identical to the
+    pre-shard one; otherwise each shard spawns its own independent
+    stream family via ``RandomStreams.spawn(("batch-shard", shard_id))``
+    so the draw sequence depends only on the shard grid, never on which
+    process hosts the shard.
+    """
+    streams = RandomStreams(seed)
+    if num_shards == 1:
+        return streams.substream("batch", name)
+    return streams.spawn("batch-shard", shard_id).substream(name)
+
+
+def slot_count_for(config: SystemConfig, trusted_indices: np.ndarray) -> int:
+    """Uniform sampler size — from the *global* mean trusted degree."""
+    mean_degree = int(len(trusted_indices) / config.num_nodes)
+    return max(config.min_pseudonym_links, config.target_degree - mean_degree)
+
+
+def combine_shard_digests(round_no: int, shard_digests: Sequence[bytes]) -> str:
+    """Whole-system digest from per-shard digests in shard-id order."""
+    digest = hashlib.sha256()
+    digest.update(np.int64(round_no).tobytes())
+    for part in shard_digests:
+        digest.update(part)
+    return digest.hexdigest()
+
+
+class PairBatch(NamedTuple):
+    """Hop-1 exchange notifications from one shard toward one shard.
+
+    ``initiators`` and ``partners`` are parallel global-id arrays,
+    ascending in initiator id; every partner lives in the receiving
+    shard.
+    """
+
+    src_shard: int
+    initiators: np.ndarray
+    partners: np.ndarray
+
+
+class SetBatch(NamedTuple):
+    """Hop-2 shuffle-set payloads from one shard toward one shard.
+
+    One row per exchange; ``kind`` is ``"request"`` (initiators' sets,
+    delivered to the partners' shard) or ``"response"`` (partners'
+    sets, delivered back to the initiators' shard).  The set travels as
+    columns — ``values`` (int64, -1 padding), ``expires`` (float64,
+    -inf padding), ``owners`` (int64, -1 padding) — because pseudonym
+    *ids* are arena-local; the receiver re-interns by value.
+    """
+
+    src_shard: int
+    kind: str
+    initiators: np.ndarray
+    partners: np.ndarray
+    values: np.ndarray
+    expires: np.ndarray
+    owners: np.ndarray
+
+
+class ShardEngine:
+    """One contiguous node range of a (possibly sharded) overlay run.
+
+    Owns a private :class:`~repro.core.arena.NodeArena` over its local
+    rows, the shard's slice of the trust CSR (local ``indptr``, global
+    neighbor ids), and the shard's private RNG streams.  The round is
+    split into the three lockstep phases (:meth:`begin_round`,
+    :meth:`build_sets`, :meth:`absorb`) so the same engine code runs
+    under the serial in-process driver (:class:`BatchOverlay`) and the
+    multiprocess one (:class:`~repro.parallel.shard.ShardedOverlay`) —
+    equality between the two is structural, not tested-into-existence.
+
+    ``global_online`` is the *whole population's* online mask (churn is
+    replicated per process — every shard's model is one uniform draw
+    per node per round); the engine keeps a view of its own slice and
+    reads the full mask only for partner reachability.
     """
 
     __slots__ = (
         "config",
-        "arena",
-        "churn",
-        "round",
+        "shard_id",
+        "num_shards",
+        "bounds",
+        "lo",
+        "hi",
+        "size",
         "slot_count",
+        "arena",
         "own_ids",
+        "online",
         "counters",
-        "_trusted_deg",
-        "_trust_lo",
-        "_trust_hi",
+        "trust_lo",
+        "trust_hi",
+        "trusted_deg",
+        "_global_online",
         "_mint_rng",
         "_protocol_rng",
+        "_sets",
+        "_position",
+        "_initiators",
+        "_partners",
+        "_in_pairs",
+        "_lookup_values",
+        "_lookup_pids",
+        "_interned",
     )
 
     def __init__(
         self,
         config: SystemConfig,
+        shard_id: int,
+        bounds: np.ndarray,
+        slot_count: int,
         trusted_indptr: np.ndarray,
         trusted_indices: np.ndarray,
-        start_all_online: bool = False,
+        global_online: np.ndarray,
     ) -> None:
-        num_nodes = config.num_nodes
-        if len(trusted_indptr) != num_nodes + 1:
-            raise GraphError(
-                f"trusted_indptr covers {len(trusted_indptr) - 1} nodes, "
-                f"config.num_nodes is {num_nodes}"
-            )
         self.config = config
-        streams = RandomStreams(config.seed)
-        self._mint_rng = streams.substream("batch", "mint")
-        self._protocol_rng = streams.substream("batch", "protocol")
-        self.churn = BatchChurnModel(
-            num_nodes,
-            config.availability,
-            config.mean_offline_time,
-            streams.substream("batch", "churn"),
-            start_all_online=start_all_online,
+        self.shard_id = shard_id
+        self.num_shards = len(bounds) - 1
+        self.bounds = bounds
+        self.lo = int(bounds[shard_id])
+        self.hi = int(bounds[shard_id + 1])
+        self.size = self.hi - self.lo
+        self.slot_count = slot_count
+        self._global_online = global_online
+        self.online = global_online[self.lo : self.hi]
+        self._mint_rng = shard_stream(
+            config.seed, shard_id, self.num_shards, "mint"
         )
-        mean_degree = int(len(trusted_indices) / num_nodes)
-        self.slot_count = max(
-            config.min_pseudonym_links, config.target_degree - mean_degree
+        self._protocol_rng = shard_stream(
+            config.seed, shard_id, self.num_shards, "protocol"
         )
         self.arena = NodeArena(
-            PseudonymArena(chunk=max(4096, num_nodes)),
-            node_chunk=num_nodes,
+            PseudonymArena(chunk=max(4096, self.size)),
+            node_chunk=max(1, self.size),
             track_insert_times=False,
         )
-        self.arena.register_batch(num_nodes, self.slot_count, config.cache_size)
+        self.arena.register_batch(self.size, slot_count, config.cache_size)
         # Immutable per-slot reference values (paper Section III-D2) —
-        # drawn once, whole plane at a time.  Without them every slot
+        # drawn once, whole shard at a time.  Without them every slot
         # would share reference 0 and collapse onto one pseudonym.
-        if self.slot_count:
-            self.arena.slot_refs[:num_nodes, : self.slot_count] = streams.substream(
-                "batch", "slot-refs"
+        if slot_count and self.size:
+            self.arena.slot_refs[: self.size, :slot_count] = shard_stream(
+                config.seed, shard_id, self.num_shards, "slot-refs"
             ).integers(
                 0,
                 1 << PSEUDONYM_BITS,
-                size=(num_nodes, self.slot_count),
+                size=(self.size, slot_count),
                 dtype=np.int64,
             )
-        self.arena.set_trusted_csr(trusted_indptr, trusted_indices)
-        self._trusted_deg = np.diff(self.arena.trusted_indptr)
-        # Undirected trusted edge list (lo < hi) for snapshot assembly.
+        # The shard's CSR slice: local row offsets, GLOBAL neighbor ids.
+        row_lo = int(trusted_indptr[self.lo])
+        row_hi = int(trusted_indptr[self.hi])
+        self.arena.set_trusted_csr(
+            trusted_indptr[self.lo : self.hi + 1] - row_lo,
+            trusted_indices[row_lo:row_hi],
+        )
+        self.trusted_deg = np.diff(self.arena.trusted_indptr)
+        # Undirected trusted edge list (lo < hi, global) for snapshots.
         src = np.repeat(
-            np.arange(num_nodes, dtype=np.int64), self._trusted_deg
+            np.arange(self.lo, self.hi, dtype=np.int64), self.trusted_deg
         )
         forward = self.arena.trusted_indices > src
-        self._trust_lo = src[forward]
-        self._trust_hi = self.arena.trusted_indices[forward]
-        self.own_ids = np.full(num_nodes, -1, dtype=np.int64)
-        self.round = 0
+        self.trust_lo = src[forward]
+        self.trust_hi = self.arena.trusted_indices[forward]
+        self.own_ids = np.full(self.size, -1, dtype=np.int64)
         self.counters: Dict[str, int] = {
             "messages_sent": 0,
             "exchanges": 0,
@@ -187,34 +330,230 @@ class BatchOverlay:
             "link_additions": 0,
             "link_removals": 0,
         }
+        self._sets = np.zeros((0, 0), dtype=np.int32)
+        self._position = np.zeros(0, dtype=np.int64)
+        self._initiators = np.zeros(0, dtype=np.int64)
+        self._partners = np.zeros(0, dtype=np.int64)
+        self._in_pairs: List[PairBatch] = []
+        self._lookup_values: Optional[np.ndarray] = None
+        self._lookup_pids: Optional[np.ndarray] = None
+        self._interned: List[np.ndarray] = []
 
-    @classmethod
-    def build(
-        cls,
-        config: SystemConfig,
-        extra_edges_per_node: int = 4,
-        start_all_online: bool = False,
-    ) -> "BatchOverlay":
-        """Construct over a synthetic ring-lattice trust graph."""
-        streams = RandomStreams(config.seed)
-        indptr, indices = ring_lattice_csr(
-            config.num_nodes,
-            extra_edges_per_node,
-            streams.substream("batch", "trust-graph"),
+    # ------------------------------------------------------------------
+    # round phases
+    # ------------------------------------------------------------------
+
+    def begin_round(self, now: float) -> Dict[int, PairBatch]:
+        """Phase 1: expiry, minting, partner selection.
+
+        Returns exchange notifications keyed by the partner's shard
+        (this shard included).  Churn has already been stepped by the
+        driver — the global online mask is current.
+        """
+        self._in_pairs = []
+        self._lookup_values = None
+        self._lookup_pids = None
+        self._interned = []
+        if self.size == 0:
+            self._initiators = np.zeros(0, dtype=np.int64)
+            self._partners = np.zeros(0, dtype=np.int64)
+            return {}
+        arena = self.arena
+        # Expiry purge: slots and caches, then links for every row whose
+        # slots changed (the legacy _expire_state ordering — link
+        # refresh happens before partner selection).
+        slot_dirty, _ = arena.batch_expire(now)
+        self._refresh_links(slot_dirty)
+        self._mint_due(now)
+        initiators, partners = self._pick_partners()
+        self.counters["exchanges"] += len(initiators)
+        # Responses are messages too (one per reachable request).
+        self.counters["messages_sent"] += len(initiators)
+        self._initiators = initiators
+        self._partners = partners
+        out: Dict[int, PairBatch] = {}
+        dst_shards = shard_of(self.bounds, partners)
+        for dst in np.unique(dst_shards):
+            sel = dst_shards == dst
+            out[int(dst)] = PairBatch(
+                self.shard_id, initiators[sel], partners[sel]
+            )
+        return out
+
+    def build_sets(
+        self, pairs_in: List[PairBatch], now: float
+    ) -> Dict[int, List[SetBatch]]:
+        """Phase 2: build every participant's shuffle set.
+
+        ``pairs_in`` holds the exchange notifications whose partner is
+        local (this shard's own included); arrival order does not
+        matter — batches are re-sorted by source shard.  Returns set
+        payloads keyed by destination shard for every exchange with a
+        remote peer.
+        """
+        self._in_pairs = sorted(pairs_in, key=lambda batch: batch.src_shard)
+        if self.size == 0:
+            return {}
+        arena = self.arena
+        partner_rows = [
+            batch.partners - self.lo for batch in self._in_pairs
+        ]
+        participants = np.unique(
+            np.concatenate(
+                [self._initiators - self.lo] + partner_rows
+            ).astype(np.int64)
         )
-        return cls(config, indptr, indices, start_all_online=start_all_online)
+        if len(participants) == 0:
+            self._sets = np.zeros(
+                (0, self.config.shuffle_length), dtype=np.int32
+            )
+            self._position = np.full(self.size, -1, dtype=np.int64)
+            return {}
+        # One shuffle set per participant: own + l-1 distinct cache
+        # picks.  The sets hold a refcount on every entry for the
+        # duration of the round, so an entry evicted mid-wave stays
+        # readable — in the real protocol the pseudonym travels inside
+        # the message, independent of the sender's later cache state.
+        length = self.config.shuffle_length
+        keys = self._protocol_rng.random((len(participants), arena.cache_cols))
+        picks = arena.sample_cache(participants, length - 1, keys)
+        sets = np.concatenate(
+            (self.own_ids[participants][:, None].astype(np.int32), picks),
+            axis=1,
+        )
+        held = sets[sets >= 0]
+        counts = np.bincount(held, minlength=arena.pseudonyms.capacity)
+        touched = np.flatnonzero(counts)
+        arena.pseudonyms.refcounts[touched] += counts[touched]
+        position = np.full(self.size, -1, dtype=np.int64)
+        position[participants] = np.arange(len(participants), dtype=np.int64)
+        self._sets = sets
+        self._position = position
+        out: Dict[int, List[SetBatch]] = {}
+        # Responses: local partners' sets travel back to each remote
+        # initiator's shard.
+        for batch in self._in_pairs:
+            if batch.src_shard == self.shard_id:
+                continue
+            rows = batch.partners - self.lo
+            values, expires, owners = self._set_columns(rows)
+            out.setdefault(batch.src_shard, []).append(
+                SetBatch(
+                    self.shard_id,
+                    "response",
+                    batch.initiators,
+                    batch.partners,
+                    values,
+                    expires,
+                    owners,
+                )
+            )
+        # Requests: local initiators' sets travel to each remote
+        # partner's shard.
+        dst_shards = shard_of(self.bounds, self._partners)
+        for dst in np.unique(dst_shards):
+            if dst == self.shard_id:
+                continue
+            sel = dst_shards == dst
+            rows = self._initiators[sel] - self.lo
+            values, expires, owners = self._set_columns(rows)
+            out.setdefault(int(dst), []).append(
+                SetBatch(
+                    self.shard_id,
+                    "request",
+                    self._initiators[sel],
+                    self._partners[sel],
+                    values,
+                    expires,
+                    owners,
+                )
+            )
+        return out
+
+    def absorb(self, sets_in: List[SetBatch], now: float) -> None:
+        """Phase 3: fold every delivery in the canonical serial order.
+
+        Deliveries are assembled requests-first (sorted by initiator
+        id) then responses (sorted by initiator id) — exactly the
+        serial engine's ``concat((partners, initiators))`` delivery
+        order — so the wave fold below is byte-identical regardless of
+        how the work was sharded.  Remote payloads are interned into
+        the local pseudonym table by value first.
+        """
+        if self.size == 0:
+            return
+        sets_in = sorted(sets_in, key=lambda batch: batch.src_shard)
+        # Requests: deliveries to local partners.
+        req_dst: List[np.ndarray] = []
+        req_init: List[np.ndarray] = []
+        req_cands: List[np.ndarray] = []
+        for batch in self._in_pairs:
+            if batch.src_shard != self.shard_id:
+                continue
+            req_dst.append(batch.partners - self.lo)
+            req_init.append(batch.initiators)
+            req_cands.append(
+                self._sets[self._position[batch.initiators - self.lo]]
+            )
+        for batch in sets_in:
+            if batch.kind != "request":
+                continue
+            req_dst.append(batch.partners - self.lo)
+            req_init.append(batch.initiators)
+            req_cands.append(
+                self._intern(batch.values, batch.expires, batch.owners)
+            )
+        # Responses: deliveries back to local initiators.
+        resp_init: List[np.ndarray] = []
+        resp_cands: List[np.ndarray] = []
+        local_partner = shard_of(self.bounds, self._partners) == self.shard_id
+        resp_init.append(self._initiators[local_partner])
+        resp_cands.append(
+            self._sets[self._position[self._partners[local_partner] - self.lo]]
+        )
+        for batch in sets_in:
+            if batch.kind != "response":
+                continue
+            resp_init.append(batch.initiators)
+            resp_cands.append(
+                self._intern(batch.values, batch.expires, batch.owners)
+            )
+        width = self.config.shuffle_length
+        empty_rows = np.zeros(0, dtype=np.int64)
+        empty_cands = np.zeros((0, width), dtype=np.int32)
+        r_dst = np.concatenate(req_dst) if req_dst else empty_rows
+        r_init = np.concatenate(req_init) if req_init else empty_rows
+        r_cands = np.concatenate(req_cands) if req_cands else empty_cands
+        r_order = np.argsort(r_init, kind="stable")
+        p_init = np.concatenate(resp_init) if resp_init else empty_rows
+        p_cands = np.concatenate(resp_cands) if resp_cands else empty_cands
+        p_order = np.argsort(p_init, kind="stable")
+        dst = np.concatenate((r_dst[r_order], p_init[p_order] - self.lo))
+        cands = np.concatenate((r_cands[r_order], p_cands[p_order]))
+        changed_rows = self._absorb_waves(dst, cands, now)
+        self._refresh_links(np.flatnonzero(changed_rows))
+        # Drop the transient refcounts the shuffle sets held, plus one
+        # per interned remote instance.
+        table = self.arena.pseudonyms
+        if self._sets.size:
+            table.release_batch(self._sets[self._sets >= 0])
+        for instance in self._interned:
+            table.release_batch(instance)
+        self._interned = []
+        self._sets = np.zeros((0, 0), dtype=np.int32)
+        self._in_pairs = []
 
     # ------------------------------------------------------------------
-    # the round loop
+    # phase internals
     # ------------------------------------------------------------------
 
-    def _mint_due(self, now: float, online: np.ndarray) -> None:
+    def _mint_due(self, now: float) -> None:
         """Mint fresh own pseudonyms for online nodes whose own expired."""
         table = self.arena.pseudonyms
         own = self.own_ids
         safe = np.where(own >= 0, own, 0)
         live = (own >= 0) & (table.expires_at[safe] > now)
-        due = np.flatnonzero(online & ~live)
+        due = np.flatnonzero(self.online & ~live)
         if len(due) == 0:
             return
         stale = own[due]
@@ -223,7 +562,7 @@ class BatchOverlay:
             0, 1 << PSEUDONYM_BITS, size=len(due), dtype=np.int64
         )
         expires = np.full(len(due), now + self.config.pseudonym_lifetime)
-        own[due] = table.mint_batch(values, expires, due)
+        own[due] = table.mint_batch(values, expires, self.lo + due)
         self.counters["pseudonyms_created"] += len(due)
 
     def _refresh_links(self, rows: np.ndarray) -> None:
@@ -233,26 +572,28 @@ class BatchOverlay:
         self.counters["link_additions"] += int(added.sum())
         self.counters["link_removals"] += int(removed.sum())
 
-    def _pick_partners(self, online: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """One uniform link choice per online node; returns (rows, partners).
+    def _pick_partners(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One uniform link choice per online local node.
 
-        Each online node picks uniformly over trusted + pseudonym links
-        (the paper's partner selection); pseudonym links resolve to
-        their owner through the arena's owner column.  Exchanges whose
-        partner is offline are dropped requests (still counted as sent).
+        Returns ``(initiators, partners)`` as *global* ids.  Each
+        online node picks uniformly over trusted + pseudonym links (the
+        paper's partner selection); pseudonym links resolve to their
+        owner — a global id — through the arena's owner column.
+        Exchanges whose partner is offline anywhere in the population
+        are dropped requests (still counted as sent).
         """
         arena = self.arena
-        num_nodes = arena.num_nodes
-        trusted_deg = self._trusted_deg
-        link_len = arena.link_len[:num_nodes].astype(np.int64)
+        size = self.size
+        trusted_deg = self.trusted_deg
+        link_len = arena.link_len[:size].astype(np.int64)
         total = trusted_deg + link_len
-        active = online & (total > 0) & (self.own_ids >= 0)
-        draws = self._protocol_rng.random(num_nodes)
+        active = self.online & (total > 0) & (self.own_ids >= 0)
+        draws = self._protocol_rng.random(size)
         safe_total = np.maximum(total, 1)
         index = np.minimum(
             (draws * safe_total).astype(np.int64), safe_total - 1
         )
-        partner = np.full(num_nodes, -1, dtype=np.int64)
+        partner = np.full(size, -1, dtype=np.int64)
         from_trusted = active & (index < trusted_deg)
         rows = np.flatnonzero(from_trusted)
         if len(rows):
@@ -267,52 +608,94 @@ class BatchOverlay:
             partner[rows] = arena.pseudonyms.owners[pids]
         sent = int(active.sum())
         self.counters["messages_sent"] += sent
+        global_ids = np.arange(self.lo, self.hi, dtype=np.int64)
         reachable = (
             active
             & (partner >= 0)
-            & online[np.maximum(partner, 0)]
-            & (partner != np.arange(num_nodes))
+            & self._global_online[np.maximum(partner, 0)]
+            & (partner != global_ids)
         )
-        initiators = np.flatnonzero(reachable)
-        return initiators, partner[initiators]
+        rows = np.flatnonzero(reachable)
+        return global_ids[rows], partner[rows]
 
-    def _build_sets(
-        self, participants: np.ndarray, now: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """One shuffle set per participant: own + l-1 distinct cache picks.
+    def _set_columns(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """A row batch of local shuffle sets as value/expiry/owner columns."""
+        table = self.arena.pseudonyms
+        pids = self._sets[self._position[rows]]
+        valid = pids >= 0
+        safe = np.where(valid, pids, 0)
+        values = np.where(valid, table.values[safe], -1)
+        expires = np.where(valid, table.expires_at[safe], -np.inf)
+        owners = np.where(valid, table.owners[safe], -1)
+        return values, expires, owners
 
-        Returns ``(set_matrix, position)`` where ``position[node]``
-        indexes the node's row in ``set_matrix`` (-1 for bystanders).
-        The sets hold a refcount on every entry for the duration of the
-        round, so an entry evicted mid-wave stays readable — in the
-        real protocol the pseudonym travels inside the message,
-        independent of the sender's later cache state.
+    def _intern(
+        self, values: np.ndarray, expires: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        """Canonicalize remote set columns into local pseudonym ids.
+
+        Values already live in the local table (the destination's own
+        pseudonym, cached copies) resolve to the existing id — the
+        wave fold's dedup and own-filter compare ids, so remote copies
+        must alias local ones.  Unknown values are minted once per
+        distinct value.  Every instance holds one refcount until
+        :meth:`absorb` releases it at end of round.
         """
-        arena = self.arena
-        length = self.config.shuffle_length
-        keys = self._protocol_rng.random((len(participants), arena.cache_cols))
-        picks = arena.sample_cache(participants, length - 1, keys)
-        sets = np.concatenate(
-            (self.own_ids[participants][:, None].astype(np.int32), picks),
-            axis=1,
+        table = self.arena.pseudonyms
+        flat_values = values.ravel()
+        out = np.full(flat_values.shape, -1, dtype=np.int64)
+        valid = flat_values >= 0
+        if not valid.any():
+            return out.reshape(values.shape).astype(np.int32)
+        if self._lookup_values is None:
+            live = np.flatnonzero(table.refcounts[: table.capacity] > 0)
+            live_values = table.values[live]
+            order = np.argsort(live_values, kind="stable")
+            self._lookup_values = live_values[order]
+            self._lookup_pids = live[order].astype(np.int64)
+        vv = flat_values[valid]
+        uvals, first, inverse = np.unique(
+            vv, return_index=True, return_inverse=True
         )
-        held = sets[sets >= 0]
-        counts = np.bincount(held, minlength=arena.pseudonyms.capacity)
+        known = self._lookup_values
+        upids = np.full(len(uvals), -1, dtype=np.int64)
+        hit = np.zeros(len(uvals), dtype=bool)
+        if len(known):
+            pos = np.searchsorted(known, uvals)
+            in_range = pos < len(known)
+            hit[in_range] = known[pos[in_range]] == uvals[in_range]
+            upids[hit] = self._lookup_pids[pos[hit]]
+        new = ~hit
+        if new.any():
+            first_new = first[new]
+            minted = table.mint_batch(
+                uvals[new],
+                expires.ravel()[valid][first_new],
+                owners.ravel()[valid][first_new],
+            )
+            # mint_batch seats refcount 1; the instance counts below
+            # are the real holders.
+            table.refcounts[minted] -= 1
+            upids[new] = minted
+            merged_values = np.concatenate((known, uvals[new]))
+            merged_pids = np.concatenate((self._lookup_pids, minted))
+            order = np.argsort(merged_values, kind="stable")
+            self._lookup_values = merged_values[order]
+            self._lookup_pids = merged_pids[order]
+        instance_pids = upids[inverse]
+        counts = np.bincount(instance_pids, minlength=table.capacity)
         touched = np.flatnonzero(counts)
-        arena.pseudonyms.refcounts[touched] += counts[touched]
-        position = np.full(arena.num_nodes, -1, dtype=np.int64)
-        position[participants] = np.arange(len(participants), dtype=np.int64)
-        return sets, position
+        table.refcounts[touched] += counts[touched]
+        self._interned.append(instance_pids)
+        out[valid] = instance_pids
+        return out.reshape(values.shape).astype(np.int32)
 
     def _absorb_waves(
-        self,
-        dst: np.ndarray,
-        src: np.ndarray,
-        sets: np.ndarray,
-        position: np.ndarray,
-        now: float,
+        self, dst: np.ndarray, cand_matrix: np.ndarray, now: float
     ) -> np.ndarray:
-        """Fold every (dst ← src's set) delivery; returns dirty rows.
+        """Fold every (dst ← set) delivery; returns dirty local rows.
 
         Deliveries are grouped into waves — the j-th received set of
         every destination — so each wave is one cache-merge plus one
@@ -323,9 +706,8 @@ class BatchOverlay:
         table = arena.pseudonyms
         order = np.argsort(dst, kind="stable")
         sorted_dst = dst[order]
-        sorted_src = src[order]
         count = len(sorted_dst)
-        changed_rows = np.zeros(arena.num_nodes, dtype=bool)
+        changed_rows = np.zeros(self.size, dtype=bool)
         if count == 0:
             return changed_rows
         new_group = np.empty(count, dtype=bool)
@@ -339,7 +721,7 @@ class BatchOverlay:
         for wave in range(int(wave_index.max()) + 1):
             sel = wave_index == wave
             rows = sorted_dst[sel]
-            cands = sets[position[sorted_src[sel]]].copy()
+            cands = cand_matrix[order[sel]]
             valid = cands >= 0
             safe = np.where(valid, cands, 0)
             usable = (
@@ -353,35 +735,238 @@ class BatchOverlay:
             changed_rows[rows[changed > 0]] = True
         return changed_rows
 
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def digest_bytes(self) -> bytes:
+        """SHA-256 over this shard's protocol state (raw bytes).
+
+        Hashes the shard's online slice, every local node's own
+        pseudonym *value*, and the per-row cache/link/slot occupancy
+        and stored values — id-free, so it is invariant to how arena
+        ids were allocated.
+        """
+        arena = self.arena
+        size = self.size
+        table = arena.pseudonyms
+        own = self.own_ids
+        own_values = np.where(own >= 0, table.values[np.maximum(own, 0)], -1)
+        digest = hashlib.sha256()
+        digest.update(np.packbits(self.online).tobytes())
+        digest.update(own_values.tobytes())
+        for ids, lens in (
+            (arena.cache_ids[:size], arena.cache_len[:size]),
+            (arena.link_ids[:size], arena.link_len[:size]),
+        ):
+            live = np.arange(ids.shape[1])[None, :] < lens[:, None]
+            digest.update(lens.tobytes())
+            digest.update(table.values[ids[live]].tobytes())
+        slot_ids = arena.slot_ids[:size]
+        occupied = slot_ids >= 0
+        digest.update(np.packbits(occupied).tobytes())
+        digest.update(table.values[slot_ids[occupied]].tobytes())
+        return digest.digest()
+
+    def link_edges(
+        self, now: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live pseudonym-link edges as ``(holder, owner, alive)`` globals."""
+        arena = self.arena
+        size = self.size
+        if size == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=bool),
+            )
+        link_ids = arena.link_ids[:size]
+        live = (
+            np.arange(arena.link_cols)[None, :]
+            < arena.link_len[:size][:, None]
+        )
+        holder = np.broadcast_to(
+            np.arange(self.lo, self.hi, dtype=np.int64)[:, None],
+            link_ids.shape,
+        )[live]
+        pids = link_ids[live]
+        table = arena.pseudonyms
+        return holder, table.owners[pids], table.expires_at[pids] > now
+
+    def degree_mass(self) -> Tuple[int, int]:
+        """``(sum of online nodes' overlay degrees, online count)``."""
+        sel = self.online
+        count = int(sel.sum())
+        if count == 0:
+            return 0, 0
+        degrees = self.trusted_deg + self.arena.link_len[: self.size]
+        return int(degrees[sel].sum()), count
+
+    def memory_bytes(self) -> int:
+        """Deterministic storage accounting for this shard."""
+        total = self.arena.memory_bytes()
+        total += self.own_ids.nbytes
+        total += self.trust_lo.nbytes + self.trust_hi.nbytes
+        total += self.trusted_deg.nbytes
+        return total
+
+
+class BatchOverlay:
+    """A whole overlay system advanced one shuffle round at a time.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters; ``num_nodes`` may be millions.  The
+        sampler size is uniform:
+        ``S = max(min_pseudonym_links, target_degree - mean_degree)``.
+    trusted_indptr, trusted_indices:
+        The trust graph as a symmetric CSR adjacency
+        (:func:`ring_lattice_csr`, or any CSR over ``0..n-1``).
+    start_all_online:
+        Seat every node online instead of the stationary draw.
+    num_shards:
+        Logical shard-grid size.  The digest is a function of
+        ``(config, num_shards)``; ``1`` (the default) reproduces the
+        historical single-shard draw sequence exactly, and any other
+        grid is byte-identical to the same grid run across worker
+        processes by :class:`~repro.parallel.shard.ShardedOverlay`.
+    """
+
+    __slots__ = (
+        "config",
+        "churn",
+        "round",
+        "slot_count",
+        "num_shards",
+        "bounds",
+        "engines",
+    )
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        trusted_indptr: np.ndarray,
+        trusted_indices: np.ndarray,
+        start_all_online: bool = False,
+        num_shards: int = 1,
+    ) -> None:
+        num_nodes = config.num_nodes
+        if len(trusted_indptr) != num_nodes + 1:
+            raise GraphError(
+                f"trusted_indptr covers {len(trusted_indptr) - 1} nodes, "
+                f"config.num_nodes is {num_nodes}"
+            )
+        if num_shards < 1:
+            raise ProtocolError(f"num_shards must be >= 1, got {num_shards}")
+        self.config = config
+        self.num_shards = num_shards
+        self.bounds = shard_ranges(num_nodes, num_shards)
+        self.churn = ShardedChurn(
+            self.bounds,
+            config.availability,
+            config.mean_offline_time,
+            [
+                shard_stream(config.seed, shard, num_shards, "churn")
+                for shard in range(num_shards)
+            ],
+            start_all_online=start_all_online,
+        )
+        self.slot_count = slot_count_for(config, trusted_indices)
+        indptr = np.ascontiguousarray(trusted_indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(trusted_indices, dtype=np.int64)
+        self.engines = [
+            ShardEngine(
+                config,
+                shard,
+                self.bounds,
+                self.slot_count,
+                indptr,
+                indices,
+                self.churn.online,
+            )
+            for shard in range(num_shards)
+        ]
+        self.round = 0
+
+    @classmethod
+    def build(
+        cls,
+        config: SystemConfig,
+        extra_edges_per_node: int = 4,
+        start_all_online: bool = False,
+        num_shards: int = 1,
+    ) -> "BatchOverlay":
+        """Construct over a synthetic ring-lattice trust graph."""
+        streams = RandomStreams(config.seed)
+        indptr, indices = ring_lattice_csr(
+            config.num_nodes,
+            extra_edges_per_node,
+            streams.substream("batch", "trust-graph"),
+        )
+        return cls(
+            config,
+            indptr,
+            indices,
+            start_all_online=start_all_online,
+            num_shards=num_shards,
+        )
+
+    # ------------------------------------------------------------------
+    # single-shard compatibility surface
+    # ------------------------------------------------------------------
+
+    def _single_engine(self, attribute: str) -> ShardEngine:
+        if self.num_shards != 1:
+            raise ProtocolError(
+                f"BatchOverlay.{attribute} is single-shard only "
+                f"(num_shards={self.num_shards}); use overlay.engines[s]"
+            )
+        return self.engines[0]
+
+    @property
+    def arena(self) -> NodeArena:
+        """The node arena (single-shard runs; else use ``engines[s]``)."""
+        return self._single_engine("arena").arena
+
+    @property
+    def own_ids(self) -> np.ndarray:
+        """Own-pseudonym ids (single-shard runs; else ``engines[s]``)."""
+        return self._single_engine("own_ids").own_ids
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Cumulative protocol counters summed over all shards."""
+        merged: Dict[str, int] = dict(self.engines[0].counters)
+        for engine in self.engines[1:]:
+            for key, value in engine.counters.items():
+                merged[key] += value
+        return merged
+
+    # ------------------------------------------------------------------
+    # the round loop
+    # ------------------------------------------------------------------
+
     def step(self) -> None:
-        """Advance one shuffle round."""
+        """Advance one shuffle round (all shards, in lockstep)."""
         self.round += 1
         now = float(self.round)
-        arena = self.arena
         self.churn.step()
-        online = self.churn.online
-        # Expiry purge: slots and caches globally, then links for every
-        # row whose slots changed (the legacy _expire_state ordering —
-        # link refresh happens before partner selection).
-        slot_dirty, _ = arena.batch_expire(now)
-        self._refresh_links(slot_dirty)
-        self._mint_due(now, online)
-        initiators, partners = self._pick_partners(online)
-        self.counters["exchanges"] += len(initiators)
-        # Responses are messages too (one per reachable request).
-        self.counters["messages_sent"] += len(initiators)
-        participants = np.unique(np.concatenate((initiators, partners)))
-        if len(participants) == 0:
-            return
-        sets, position = self._build_sets(participants, now)
-        # Symmetric exchange: the partner absorbs the initiator's set,
-        # the initiator absorbs the partner's response.
-        dst = np.concatenate((partners, initiators))
-        src = np.concatenate((initiators, partners))
-        changed_rows = self._absorb_waves(dst, src, sets, position, now)
-        self._refresh_links(np.flatnonzero(changed_rows))
-        # Drop the transient refcounts the shuffle sets held.
-        arena.pseudonyms.release_batch(sets[sets >= 0])
+        pairs_for: Dict[int, List[PairBatch]] = {
+            shard: [] for shard in range(self.num_shards)
+        }
+        for engine in self.engines:
+            for dst, batch in engine.begin_round(now).items():
+                pairs_for[dst].append(batch)
+        sets_for: Dict[int, List[SetBatch]] = {
+            shard: [] for shard in range(self.num_shards)
+        }
+        for engine in self.engines:
+            out = engine.build_sets(pairs_for[engine.shard_id], now)
+            for dst, batches in out.items():
+                sets_for[dst].extend(batches)
+        for engine in self.engines:
+            engine.absorb(sets_for[engine.shard_id], now)
 
     def run(self, rounds: int) -> None:
         """Advance ``rounds`` shuffle rounds."""
@@ -396,11 +981,11 @@ class BatchOverlay:
         """The current overlay as a :class:`FlatSnapshot`.
 
         Trusted edges with both ends included plus unexpired pseudonym
-        links resolved through the arena's owner column — the batch
-        analogue of :meth:`Overlay.snapshot_fast`.
+        links resolved through the arenas' owner columns — the batch
+        analogue of :meth:`Overlay.snapshot_fast`.  Per-shard edge
+        lists concatenate in shard order, which is global row order.
         """
-        arena = self.arena
-        num_nodes = arena.num_nodes
+        num_nodes = self.config.num_nodes
         now = float(self.round)
         if online_only:
             ids = self.churn.online_rows()
@@ -408,21 +993,13 @@ class BatchOverlay:
             ids = np.arange(num_nodes, dtype=np.int64)
         pos = np.full(num_nodes, -1, dtype=np.int64)
         pos[ids] = np.arange(len(ids), dtype=np.int64)
-        trust_a = pos[self._trust_lo]
-        trust_b = pos[self._trust_hi]
+        trust_a = pos[np.concatenate([e.trust_lo for e in self.engines])]
+        trust_b = pos[np.concatenate([e.trust_hi for e in self.engines])]
         trust_keep = (trust_a >= 0) & (trust_b >= 0)
-        link_ids = arena.link_ids[:num_nodes]
-        live = (
-            np.arange(arena.link_cols)[None, :]
-            < arena.link_len[:num_nodes][:, None]
-        )
-        holder = np.broadcast_to(
-            np.arange(num_nodes, dtype=np.int64)[:, None], link_ids.shape
-        )[live]
-        pids = link_ids[live]
-        table = arena.pseudonyms
-        owner = table.owners[pids]
-        alive = table.expires_at[pids] > now
+        edges = [engine.link_edges(now) for engine in self.engines]
+        holder = np.concatenate([edge[0] for edge in edges])
+        owner = np.concatenate([edge[1] for edge in edges])
+        alive = np.concatenate([edge[2] for edge in edges])
         a = pos[holder]
         b = pos[np.maximum(owner, 0)]
         keep = alive & (owner >= 0) & (owner != holder) & (a >= 0) & (b >= 0)
@@ -438,55 +1015,37 @@ class BatchOverlay:
 
     def mean_out_degree(self) -> float:
         """Mean overlay degree over online nodes (trusted + live links)."""
-        online = self.churn.online
-        if not online.any():
+        total = 0
+        count = 0
+        for engine in self.engines:
+            mass, online = engine.degree_mass()
+            total += mass
+            count += online
+        if count == 0:
             return 0.0
-        arena = self.arena
-        degrees = self._trusted_deg + arena.link_len[: arena.num_nodes]
-        return float(degrees[online].mean())
+        return total / count
 
     def memory_bytes(self) -> int:
         """Deterministic storage accounting for the whole engine."""
-        total = self.arena.memory_bytes()
-        total += self.own_ids.nbytes
-        total += self._trust_lo.nbytes + self._trust_hi.nbytes
-        total += self._trusted_deg.nbytes + self.churn.online.nbytes
+        total = sum(engine.memory_bytes() for engine in self.engines)
+        total += self.churn.online.nbytes
         return total
 
     def state_digest(self) -> str:
         """SHA-256 over the protocol state (determinism evidence).
 
-        Hashes the online mask, every node's own pseudonym value, and
-        the per-row cache/link/slot occupancy and stored values — two
-        runs with the same config produce the same digest.
+        Per-shard digests (online mask, own pseudonym values, per-row
+        cache/link/slot occupancy and stored values) combined in
+        shard-id order — a function of ``(config, num_shards)`` only,
+        identical however many processes hosted the shards.
         """
-        arena = self.arena
-        num_nodes = arena.num_nodes
-        table = arena.pseudonyms
-        own = self.own_ids
-        own_values = np.where(
-            own >= 0, table.values[np.maximum(own, 0)], -1
+        return combine_shard_digests(
+            self.round, [engine.digest_bytes() for engine in self.engines]
         )
-        digest = hashlib.sha256()
-        digest.update(np.int64(self.round).tobytes())
-        digest.update(np.packbits(self.churn.online).tobytes())
-        digest.update(own_values.tobytes())
-        for ids, lens in (
-            (arena.cache_ids[:num_nodes], arena.cache_len[:num_nodes]),
-            (arena.link_ids[:num_nodes], arena.link_len[:num_nodes]),
-        ):
-            live = np.arange(ids.shape[1])[None, :] < lens[:, None]
-            digest.update(lens.tobytes())
-            digest.update(table.values[ids[live]].tobytes())
-        slot_ids = arena.slot_ids[:num_nodes]
-        occupied = slot_ids >= 0
-        digest.update(np.packbits(occupied).tobytes())
-        digest.update(table.values[slot_ids[occupied]].tobytes())
-        return digest.hexdigest()
 
     def stats(self) -> Dict[str, int]:
         """Cumulative counters plus the current online count."""
-        merged = dict(self.counters)
+        merged = self.counters
         merged["online_nodes"] = self.churn.online_count()
         merged["round"] = self.round
         return merged

@@ -173,6 +173,28 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
     # scheduling surface of SimClock — the protocol objects are driven
     # through the shared Clock contract, so a parameter renamed on one
     # side silently forks sim and live behavior.
+    # PR 9: the sharded simulation engine.  ShardedOverlay spreads one
+    # BatchOverlay run across forked workers and must keep its exact
+    # driving surface — the serial-equivalence golden test compares the
+    # two through these methods, so a drifted signature means the test
+    # no longer exercises the same run.
+    ParityPair(
+        name="sharded-batch",
+        fast_module="repro.parallel.shard",
+        legacy_module="repro.core.batch",
+        symbols=(
+            ("ShardedOverlay.run", "BatchOverlay.run", ("rounds",)),
+            ("ShardedOverlay.state_digest", "BatchOverlay.state_digest", ()),
+            ("ShardedOverlay.snapshot", "BatchOverlay.snapshot", ("online_only",)),
+            ("ShardedOverlay.stats", "BatchOverlay.stats", ()),
+            (
+                "ShardedOverlay.build",
+                "BatchOverlay.build",
+                ("config", "extra_edges_per_node", "start_all_online"),
+            ),
+        ),
+        evidence=("ShardedOverlay", "state_digest"),
+    ),
     ParityPair(
         name="net-clock",
         fast_module="repro.net.clock",
@@ -212,6 +234,21 @@ def _lookup_params(
     return list(function.params)
 
 
+def _package_in_scope(index: ProjectIndex, module: str) -> bool:
+    """Whether ``module``'s package has any file in the linted set.
+
+    Distinguishes a genuinely deleted module (siblings still indexed)
+    from a partial lint whose roots simply exclude the whole package —
+    e.g. the self-lint run over ``lint/`` + ``parallel/`` must not
+    flag a pair's legacy module living in ``repro.core``.
+    """
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    prefix = package + "."
+    return any(
+        name == package or name.startswith(prefix) for name in index.modules
+    )
+
+
 def _pair_anchor(index: ProjectIndex, pair: ParityPair) -> Tuple[str, int]:
     summary = index.modules.get(pair.fast_module)
     if summary is not None:
@@ -249,6 +286,10 @@ class Par001(ProjectRule):
                 absent = (
                     pair.legacy_module if fast_present else pair.fast_module
                 )
+                if not _package_in_scope(index, absent):
+                    # Partial lint again: the absent side's whole
+                    # package is outside the linted roots.
+                    continue
                 findings.append(
                     self.finding(
                         path,

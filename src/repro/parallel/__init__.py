@@ -12,14 +12,18 @@ keeping the results byte-identical to a serial run.  Four pieces:
   that makes interrupted sweeps resumable and finished ones auditable.
 * :mod:`~repro.parallel.sweep` — :func:`parallel_grid_sweep`, the
   drop-in parallel twin of :func:`repro.experiments.sweeps.grid_sweep`.
+* :mod:`~repro.parallel.shard` — :class:`ShardedOverlay`, *one*
+  deterministic batch-engine run spread across worker processes
+  (sweeps parallelize across points; shards parallelize within one).
 
 See ``docs/parallel.md`` for the architecture and the determinism and
 resume guarantees.
 """
 
 from .engine import PoolOptions, fork_available, parallel_map, run_tasks
-from .experiments import OverlayPointExperiment
+from .experiments import BatchPointExperiment, OverlayPointExperiment
 from .ledger import LEDGER_SCHEMA, RunLedger, run_fingerprint
+from .shard import ShardOptions, ShardedOverlay
 from .sweep import ParallelSweepRun, parallel_grid_sweep, run_parallel_sweep
 from .tasks import (
     TaskFailure,
@@ -46,4 +50,7 @@ __all__ = [
     "parallel_grid_sweep",
     "run_parallel_sweep",
     "OverlayPointExperiment",
+    "BatchPointExperiment",
+    "ShardOptions",
+    "ShardedOverlay",
 ]

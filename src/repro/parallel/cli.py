@@ -12,6 +12,11 @@ overlay point experiment (:class:`OverlayPointExperiment`) over the
 cartesian product, shards points across ``--workers`` processes, and
 memoizes every point in ``--store`` with an append-only run ledger, so
 re-running with ``--resume`` computes only the missing points.
+
+With ``--shards N`` each point instead runs the round-based batch
+engine over an N-shard grid (:class:`~repro.parallel.shard.ShardedOverlay`
+with ``--workers`` shard workers); points run serially in that mode,
+since daemonic sweep workers cannot fork shard workers.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError, ParallelError
 from ..shutdown import EXIT_INTERRUPTED, graceful_shutdown
-from .experiments import OverlayPointExperiment
+from .experiments import BatchPointExperiment, OverlayPointExperiment
 from .sweep import run_parallel_sweep
 
 __all__ = ["main", "parse_axis"]
@@ -85,6 +90,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker process count"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run each point on the round-based batch engine over an "
+        "N-shard grid (ShardedOverlay) instead of the event-driven "
+        "overlay; points then run serially — daemonic sweep workers "
+        "cannot fork shard workers — and --workers becomes the shard "
+        "worker count per point",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=20,
+        help="shuffle rounds per point with --shards (default: 20)",
+    )
+    parser.add_argument(
         "--store",
         default="sweep-results",
         help="result-store directory (holds point results and the ledger)",
@@ -138,7 +160,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     scale = scale_by_name(args.scale)
     base_config = make_config(scale, alpha=0.5, f=args.f, seed=args.seed)
-    experiment = OverlayPointExperiment(scale_name=scale.name, f=args.f)
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be at least 1")
+            return 2
+        # The shard engine forks its own workers per point, and daemonic
+        # sweep workers cannot fork children — so points run serially
+        # and the --workers budget goes to the shard engine instead.
+        experiment = BatchPointExperiment(
+            rounds=max(1, args.rounds),
+            num_shards=args.shards,
+            shard_workers=max(1, args.workers),
+        )
+        sweep_workers = 1
+    else:
+        experiment = OverlayPointExperiment(scale_name=scale.name, f=args.f)
+        sweep_workers = args.workers
     store = ResultStore(args.store)
 
     try:
@@ -147,7 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 base_config,
                 axes,
                 experiment,
-                workers=args.workers,
+                workers=sweep_workers,
                 store=store,
                 store_prefix=args.prefix,
                 resume=args.resume,

@@ -153,15 +153,22 @@ def _worker_main(  # lint: fork-entry
 
 
 class _WorkerHandle:
-    """Parent-side view of one worker process."""
+    """Parent-side view of one worker process.
+
+    Generic over the worker entry point: ``target`` is called as
+    ``target(child_conn, *args)`` in the forked child.  The sweep pool
+    uses :func:`_worker_main`; the sharded overlay driver
+    (:mod:`repro.parallel.shard`) reuses the same handle with its own
+    shard-server loop.
+    """
 
     __slots__ = ("conn", "process", "spec", "deadline")
 
-    def __init__(self, ctx, runner, clock) -> None:
+    def __init__(self, ctx, target, args) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.process = ctx.Process(
-            target=_worker_main, args=(child_conn, runner, clock), daemon=True
+            target=target, args=(child_conn,) + tuple(args), daemon=True
         )
         self.process.start()
         child_conn.close()
@@ -262,7 +269,9 @@ class _PoolRun:
         self._workers: List[_WorkerHandle] = [self._spawn() for _ in range(size)]
 
     def _spawn(self) -> _WorkerHandle:
-        return _WorkerHandle(self._ctx, self._runner, self._options.clock)
+        return _WorkerHandle(
+            self._ctx, _worker_main, (self._runner, self._options.clock)
+        )
 
     # -- bookkeeping ---------------------------------------------------
 

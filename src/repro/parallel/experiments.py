@@ -17,7 +17,7 @@ from ..config import SystemConfig
 from ..experiments.runner import run_overlay_experiment
 from ..experiments.scenarios import make_trust_graph, scale_by_name
 
-__all__ = ["OverlayPointExperiment"]
+__all__ = ["BatchPointExperiment", "OverlayPointExperiment"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,4 +58,58 @@ class OverlayPointExperiment:
             "trust_disconnected": result.trust_disconnected,
             "online_fraction": result.online_fraction,
             "full_edge_count": result.full_edge_count,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPointExperiment:
+    """One sweep point on the round-based batch engine.
+
+    Runs ``rounds`` shuffle periods of
+    :class:`~repro.core.batch.BatchOverlay` (optionally over a
+    ``num_shards`` grid hosted on ``shard_workers`` processes via
+    :class:`~repro.parallel.shard.ShardedOverlay`) and summarizes the
+    end state.  Because the shard engine forks its own workers, sweeps
+    using it must run their *points* serially — daemonic pool workers
+    cannot fork children — which is exactly what ``repro sweep
+    --shards N`` arranges.
+    """
+
+    rounds: int = 20
+    extra_edges_per_node: int = 4
+    num_shards: int = 1
+    shard_workers: int = 1
+
+    def __call__(self, config: SystemConfig) -> Dict[str, Any]:  # lint: fork-entry
+        from ..core.batch import BatchOverlay
+        from .shard import ShardedOverlay, ShardOptions
+
+        if self.shard_workers > 1:
+            with ShardedOverlay.build(
+                config,
+                extra_edges_per_node=self.extra_edges_per_node,
+                options=ShardOptions(
+                    num_shards=self.num_shards, workers=self.shard_workers
+                ),
+            ) as overlay:
+                overlay.run(self.rounds)
+                return self._summarize(overlay)
+        overlay = BatchOverlay.build(
+            config,
+            extra_edges_per_node=self.extra_edges_per_node,
+            num_shards=self.num_shards,
+        )
+        overlay.run(self.rounds)
+        return self._summarize(overlay)
+
+    @staticmethod
+    def _summarize(overlay: Any) -> Dict[str, Any]:
+        stats = overlay.stats()
+        analysis = overlay.analysis()
+        return {
+            "disconnected": analysis.fraction_disconnected(),
+            "online_fraction": stats["online_nodes"] / overlay.config.num_nodes,
+            "mean_degree": overlay.mean_out_degree(),
+            "exchanges": stats["exchanges"],
+            "state_digest": overlay.state_digest(),
         }

@@ -79,7 +79,17 @@ class TestRunSuite:
         for entry in stripped["benchmarks"].values():
             assert "timing" not in entry
             assert "peak_rss_kb" not in entry
+            assert "rss_delta_kb" not in entry
             assert "operations" in entry
+
+    def test_rss_delta_recorded_per_workload(self, quick_report):
+        """Every entry carries the workload-attributable RSS delta."""
+        for entry in quick_report["benchmarks"].values():
+            assert "rss_delta_kb" in entry
+            delta = entry["rss_delta_kb"]
+            if delta is not None:  # None only where resource is absent
+                assert delta >= 0
+                assert delta <= entry["peak_rss_kb"]
 
     def test_parallel_sweep_workload_checks_digests(self):
         """The workload runs both paths and strips its wall_ facts."""
@@ -262,20 +272,30 @@ class TestCompareGate:
 
 
 class TestMemoryGate:
-    """The peak-RSS half of the --compare gate."""
+    """The memory half of the --compare gate.
+
+    When both sides record ``rss_delta_kb`` the gate compares the
+    per-workload deltas (with a fixed floor added to both sides);
+    baselines that only have ``peak_rss_kb`` are gated on that instead.
+    """
 
     def test_identical_rss_passes(self, quick_report):
         comparison = compare_reports(quick_report, quick_report)
         assert comparison.ok
         assert not comparison.mem_regressions
         assert set(comparison.mem_rows) == set(FAST)
+        # Both sides carry rss_delta_kb, so that metric wins.
+        assert all(
+            row["metric"] == "rss_delta_kb"
+            for row in comparison.mem_rows.values()
+        )
 
-    def test_rss_blowup_fails(self, quick_report):
-        """A current run using 4x the baseline RSS must trip the gate."""
-        lean_baseline = copy.deepcopy(quick_report)
-        for entry in lean_baseline["benchmarks"].values():
-            entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 4)
-        comparison = compare_reports(lean_baseline, quick_report, mem_threshold=2.0)
+    def test_delta_blowup_fails(self, quick_report):
+        """A run whose RSS delta dwarfs the baseline's must trip the gate."""
+        bloated = copy.deepcopy(quick_report)
+        for entry in bloated["benchmarks"].values():
+            entry["rss_delta_kb"] = 10_000_000
+        comparison = compare_reports(quick_report, bloated, mem_threshold=2.0)
         assert not comparison.ok
         assert set(comparison.mem_regressions) == set(FAST)
         rendered = format_comparison(comparison)
@@ -283,27 +303,61 @@ class TestMemoryGate:
         assert "(memory)" in rendered
         assert "FAIL" in rendered
 
-    def test_growth_within_threshold_passes(self, quick_report):
-        lean_baseline = copy.deepcopy(quick_report)
-        for entry in lean_baseline["benchmarks"].values():
-            entry["peak_rss_kb"] = int(entry["peak_rss_kb"] / 1.5)
-        assert compare_reports(lean_baseline, quick_report, mem_threshold=2.0).ok
+    def test_floor_absorbs_small_deltas(self, quick_report):
+        """Sub-floor wiggle around zero-delta entries never regresses:
+        (2000 + floor) / (0 + floor) stays under any sane threshold."""
+        zeroed = copy.deepcopy(quick_report)
+        for entry in zeroed["benchmarks"].values():
+            entry["rss_delta_kb"] = 0
+        wiggled = copy.deepcopy(quick_report)
+        for entry in wiggled["benchmarks"].values():
+            entry["rss_delta_kb"] = 2000
+        comparison = compare_reports(zeroed, wiggled, mem_threshold=2.0)
+        assert comparison.ok
+        assert not comparison.mem_regressions
 
-    def test_memory_failure_is_independent_of_timing(self, quick_report):
-        """A mem-only regression fails even with all timings identical."""
+    def test_legacy_baseline_gates_on_peak(self, quick_report):
+        """Baselines predating rss_delta_kb fall back to peak_rss_kb, so
+        a 4x peak still trips the gate — no flag day on refresh."""
+        legacy_baseline = copy.deepcopy(quick_report)
+        for entry in legacy_baseline["benchmarks"].values():
+            del entry["rss_delta_kb"]
+            entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 4)
+        comparison = compare_reports(
+            legacy_baseline, quick_report, mem_threshold=2.0
+        )
+        assert not comparison.ok
+        assert set(comparison.mem_regressions) == set(FAST)
+        assert all(
+            row["metric"] == "peak_rss_kb"
+            for row in comparison.mem_rows.values()
+        )
+
+    def test_peak_shrink_ignored_when_deltas_present(self, quick_report):
+        """With deltas on both sides, peak_rss_kb no longer gates — the
+        suite-order contamination it measures is exactly what the delta
+        metric exists to avoid."""
         lean_baseline = copy.deepcopy(quick_report)
         for entry in lean_baseline["benchmarks"].values():
             entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 10)
-        comparison = compare_reports(lean_baseline, quick_report)
+        assert compare_reports(lean_baseline, quick_report).ok
+
+    def test_memory_failure_is_independent_of_timing(self, quick_report):
+        """A mem-only regression fails even with all timings identical."""
+        bloated = copy.deepcopy(quick_report)
+        for entry in bloated["benchmarks"].values():
+            entry["rss_delta_kb"] = 10_000_000
+        comparison = compare_reports(quick_report, bloated)
         assert not comparison.regressions
         assert comparison.mem_regressions
         assert not comparison.ok
 
     def test_baseline_without_rss_skips_gate(self, quick_report):
-        """Pre-gate baselines lack peak_rss_kb; they must not fail."""
+        """Baselines lacking both memory fields must not fail the gate."""
         old_baseline = copy.deepcopy(quick_report)
         for entry in old_baseline["benchmarks"].values():
             del entry["peak_rss_kb"]
+            del entry["rss_delta_kb"]
         comparison = compare_reports(old_baseline, quick_report)
         assert comparison.ok
         assert not comparison.mem_rows
@@ -360,6 +414,9 @@ class TestCli:
         assert code == 0
         baseline = load_report(str(baseline_path))
         for entry in baseline["benchmarks"].values():
+            # A legacy-shaped baseline: peak only, claimed implausibly
+            # lean, so the peak fallback path is what must trip.
+            del entry["rss_delta_kb"]
             entry["peak_rss_kb"] = max(1, entry["peak_rss_kb"] // 100)
         lean_path = tmp_path / "lean.json"
         write_json(baseline, str(lean_path))
@@ -396,6 +453,22 @@ class TestCli:
         out = capsys.readouterr().out
         assert "missing from baseline" in out
         assert "BENCH_baseline.json" in out
+
+    def test_unknown_only_name_exits_2_with_known_list(self, capsys):
+        """A typo in --only lists every known workload, exit 2."""
+        assert bench_main(["--quick", "--only", "event_loop_chrun"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark name(s) for --only: event_loop_chrun" in err
+        for name in workload_names():
+            assert name in err
+
+    def test_unknown_skip_name_exits_2_with_known_list(self, capsys):
+        assert bench_main(
+            ["--quick", "--skip", "nope", "sharded_churn", "wat"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark name(s) for --skip: nope, wat" in err
+        assert "known benchmarks:" in err
 
     def test_negative_threshold_exit_code(self, capsys):
         assert bench_main(["--quick", "--threshold", "-1"]) == 2

@@ -478,6 +478,7 @@ class TestParityRules:
             "node-plane-slots",
             "node-plane-cache",
             "node-plane-links",
+            "sharded-batch",
             "net-clock",
         }
 

@@ -1,0 +1,336 @@
+"""Tests for the sharded simulation engine (``repro.parallel.shard``).
+
+The contract under test is the determinism invariant from
+``docs/parallel.md``: the state digest of a run is a pure function of
+``(config, trust graph, num_shards)`` — never of the worker count.
+``ShardedOverlay`` spreading one run across forked processes must be
+byte-identical to the serial :class:`BatchOverlay` driving the same
+shard grid in-process, at every worker count, pinned here by digest,
+counter, and snapshot equality (the serial-equivalence golden test the
+``sharded-batch`` parity pair points at).
+
+Plus the shard-boundary edge cases for the pieces the engine is built
+from: :func:`shard_ranges` partitions, :func:`ring_lattice_csr` ring
+edges crossing shard boundaries, and :class:`ShardedChurn` over
+non-divisible populations and empty shards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.churn import BatchChurnModel
+from repro.churn.batch import ShardedChurn
+from repro.config import SystemConfig
+from repro.core import BatchOverlay
+from repro.core.batch import (
+    ring_lattice_csr,
+    shard_of,
+    shard_ranges,
+    shard_stream,
+)
+from repro.errors import ChurnError, GraphError, ParallelError, ProtocolError
+from repro.parallel import ShardOptions, ShardedOverlay
+from repro.parallel.engine import fork_available
+from repro.rng import RandomStreams
+
+SEED = 29
+
+
+def _config(num_nodes, seed=SEED):
+    """The scale-workload config shape at test size."""
+    return SystemConfig(
+        num_nodes=num_nodes,
+        cache_size=16,
+        shuffle_length=8,
+        target_degree=12,
+        min_pseudonym_links=8,
+        availability=0.6,
+        mean_offline_time=8.0,
+        seed=seed,
+    )
+
+
+def _serial_run(config, num_shards, rounds):
+    """Digest/stats/snapshot of the serial engine over a shard grid."""
+    overlay = BatchOverlay.build(config, num_shards=num_shards)
+    overlay.run(rounds)
+    return overlay.state_digest(), overlay.stats(), overlay.snapshot()
+
+
+def _snapshots_equal(a, b):
+    return (
+        np.array_equal(a.node_ids, b.node_ids)
+        and np.array_equal(a.edge_u, b.edge_u)
+        and np.array_equal(a.edge_v, b.edge_v)
+    )
+
+
+# ----------------------------------------------------------------------
+# serial equivalence: the golden test
+# ----------------------------------------------------------------------
+
+
+class TestSerialEquivalence:
+    """ShardedOverlay == BatchOverlay over the same shard grid."""
+
+    NODES = 10_000
+    SHARDS = 4
+    ROUNDS = 3
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _serial_run(_config(self.NODES), self.SHARDS, self.ROUNDS)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_digest_identical_at_any_worker_count(self, serial, workers):
+        digest, stats, snapshot = serial
+        with ShardedOverlay.build(
+            _config(self.NODES),
+            options=ShardOptions(num_shards=self.SHARDS, workers=workers),
+        ) as sharded:
+            sharded.run(self.ROUNDS)
+            assert sharded.state_digest() == digest
+            assert sharded.stats() == stats
+            assert _snapshots_equal(sharded.snapshot(), snapshot)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_two_shard_ci_gate(self):
+        """The CI shard-smoke criterion: 2 shards, 10^4 nodes."""
+        digest, stats, _ = _serial_run(_config(self.NODES), 2, self.ROUNDS)
+        with ShardedOverlay.build(
+            _config(self.NODES), options=ShardOptions(num_shards=2, workers=2)
+        ) as sharded:
+            sharded.run(self.ROUNDS)
+            assert sharded.state_digest() == digest
+            assert sharded.stats() == stats
+
+    def test_in_process_fallback_matches_serial(self):
+        """workers=1 never forks and still honors the shard grid."""
+        config = _config(2_000)
+        digest, stats, snapshot = _serial_run(config, self.SHARDS, self.ROUNDS)
+        sharded = ShardedOverlay.build(
+            config, options=ShardOptions(num_shards=self.SHARDS, workers=1)
+        )
+        sharded.run(self.ROUNDS)
+        assert sharded.state_digest() == digest
+        assert sharded.stats() == stats
+        assert _snapshots_equal(sharded.snapshot(), snapshot)
+        reference = BatchOverlay.build(config, num_shards=self.SHARDS)
+        reference.run(self.ROUNDS)
+        assert sharded.mean_out_degree() == reference.mean_out_degree()
+        sharded.close()
+        sharded.close()  # idempotent
+
+    def test_shard_grid_is_digest_relevant(self):
+        """num_shards changes the RNG decomposition, hence the digest."""
+        config = _config(2_000)
+        one, _, _ = _serial_run(config, 1, 2)
+        four, _, _ = _serial_run(config, 4, 2)
+        assert one != four
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_empty_shards(self):
+        """More shards than nodes: trailing shards are empty, not fatal."""
+        config = _config(5)
+        digest, stats, _ = _serial_run(config, 8, 2)
+        with ShardedOverlay.build(
+            config, options=ShardOptions(num_shards=8, workers=2)
+        ) as sharded:
+            sharded.run(2)
+            assert sharded.state_digest() == digest
+            assert sharded.stats() == stats
+
+
+# ----------------------------------------------------------------------
+# options and construction errors
+# ----------------------------------------------------------------------
+
+
+class TestOptions:
+    def test_invalid_num_shards(self):
+        with pytest.raises(ParallelError):
+            ShardOptions(num_shards=0).validate()
+
+    def test_invalid_workers(self):
+        with pytest.raises(ParallelError):
+            ShardOptions(workers=0).validate()
+
+    def test_kwargs_override_options(self):
+        config = _config(200)
+        overlay = ShardedOverlay.build(
+            config,
+            options=ShardOptions(num_shards=4, workers=1),
+            num_shards=2,
+            workers=1,
+        )
+        try:
+            serial_digest, _, _ = _serial_run(config, 2, 1)
+            overlay.run(1)
+            assert overlay.state_digest() == serial_digest
+        finally:
+            overlay.close()
+
+    def test_mismatched_graph_raises(self):
+        config = _config(100)
+        indptr, indices = ring_lattice_csr(
+            50, 2, RandomStreams(SEED).substream("test", "graph")
+        )
+        with pytest.raises(GraphError):
+            ShardedOverlay(config, indptr, indices, workers=1)
+
+    def test_batch_overlay_rejects_bad_shard_count(self):
+        with pytest.raises(ProtocolError):
+            BatchOverlay.build(_config(100), num_shards=0)
+
+
+# ----------------------------------------------------------------------
+# shard_ranges / ring_lattice_csr at shard boundaries
+# ----------------------------------------------------------------------
+
+
+class TestShardGrid:
+    def test_ranges_partition_everything(self):
+        for total, shards in [(10, 3), (7, 7), (5, 8), (0, 2), (1_000, 1)]:
+            bounds = shard_ranges(total, shards)
+            assert bounds[0] == 0 and bounds[-1] == total
+            assert len(bounds) == shards + 1
+            sizes = np.diff(bounds)
+            assert sizes.sum() == total
+            assert (sizes >= 0).all()
+            # Balanced: sizes differ by at most one, big shards first.
+            assert sizes.max() - sizes.min() <= 1
+            assert (np.diff(sizes) <= 0).all()
+
+    def test_ranges_reject_bad_inputs(self):
+        with pytest.raises(ProtocolError):
+            shard_ranges(10, 0)
+        with pytest.raises(ProtocolError):
+            shard_ranges(-1, 2)
+
+    def test_shard_of_with_empty_shards(self):
+        bounds = shard_ranges(5, 8)  # shards 5..7 are empty
+        owners = shard_of(bounds, np.arange(5))
+        assert owners.tolist() == [0, 1, 2, 3, 4]
+
+    def test_ring_edges_cross_every_boundary(self):
+        """Each shard boundary cuts the ring edge (b-1, b); both sides
+        must see it in their CSR slice."""
+        num_nodes, shards = 101, 4  # non-divisible on purpose
+        indptr, indices = ring_lattice_csr(
+            num_nodes, 0, RandomStreams(SEED).substream("test", "ring")
+        )
+        bounds = shard_ranges(num_nodes, shards)
+        for boundary in bounds[1:-1]:
+            left, right = int(boundary) - 1, int(boundary)
+            assert right in indices[indptr[left] : indptr[left + 1]]
+            assert left in indices[indptr[right] : indptr[right + 1]]
+
+    def test_shard_slices_reconcatenate(self):
+        """Per-shard CSR slices (local indptr, global indices) cover the
+        global CSR exactly — what each ShardEngine is handed."""
+        num_nodes, shards = 97, 5
+        indptr, indices = ring_lattice_csr(
+            num_nodes, 3, RandomStreams(SEED).substream("test", "slices")
+        )
+        bounds = shard_ranges(num_nodes, shards)
+        rebuilt = []
+        for shard in range(shards):
+            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+            local_indptr = indptr[lo : hi + 1] - indptr[lo]
+            local_indices = indices[indptr[lo] : indptr[hi]]
+            assert local_indptr[0] == 0
+            assert local_indptr[-1] == len(local_indices)
+            rebuilt.append(local_indices)
+        assert np.array_equal(np.concatenate(rebuilt), indices)
+
+    def test_shard_stream_single_shard_is_legacy(self):
+        """S=1 reuses the unsharded substream: the pre-shard engine's
+        exact draw order (byte-compat with older goldens)."""
+        legacy = RandomStreams(7).substream("batch", "mint")
+        sharded = shard_stream(7, 0, 1, "mint")
+        assert np.array_equal(
+            legacy.integers(0, 1 << 62, size=16),
+            sharded.integers(0, 1 << 62, size=16),
+        )
+
+    def test_shard_streams_are_distinct(self):
+        a = shard_stream(7, 0, 4, "mint")
+        b = shard_stream(7, 1, 4, "mint")
+        assert not np.array_equal(
+            a.integers(0, 1 << 62, size=16), b.integers(0, 1 << 62, size=16)
+        )
+
+
+# ----------------------------------------------------------------------
+# ShardedChurn at shard boundaries
+# ----------------------------------------------------------------------
+
+
+def _churn_rngs(num_shards, seed=SEED):
+    return [
+        RandomStreams(seed).spawn("test-churn", shard).substream("churn")
+        for shard in range(num_shards)
+    ]
+
+
+class TestShardedChurn:
+    def test_matches_per_shard_models(self):
+        """The global mask is exactly the shard models' masks, and the
+        (joined, left) events are their per-shard events rebased."""
+        bounds = shard_ranges(103, 4)  # non-divisible
+        churn = ShardedChurn(bounds, 0.6, 8.0, _churn_rngs(4))
+        reference = [
+            BatchChurnModel(
+                int(bounds[s + 1] - bounds[s]), 0.6, 8.0, rng
+            )
+            for s, rng in enumerate(_churn_rngs(4))
+        ]
+        for _ in range(5):
+            joined, left = churn.step()
+            expect_joined, expect_left = [], []
+            for shard, model in enumerate(reference):
+                j, l = model.step()
+                expect_joined.append(j + int(bounds[shard]))
+                expect_left.append(l + int(bounds[shard]))
+            assert np.array_equal(joined, np.concatenate(expect_joined))
+            assert np.array_equal(left, np.concatenate(expect_left))
+            mask = np.concatenate([model.online for model in reference])
+            assert np.array_equal(churn.online, mask)
+            assert churn.online_count() == int(mask.sum())
+            assert np.array_equal(churn.online_rows(), np.flatnonzero(mask))
+
+    def test_empty_shards_draw_nothing(self):
+        """Empty shards get no model and consume no randomness, so the
+        populated shards' trajectories are unchanged by grid padding."""
+        bounds = shard_ranges(3, 6)  # shards 3..5 empty
+        rngs = _churn_rngs(6)
+        churn = ShardedChurn(bounds, 0.6, 8.0, rngs)
+        assert churn.models[3] is None
+        assert churn.models[4] is None
+        assert churn.models[5] is None
+        joined, left = churn.step()
+        assert churn.online.shape == (3,)
+        assert joined.dtype == np.int64 and left.dtype == np.int64
+        # The padding rngs were never touched.
+        for rng in rngs[3:]:
+            probe = RandomStreams(SEED)  # fresh equivalent stream
+            del probe  # (identity check below is the real assertion)
+        fresh = _churn_rngs(6)
+        assert rngs[3].random() == fresh[3].random()
+
+    def test_start_all_online(self):
+        bounds = shard_ranges(50, 3)
+        churn = ShardedChurn(
+            bounds, 0.6, 8.0, _churn_rngs(3), start_all_online=True
+        )
+        assert churn.online.all()
+        assert churn.online_fraction() == 1.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ChurnError):
+            ShardedChurn(np.array([1, 5]), 0.6, 8.0, _churn_rngs(1))
+        with pytest.raises(ChurnError):
+            ShardedChurn(np.array([0, 5, 3]), 0.6, 8.0, _churn_rngs(2))
+        with pytest.raises(ChurnError):
+            ShardedChurn(np.array([0, 5]), 0.6, 8.0, _churn_rngs(2))

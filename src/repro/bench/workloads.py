@@ -873,6 +873,258 @@ def _prepare_node_plane(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# dissemination plane (batch frontier engine vs object-plane epidemic)
+# ----------------------------------------------------------------------
+
+
+def _prepare_heavy_broadcast(mode: str, seed: int) -> Callable[[], Dict[str, Any]]:
+    """Epidemic broadcast: object-plane disseminator vs batch engine.
+
+    One churned overlay is warmed up (untimed), its live bidirectional
+    channels frozen into a :class:`ChannelSnapshot`, and the same
+    broadcast traffic run twice.  The *object* phase drives
+    :class:`EpidemicBroadcast` in counter-sampling mode — one simulator
+    event and one ``app_handler`` call per message hop.  The *fast*
+    phase — the speedup numerator — replays the identical origins
+    through :class:`BatchBroadcastEngine`, which advances all
+    broadcasts at once as vectorized frontier rounds over the shared
+    snapshot.  Both phases draw their per-broadcast sampling keys from
+    the same ``dissemination`` substream, so the run then *raises*
+    unless every broadcast's delivery set, per-node delivery rounds,
+    and forward count match exactly — the bench doubles as the
+    continuous object↔batch exactness check.  Coverage and latency
+    facts come from the satellite ``coverage()`` /
+    ``latency_percentile()`` record helpers on both planes.
+    """
+    from ..core import Overlay
+    from ..dissemination import (
+        BatchBroadcastEngine,
+        ChannelSnapshot,
+        EpidemicBroadcast,
+    )
+    from ..privlink import make_ideal_link_layer
+
+    if mode == "quick":
+        scale, num_broadcasts, warmup = SMOKE, 40, 12.0
+    else:
+        from ..experiments import QUICK
+
+        scale, num_broadcasts, warmup = QUICK, 150, 20.0
+    fanout, ttl = 4, 8
+    trust_graph = make_trust_graph(scale, f=0.5, seed=seed)
+    config = make_config(scale, alpha=0.6, f=0.5, seed=seed)
+    overlay = Overlay.build(
+        trust_graph,
+        config,
+        with_churn=True,
+        # Zero latency: a broadcast completes within one sim instant, so
+        # hop rounds are exact and gossip timers never interleave.
+        link_layer_factory=lambda sim, rng: make_ideal_link_layer(
+            sim, rng, max_latency=0.0
+        ),
+    )
+    overlay.start()
+    overlay.run_until(warmup)
+    snapshot = ChannelSnapshot.from_overlay(overlay)
+    online = np.array([node.online for node in overlay.nodes], dtype=bool)
+    online_ids = [node.node_id for node in overlay.nodes if node.online]
+    origins = [
+        online_ids[i % len(online_ids)] for i in range(num_broadcasts)
+    ]
+
+    def run() -> Dict[str, Any]:
+        # Object phase: one event per hop through the live simulator.
+        disseminator = EpidemicBroadcast(
+            overlay, fanout=fanout, ttl=ttl, sampling="counter"
+        )
+        disseminator.install()
+        sim = overlay.sim
+        records = []
+        gc.collect()
+        started = time.process_time()
+        for origin in origins:
+            records.append(disseminator.broadcast(origin, payload=None))
+            sim.run_until(sim.now)  # drain the instant broadcast
+        wall_object = time.process_time() - started
+
+        # Fast phase: the same origins, same key stream, one engine.
+        engine = BatchBroadcastEngine(
+            snapshot,
+            fanout=fanout,
+            ttl=ttl,
+            rng=overlay.substream("dissemination"),
+            online=online,
+        )
+        gc.collect()
+        started = time.process_time()
+        message_ids = engine.start(origins)
+        engine.run()
+        wall_batch = time.process_time() - started
+
+        # Differential: every broadcast must match exactly.
+        ledger = engine.ledger
+        coverages = []
+        p95_rounds = []
+        for record, message_id in zip(records, message_ids):
+            view = ledger.record(message_id)
+            if (
+                record.delivery_rounds != view.delivery_rounds
+                or record.forwards != view.forwards
+                or set(record.delivery_times) != set(view.delivery_rounds)
+            ):
+                raise ExperimentError(
+                    "batch dissemination diverged from the object plane "
+                    f"on broadcast {record.message_id}: "
+                    f"{record.deliveries()}/{view.deliveries()} deliveries, "
+                    f"{record.forwards}/{view.forwards} forwards"
+                )
+            object_coverage = record.coverage(config.num_nodes)
+            batch_coverage = view.coverage(config.num_nodes)
+            object_p95 = float(
+                np.percentile(list(record.delivery_rounds.values()), 95.0)
+            )
+            batch_p95 = view.latency_percentile(95.0)
+            if object_coverage != batch_coverage or object_p95 != batch_p95:
+                raise ExperimentError(
+                    "record-view reporting diverged from BroadcastRecord "
+                    f"on broadcast {record.message_id}"
+                )
+            coverages.append(batch_coverage)
+            p95_rounds.append(batch_p95)
+        delivered = ledger.total_delivered()
+        shape = [
+            (view.deliveries(), view.forwards, view.max_latency())
+            for view in ledger.records()
+        ]
+        return {
+            # One operation = one (broadcast, node) delivery on the
+            # timed (batch) side.
+            "operations": delivered,
+            "broadcasts": num_broadcasts,
+            "nodes": config.num_nodes,
+            "online_nodes": len(online_ids),
+            "channels": snapshot.channel_count,
+            "fanout": fanout,
+            "ttl": ttl,
+            "delivered": delivered,
+            "forwards": ledger.total_forwards(),
+            "mean_coverage": round(float(np.mean(coverages)), 12),
+            "p95_rounds": round(float(np.mean(p95_rounds)), 12),
+            "shape_digest": _digest(shape),
+            "records_match": True,
+            "wall_object_s": wall_object,
+            "wall_batch_s": wall_batch,
+            "wall_speedup": wall_object / wall_batch if wall_batch > 0 else 0.0,
+        }
+
+    return run
+
+
+def _prepare_million_message_broadcast(
+    mode: str, seed: int
+) -> Callable[[], Dict[str, Any]]:
+    """Sustained epidemic waves over a churning 10⁵-node batch overlay.
+
+    The ROADMAP item-5 scale workload: build a
+    :class:`~repro.core.BatchOverlay`, warm its link fabric, then
+    alternate shuffle/churn rounds with broadcast waves — each wave
+    freezes the current channels via
+    :meth:`~repro.core.BatchOverlay.channel_edges`, seats a batch of
+    concurrent broadcasts, and runs their frontiers dry under the live
+    online mask.  Full mode must sustain at least 10⁶ delivered
+    messages (the ISSUE acceptance floor — the run *raises* below it);
+    quick mode is the same pipeline at a CI-sized floor and is gated by
+    ``scale-smoke`` time and peak RSS alongside ``million_node_churn``.
+    """
+    from ..dissemination import BatchBroadcastEngine, ChannelSnapshot
+
+    if mode == "quick":
+        waves, per_wave, min_delivered = 2, 3, 100_000
+    else:
+        waves, per_wave, min_delivered = 6, 5, 1_000_000
+    num_nodes, warm_rounds = 100_000, 3
+    fanout, ttl = 4, 16
+    config = SystemConfig(
+        num_nodes=num_nodes,
+        cache_size=16,
+        shuffle_length=8,
+        target_degree=12,
+        min_pseudonym_links=8,
+        availability=0.6,
+        mean_offline_time=8.0,
+        seed=seed,
+    )
+
+    def run() -> Dict[str, Any]:
+        gc.collect()
+        started = time.perf_counter()
+        overlay = BatchOverlay.build(config, extra_edges_per_node=4)
+        overlay.run(warm_rounds)
+        wall_build = time.perf_counter() - started
+        keys_rng = RandomStreams(seed).substream("bench", "broadcast-keys")
+        delivered_total = 0
+        forwards_total = 0
+        per_broadcast: List[Tuple[int, int]] = []
+        coverage_sum = 0.0
+        engine_bytes = 0
+        channels = 0
+        started = time.perf_counter()
+        for wave in range(waves):
+            overlay.run(1)  # churn + shuffle between waves
+            snapshot = ChannelSnapshot.from_batch_overlay(overlay)
+            online = overlay.churn.online
+            engine = BatchBroadcastEngine(
+                snapshot,
+                fanout=fanout,
+                ttl=ttl,
+                rng=keys_rng,
+                online=online,
+            )
+            online_rows = overlay.churn.online_rows()
+            stride = max(1, len(online_rows) // per_wave)
+            origins = [
+                int(online_rows[(wave + i * stride) % len(online_rows)])
+                for i in range(per_wave)
+            ]
+            engine.start(origins)
+            engine.run()
+            ledger = engine.ledger
+            delivered_total += ledger.total_delivered()
+            forwards_total += ledger.total_forwards()
+            for view in ledger.records():
+                per_broadcast.append((view.deliveries(), view.forwards))
+                coverage_sum += view.coverage(num_nodes)
+            engine_bytes = engine.memory_bytes()
+            channels = snapshot.channel_count
+        wall_waves = time.perf_counter() - started
+        if delivered_total < min_delivered:
+            raise ExperimentError(
+                f"broadcast waves delivered {delivered_total} messages, "
+                f"below the {min_delivered} floor for {mode} mode"
+            )
+        broadcasts = waves * per_wave
+        return {
+            "operations": delivered_total,
+            "nodes": num_nodes,
+            "waves": waves,
+            "broadcasts": broadcasts,
+            "fanout": fanout,
+            "ttl": ttl,
+            "delivered": delivered_total,
+            "forwards": forwards_total,
+            "mean_coverage": round(coverage_sum / broadcasts, 12),
+            "channels": channels,
+            "engine_bytes": engine_bytes,
+            "shape_digest": _digest(per_broadcast),
+            "wall_build_s": wall_build,
+            "wall_waves_s": wall_waves,
+            "wall_wave_s": wall_waves / waves,
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # million-node churned overlay (the scale-smoke gate)
 # ----------------------------------------------------------------------
 
@@ -1210,6 +1462,12 @@ SUITE: Tuple[Workload, ...] = (
         "wire-frame encode + strict decode of live-mesh traffic",
         _prepare_net_codec,
     ),
+    Workload(
+        "heavy_broadcast",
+        "epidemic broadcast: batch frontier engine vs object plane "
+        "(exactness-checked differential)",
+        _prepare_heavy_broadcast,
+    ),
     # The scale runs sit last as hygiene: rss_delta_kb already keeps
     # each workload's memory reading attributable regardless of order,
     # but front-loading the small entries keeps quick subset runs quick.
@@ -1222,6 +1480,11 @@ SUITE: Tuple[Workload, ...] = (
         "sharded_churn",
         "serial vs sharded batch engine at scale (digest-checked equivalence)",
         _prepare_sharded_churn,
+    ),
+    Workload(
+        "million_message_broadcast",
+        "sustained broadcast waves over a churning 100k-node batch overlay",
+        _prepare_million_message_broadcast,
     ),
 )
 

@@ -1009,6 +1009,38 @@ class BatchOverlay:
             np.concatenate((trust_b[trust_keep], b[keep])),
         )
 
+    def channel_edges(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dissemination-plane channel export hook.
+
+        Returns ``(trusted_indptr, trusted_indices, holder, owner)``:
+        the global trusted CSR plus every live pseudonym link as a
+        resolved ``(holder, owner)`` pair — the arena-plane analogue of
+        the object plane's channel semantics, where each live link
+        yields an "out" channel holder→owner and a "reverse" channel
+        owner→holder (see
+        :meth:`repro.dissemination.batch.ChannelSnapshot.from_batch_overlay`).
+        Self-links and links whose owner is unresolved are dropped,
+        matching :func:`repro.dissemination.base.build_channel_lists`.
+        """
+        now = float(self.round)
+        degrees = np.concatenate(
+            [np.diff(engine.arena.trusted_indptr) for engine in self.engines]
+        )
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(degrees, dtype=np.int64))
+        )
+        indices = np.concatenate(
+            [engine.arena.trusted_indices for engine in self.engines]
+        )
+        edges = [engine.link_edges(now) for engine in self.engines]
+        holder = np.concatenate([edge[0] for edge in edges])
+        owner = np.concatenate([edge[1] for edge in edges])
+        alive = np.concatenate([edge[2] for edge in edges])
+        keep = alive & (owner >= 0) & (owner != holder)
+        return indptr, indices, holder[keep], owner[keep]
+
     def analysis(self, online_only: bool = True) -> SnapshotAnalysis:
         """Metric kernels over the current snapshot."""
         return SnapshotAnalysis(self.snapshot(online_only=online_only))

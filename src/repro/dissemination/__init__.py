@@ -5,7 +5,19 @@ reporting.  These are the workloads the paper's introduction motivates
 """
 
 from .antientropy import AntiEntropyBroadcast, DigestMessage, PushMessage
-from .base import AppMessage, BroadcastRecord, Disseminator
+from .base import (
+    AppMessage,
+    BroadcastRecord,
+    Disseminator,
+    build_channel_lists,
+    channel_keys,
+)
+from .batch import (
+    BatchBroadcastEngine,
+    BroadcastLedger,
+    ChannelSnapshot,
+    LedgerRecordView,
+)
 from .coverage import CoverageReport, coverage_report
 from .epidemic import EpidemicBroadcast
 from .flooding import FloodBroadcast
@@ -21,4 +33,10 @@ __all__ = [
     "PushMessage",
     "CoverageReport",
     "coverage_report",
+    "build_channel_lists",
+    "channel_keys",
+    "ChannelSnapshot",
+    "BroadcastLedger",
+    "LedgerRecordView",
+    "BatchBroadcastEngine",
 ]

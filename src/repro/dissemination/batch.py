@@ -1,0 +1,711 @@
+"""Columnar dissemination: vectorized frontier rounds at million-message scale.
+
+The object-plane disseminators (:mod:`repro.dissemination.epidemic`,
+:mod:`repro.dissemination.flooding`) run one Python callback per
+message hop, which caps practical runs around 10⁴ deliveries.  This
+module re-states the same protocols as columnar batch kernels:
+
+* :class:`ChannelSnapshot` compiles the overlay's live bidirectional
+  channels — trusted links plus unexpired pseudonym links at *both*
+  ends, exactly the channel semantics of
+  :func:`repro.dissemination.base.build_channel_lists` — into a flat
+  CSR over resolved destination node ids.
+* :class:`BroadcastLedger` replaces dict-of-dicts
+  :class:`~repro.dissemination.base.BroadcastRecord` bookkeeping with
+  flat columns (uint8 TTLs, int16 delivery-round matrix, int64 forward
+  and delivery counters) plus lazy :class:`LedgerRecordView` objects
+  that quack like ``BroadcastRecord`` for reporting code.
+* :class:`BatchBroadcastEngine` advances *all* active broadcasts one
+  frontier round per :meth:`~BatchBroadcastEngine.step`: whole-frontier
+  fanout sampling, ``np.unique`` duplicate suppression, and vectorized
+  delivery marking in place of per-hop ``app_handler`` calls.
+
+Exactness contract
+------------------
+The engine is pinned byte-identical to the object plane (same delivery
+sets, same per-node delivery rounds, same forward counts) when run
+against :class:`~repro.dissemination.epidemic.EpidemicBroadcast` in
+``sampling="counter"`` mode or :class:`FloodBroadcast` over the same
+:class:`ChannelSnapshot`.  The mechanism is counter-keyed sampling
+(:func:`repro.dissemination.base.channel_keys`): each broadcast draws
+*one* 63-bit key from the shared dissemination RNG substream, and every
+activation's channel subset is a pure function of
+``(key, round, node, channel index)`` — order-independent, so sampling
+a whole frontier at once equals sampling its activations one by one.
+See ``docs/dissemination.md`` for the full contract and its test
+anchors in ``tests/test_dissemination_batch.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DisseminationError
+from ..rng import random_bits
+from .base import _CHANNEL_SALT, _mix64, build_channel_lists, channel_key_base
+
+__all__ = [
+    "ChannelSnapshot",
+    "BroadcastLedger",
+    "LedgerRecordView",
+    "BatchBroadcastEngine",
+]
+
+
+def _cumsum0(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum with a leading zero (CSR indptr shape)."""
+    out = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+class ChannelSnapshot:
+    """A frozen CSR view of the overlay's bidirectional channels.
+
+    Row ``n`` lists the destination node id of every channel node ``n``
+    can currently send over.  Built either from an object-plane
+    :class:`~repro.core.Overlay` (preserving that plane's exact channel
+    ordering, so counter-keyed sampling picks identical subsets) or
+    from a :class:`~repro.core.batch.BatchOverlay` via its
+    :meth:`~repro.core.batch.BatchOverlay.channel_edges` hook.
+
+    The snapshot is an instant in time: channel churn after the build
+    is invisible to it, matching the object plane's per-broadcast
+    adjacency freeze.
+    """
+
+    __slots__ = ("num_nodes", "indptr", "targets")
+
+    def __init__(self, indptr: np.ndarray, targets: np.ndarray) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.targets = np.ascontiguousarray(targets, dtype=np.int64)
+        self.num_nodes = len(self.indptr) - 1
+        if self.num_nodes < 0:
+            raise DisseminationError("indptr must have at least one entry")
+        if int(self.indptr[-1]) != len(self.targets):
+            raise DisseminationError(
+                f"indptr covers {int(self.indptr[-1])} channels, "
+                f"targets has {len(self.targets)}"
+            )
+
+    @property
+    def channel_count(self) -> int:
+        """Total directed channels in the snapshot."""
+        return len(self.targets)
+
+    def degrees(self) -> np.ndarray:
+        """Per-node channel counts."""
+        return np.diff(self.indptr)
+
+    def memory_bytes(self) -> int:
+        """Deterministic storage accounting."""
+        return self.indptr.nbytes + self.targets.nbytes
+
+    @classmethod
+    def from_overlay(cls, overlay) -> "ChannelSnapshot":
+        """Compile an object-plane overlay's channel lists.
+
+        Channel order within each row is exactly the order
+        :func:`~repro.dissemination.base.build_channel_lists` produces
+        (trusted/out entries in node-visit order with reverse entries
+        interleaved), which is what makes counter-keyed subsets match
+        the object plane index for index.
+        """
+        lists = build_channel_lists(overlay)
+        num_nodes = len(overlay.nodes)
+        degrees = np.array(
+            [len(lists[node.node_id]) for node in overlay.nodes], dtype=np.int64
+        )
+        indptr = _cumsum0(degrees)
+        targets = np.empty(int(indptr[-1]), dtype=np.int64)
+        position = 0
+        for node in overlay.nodes:
+            for _kind, _target, destination in lists[node.node_id]:
+                targets[position] = destination
+                position += 1
+        return cls(indptr, targets)
+
+    @classmethod
+    def from_batch_overlay(cls, overlay) -> "ChannelSnapshot":
+        """Compile a :class:`~repro.core.batch.BatchOverlay`'s channels.
+
+        Per row the canonical order is: trusted neighbours (CSR
+        order), then "out" channels (link-slot order), then "reverse"
+        channels (holder order).  This differs from the object plane's
+        interleaved order — exact cross-plane equality is defined over
+        a *shared* snapshot, which the differential workloads use.
+        """
+        indptr, indices, holder, owner = overlay.channel_edges()
+        num_nodes = len(indptr) - 1
+        trusted_deg = np.diff(indptr)
+        out_deg = np.bincount(holder, minlength=num_nodes)
+        reverse_deg = np.bincount(owner, minlength=num_nodes)
+        new_indptr = _cumsum0(trusted_deg + out_deg + reverse_deg)
+        targets = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        # Trusted block: shift each CSR row to its new offset.
+        total_trusted = int(indptr[-1])
+        if total_trusted:
+            rows = np.repeat(np.arange(num_nodes, dtype=np.int64), trusted_deg)
+            within = np.arange(total_trusted, dtype=np.int64) - indptr[rows]
+            targets[new_indptr[rows] + within] = indices
+        # Out block: group (holder -> owner) edges by holder.
+        if len(holder):
+            order = np.argsort(holder, kind="stable")
+            grouped = holder[order]
+            starts = _cumsum0(np.bincount(grouped, minlength=num_nodes))
+            within = np.arange(len(grouped), dtype=np.int64) - starts[grouped]
+            position = new_indptr[grouped] + trusted_deg[grouped] + within
+            targets[position] = owner[order]
+            # Reverse block: the same edges grouped by owner.
+            order = np.argsort(owner, kind="stable")
+            grouped = owner[order]
+            starts = _cumsum0(np.bincount(grouped, minlength=num_nodes))
+            within = np.arange(len(grouped), dtype=np.int64) - starts[grouped]
+            position = (
+                new_indptr[grouped]
+                + trusted_deg[grouped]
+                + out_deg[grouped]
+                + within
+            )
+            targets[position] = holder[order]
+        return cls(new_indptr, targets)
+
+
+class LedgerRecordView:
+    """A lazy, read-only view of one ledger row.
+
+    Duck-compatible with
+    :class:`~repro.dissemination.base.BroadcastRecord` (works with
+    :func:`repro.dissemination.coverage.coverage_report`); the time
+    axis is frontier rounds, so latencies are hop counts.
+    """
+
+    __slots__ = ("_ledger", "_row")
+
+    def __init__(self, ledger: "BroadcastLedger", row: int) -> None:
+        self._ledger = ledger
+        self._row = row
+
+    @property
+    def message_id(self) -> int:
+        """1-based message id (row order of :meth:`BroadcastLedger.open`)."""
+        return self._row + 1
+
+    @property
+    def origin(self) -> int:
+        """The broadcasting node."""
+        return int(self._ledger.origins[self._row])
+
+    @property
+    def started_at(self) -> float:
+        """Engine round at which the broadcast started."""
+        return float(self._ledger.start_rounds[self._row])
+
+    @property
+    def forwards(self) -> int:
+        """Total messages sent on behalf of this broadcast."""
+        return int(self._ledger.forwards[self._row])
+
+    @property
+    def payload(self) -> Any:
+        """The broadcast payload (opaque)."""
+        return self._ledger.payloads[self._row]
+
+    @property
+    def delivery_rounds(self) -> Dict[int, int]:
+        """Node id -> relative delivery round (origin is 0)."""
+        row = self._ledger.delivery_round[self._row]
+        reached = np.flatnonzero(row >= 0)
+        return dict(zip(reached.tolist(), row[reached].tolist()))
+
+    @property
+    def delivery_times(self) -> Dict[int, float]:
+        """Node id -> absolute delivery round, as floats.
+
+        Shaped like ``BroadcastRecord.delivery_times`` with rounds for
+        timestamps.
+        """
+        start = self.started_at
+        return {
+            node: start + float(rel)
+            for node, rel in self.delivery_rounds.items()
+        }
+
+    def deliveries(self) -> int:
+        """Number of distinct nodes that received the message."""
+        return int(self._ledger.delivered[self._row])
+
+    def coverage(self, num_nodes: int) -> float:
+        """Fraction of ``num_nodes`` reached (origin included)."""
+        if num_nodes <= 0:
+            raise DisseminationError("num_nodes must be positive")
+        return self.deliveries() / num_nodes
+
+    def latency_of(self, node_id: int) -> Optional[float]:
+        """Delivery latency in rounds (None if never delivered)."""
+        rel = int(self._ledger.delivery_round[self._row, node_id])
+        if rel < 0:
+            return None
+        return float(rel)
+
+    def max_latency(self) -> float:
+        """Worst delivery latency (rounds) across reached nodes."""
+        row = self._ledger.delivery_round[self._row]
+        reached = row[row >= 0]
+        if not len(reached):
+            return 0.0
+        return float(reached.max())
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile delivery latency over reached nodes."""
+        if not 0.0 <= q <= 100.0:
+            raise DisseminationError("percentile must be in [0, 100]")
+        row = self._ledger.delivery_round[self._row]
+        reached = row[row >= 0]
+        if not len(reached):
+            return 0.0
+        return float(np.percentile(reached, q))
+
+
+class BroadcastLedger:
+    """Columnar bookkeeping for many concurrent broadcasts.
+
+    One row per broadcast: origin, counter-sampling key, uint8 TTL,
+    fanout, start round, int64 forward/delivery counters, and an int16
+    ``(broadcasts, num_nodes)`` delivery-round matrix (−1 = never
+    delivered) in place of per-record dicts.  Rows are appended by
+    :meth:`open` and read through :class:`LedgerRecordView`.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "origins",
+        "keys",
+        "ttls",
+        "fanouts",
+        "start_rounds",
+        "forwards",
+        "delivered",
+        "delivery_round",
+        "payloads",
+        "_count",
+    )
+
+    def __init__(self, num_nodes: int, capacity: int = 16) -> None:
+        if num_nodes <= 0:
+            raise DisseminationError("num_nodes must be positive")
+        capacity = max(1, capacity)
+        self.num_nodes = num_nodes
+        self.origins = np.zeros(capacity, dtype=np.int64)
+        self.keys = np.zeros(capacity, dtype=np.uint64)
+        self.ttls = np.zeros(capacity, dtype=np.uint8)
+        self.fanouts = np.full(capacity, -1, dtype=np.int64)
+        self.start_rounds = np.zeros(capacity, dtype=np.int64)
+        self.forwards = np.zeros(capacity, dtype=np.int64)
+        self.delivered = np.zeros(capacity, dtype=np.int64)
+        self.delivery_round = np.full((capacity, num_nodes), -1, dtype=np.int16)
+        self.payloads: List[Any] = []
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of broadcasts opened."""
+        return self._count
+
+    def _ensure_capacity(self, rows: int) -> None:
+        capacity = len(self.origins)
+        if self._count + rows <= capacity:
+            return
+        while capacity < self._count + rows:
+            capacity *= 2
+        grow = capacity - len(self.origins)
+        self.origins = np.concatenate(
+            (self.origins, np.zeros(grow, dtype=np.int64))
+        )
+        self.keys = np.concatenate((self.keys, np.zeros(grow, dtype=np.uint64)))
+        self.ttls = np.concatenate((self.ttls, np.zeros(grow, dtype=np.uint8)))
+        self.fanouts = np.concatenate(
+            (self.fanouts, np.full(grow, -1, dtype=np.int64))
+        )
+        self.start_rounds = np.concatenate(
+            (self.start_rounds, np.zeros(grow, dtype=np.int64))
+        )
+        self.forwards = np.concatenate(
+            (self.forwards, np.zeros(grow, dtype=np.int64))
+        )
+        self.delivered = np.concatenate(
+            (self.delivered, np.zeros(grow, dtype=np.int64))
+        )
+        self.delivery_round = np.concatenate(
+            (
+                self.delivery_round,
+                np.full((grow, self.num_nodes), -1, dtype=np.int16),
+            )
+        )
+
+    def open(
+        self,
+        origin: int,
+        key: int,
+        ttl: int,
+        fanout: Optional[int],
+        start_round: int,
+        payload: Any = None,
+    ) -> int:
+        """Append a broadcast row; returns its 1-based message id.
+
+        The origin counts as delivered at relative round 0, exactly as
+        ``BroadcastRecord`` seeds ``delivery_times`` with the origin.
+        """
+        if not 1 <= ttl <= 255:
+            raise DisseminationError("ttl must be in [1, 255]")
+        self._ensure_capacity(1)
+        row = self._count
+        self.origins[row] = origin
+        self.keys[row] = np.uint64(key)
+        self.ttls[row] = ttl
+        self.fanouts[row] = -1 if fanout is None else fanout
+        self.start_rounds[row] = start_round
+        self.delivery_round[row, origin] = 0
+        self.delivered[row] = 1
+        self.payloads.append(payload)
+        self._count += 1
+        return row + 1
+
+    def record(self, message_id: int) -> LedgerRecordView:
+        """A lazy view of one broadcast's bookkeeping."""
+        if not 1 <= message_id <= self._count:
+            raise DisseminationError(f"unknown message id {message_id}")
+        return LedgerRecordView(self, message_id - 1)
+
+    def records(self) -> Iterator[LedgerRecordView]:
+        """Views of every opened broadcast, in message-id order."""
+        for row in range(self._count):
+            yield LedgerRecordView(self, row)
+
+    def total_delivered(self) -> int:
+        """Distinct (broadcast, node) deliveries across all rows."""
+        return int(self.delivered[: self._count].sum())
+
+    def total_forwards(self) -> int:
+        """Messages sent across all rows."""
+        return int(self.forwards[: self._count].sum())
+
+    def memory_bytes(self) -> int:
+        """Deterministic storage accounting."""
+        return (
+            self.origins.nbytes
+            + self.keys.nbytes
+            + self.ttls.nbytes
+            + self.fanouts.nbytes
+            + self.start_rounds.nbytes
+            + self.forwards.nbytes
+            + self.delivered.nbytes
+            + self.delivery_round.nbytes
+        )
+
+
+class BatchBroadcastEngine:
+    """Vectorized epidemic/flood dissemination over a channel snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The frozen channel CSR broadcasts ride on.
+    ttl:
+        Hop budget per broadcast (1..255; stored as a uint8 column).
+    fanout:
+        Channels pushed per activation; ``None`` floods every channel.
+    infect_forever:
+        When True, every receipt re-triggers pushes (multiplicities are
+        tracked per (broadcast, node, round) — bounded by fanoutᵗᵗˡ);
+        when False, only first receipts push (infect-and-die, which is
+        also flooding's duplicate suppression).
+    rng:
+        Source of per-broadcast 63-bit sampling keys; required in
+        fanout mode.  Pass ``overlay.substream("dissemination")`` to
+        draw the *same* key sequence as an object-plane
+        ``EpidemicBroadcast(sampling="counter")``, or
+        ``RandomStreams(seed).substream("aux", "dissemination")`` to
+        reproduce it from scratch beside a ``BatchOverlay``.
+    online:
+        Optional bool mask (length ``num_nodes``).  Arrivals at offline
+        nodes are dropped — the columnar form of ``NodeDirectory``
+        delivering "iff the destination is online" — and offline
+        origins refuse to broadcast.  The array is read live at each
+        step, so a caller stepping churn between rounds is honoured.
+    """
+
+    __slots__ = (
+        "_snapshot",
+        "_ledger",
+        "_ttl",
+        "_fanout",
+        "_infect_forever",
+        "_rng",
+        "_online",
+        "_rounds",
+        "_frontier_bid",
+        "_frontier_node",
+        "_frontier_mult",
+        "_frontier_round",
+        "_delivered_total",
+    )
+
+    def __init__(
+        self,
+        snapshot: ChannelSnapshot,
+        fanout: Optional[int] = 4,
+        ttl: int = 12,
+        infect_forever: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        online: Optional[np.ndarray] = None,
+    ) -> None:
+        if not 1 <= ttl <= 255:
+            raise DisseminationError("ttl must be in [1, 255]")
+        if fanout is not None and fanout < 1:
+            raise DisseminationError("fanout must be at least 1")
+        if fanout is None and infect_forever:
+            raise DisseminationError(
+                "infect_forever requires a finite fanout"
+            )
+        if fanout is not None and rng is None:
+            raise DisseminationError(
+                "fanout sampling needs an rng for per-broadcast keys"
+            )
+        if online is not None and len(online) != snapshot.num_nodes:
+            raise DisseminationError(
+                f"online mask covers {len(online)} nodes, "
+                f"snapshot has {snapshot.num_nodes}"
+            )
+        self._snapshot = snapshot
+        self._ledger = BroadcastLedger(snapshot.num_nodes)
+        self._ttl = ttl
+        self._fanout = fanout
+        self._infect_forever = infect_forever
+        self._rng = rng
+        self._online = online
+        self._rounds = 0
+        self._frontier_bid = np.zeros(0, dtype=np.int64)
+        self._frontier_node = np.zeros(0, dtype=np.int64)
+        self._frontier_mult = np.zeros(0, dtype=np.int64)
+        self._frontier_round = np.zeros(0, dtype=np.int64)
+        self._delivered_total = 0
+
+    @property
+    def ledger(self) -> BroadcastLedger:
+        """The columnar bookkeeping store."""
+        return self._ledger
+
+    @property
+    def snapshot(self) -> ChannelSnapshot:
+        """The channel CSR this engine runs over."""
+        return self._snapshot
+
+    @property
+    def rounds(self) -> int:
+        """Frontier rounds executed so far."""
+        return self._rounds
+
+    @property
+    def frontier_size(self) -> int:
+        """Pending activations for the next round."""
+        return len(self._frontier_bid)
+
+    @property
+    def total_delivered(self) -> int:
+        """Distinct (broadcast, node) deliveries, origins included."""
+        return self._delivered_total
+
+    def start(
+        self,
+        origins: Sequence[int],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> List[int]:
+        """Open one broadcast per origin; returns their message ids.
+
+        Keys are drawn one per broadcast in origin order — the same
+        stream consumption as an object-plane counter-mode
+        ``broadcast()`` loop over the same origins.
+        """
+        origin_ids = np.asarray(origins, dtype=np.int64)
+        if payloads is not None and len(payloads) != len(origin_ids):
+            raise DisseminationError("one payload per origin required")
+        num_nodes = self._snapshot.num_nodes
+        message_ids: List[int] = []
+        for position, origin in enumerate(origin_ids):
+            origin = int(origin)
+            if not 0 <= origin < num_nodes:
+                raise DisseminationError(f"origin {origin} out of range")
+            if self._online is not None and not bool(self._online[origin]):
+                raise DisseminationError(f"origin node {origin} is offline")
+            key = 0
+            if self._fanout is not None:
+                key = random_bits(self._rng, 63)
+            payload = payloads[position] if payloads is not None else None
+            message_ids.append(
+                self._ledger.open(
+                    origin=origin,
+                    key=key,
+                    ttl=self._ttl,
+                    fanout=self._fanout,
+                    start_round=self._rounds,
+                    payload=payload,
+                )
+            )
+            self._delivered_total += 1
+        rows = np.array([mid - 1 for mid in message_ids], dtype=np.int64)
+        self._frontier_bid = np.concatenate((self._frontier_bid, rows))
+        self._frontier_node = np.concatenate(
+            (self._frontier_node, origin_ids)
+        )
+        self._frontier_mult = np.concatenate(
+            (self._frontier_mult, np.ones(len(rows), dtype=np.int64))
+        )
+        self._frontier_round = np.concatenate(
+            (self._frontier_round, np.zeros(len(rows), dtype=np.int64))
+        )
+        return message_ids
+
+    def step(self) -> int:
+        """Advance every active broadcast one frontier round.
+
+        Returns the number of new (broadcast, node) deliveries.  One
+        call fans out the whole frontier, suppresses duplicates with
+        one ``np.unique`` pass, marks deliveries into the ledger's
+        round matrix, and assembles the next frontier — no per-message
+        Python in the loop.
+        """
+        bids = self._frontier_bid
+        if not len(bids):
+            return 0
+        nodes = self._frontier_node
+        mult = self._frontier_mult
+        sender_round = self._frontier_round
+        snapshot = self._snapshot
+        ledger = self._ledger
+        degree = (
+            snapshot.indptr[nodes + 1] - snapshot.indptr[nodes]
+        ).astype(np.int64)
+        starts = _cumsum0(degree)
+        total = int(starts[-1])
+        self._rounds += 1
+        if total == 0:
+            self._clear_frontier()
+            return 0
+        pair = np.repeat(np.arange(len(bids), dtype=np.int64), degree)
+        flat = np.arange(total, dtype=np.int64)
+        within = flat - starts[pair]
+        destination = snapshot.targets[snapshot.indptr[nodes][pair] + within]
+        fanout = self._fanout
+        if fanout is not None:
+            # Counter-keyed whole-frontier sampling: every channel gets
+            # the key its activation would compute in the object plane;
+            # per pair the smallest `fanout` keys win (stable tie-break
+            # by channel index, same as np.argsort(kind="stable")).
+            base = channel_key_base(
+                ledger.keys[bids], sender_round, nodes
+            )
+            with np.errstate(over="ignore"):
+                flat_keys = _mix64(
+                    base[pair]
+                    ^ ((within + 1).astype(np.uint64) * _CHANNEL_SALT)
+                )
+            order = np.lexsort((within, flat_keys, pair))
+            rank = flat - starts[pair[order]]
+            chosen = order[rank < fanout]
+            sends_per_pair = np.minimum(degree, fanout)
+            pair = pair[chosen]
+            destination = destination[chosen]
+        else:
+            sends_per_pair = degree
+        # Forwards count sends, not deliveries: messages to offline
+        # nodes are sent and then dropped, exactly as the object
+        # plane's link layer does.
+        np.add.at(ledger.forwards, bids, mult * sends_per_pair)
+        arrival_bid = bids[pair]
+        arrival_round = sender_round[pair] + 1
+        arrival_mult = mult[pair]
+        if self._online is not None:
+            alive = self._online[destination]
+            arrival_bid = arrival_bid[alive]
+            destination = destination[alive]
+            arrival_round = arrival_round[alive]
+            arrival_mult = arrival_mult[alive]
+        if not len(arrival_bid):
+            self._clear_frontier()
+            return 0
+        code = arrival_bid * np.int64(snapshot.num_nodes) + destination
+        unique_code, first, inverse = np.unique(
+            code, return_index=True, return_inverse=True
+        )
+        bid_u = arrival_bid[first]
+        node_u = destination[first]
+        round_u = arrival_round[first]
+        current = ledger.delivery_round[bid_u, node_u]
+        fresh = current < 0
+        ledger.delivery_round[bid_u[fresh], node_u[fresh]] = round_u[
+            fresh
+        ].astype(np.int16)
+        np.add.at(ledger.delivered, bid_u[fresh], 1)
+        delivered_now = int(fresh.sum())
+        self._delivered_total += delivered_now
+        within_budget = round_u < ledger.ttls[bid_u]
+        if self._infect_forever:
+            # Path multiplicity: every receipt re-triggers, so carry
+            # the number of same-round arrivals as a multiplicity (all
+            # copies select the same counter-keyed channels).
+            multiplicity = np.zeros(len(unique_code), dtype=np.int64)
+            np.add.at(multiplicity, inverse, arrival_mult)
+            keep = within_budget
+            self._frontier_mult = multiplicity[keep]
+        else:
+            keep = fresh & within_budget
+            self._frontier_mult = np.ones(int(keep.sum()), dtype=np.int64)
+        self._frontier_bid = bid_u[keep]
+        self._frontier_node = node_u[keep]
+        self._frontier_round = round_u[keep]
+        return delivered_now
+
+    def run(self, max_rounds: Optional[int] = None) -> int:
+        """Step until every frontier drains; returns new deliveries.
+
+        TTL columns bound the rounds, so this always terminates; pass
+        ``max_rounds`` to stop earlier (e.g. to interleave churn).
+        """
+        delivered = 0
+        rounds = 0
+        while len(self._frontier_bid):
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            delivered += self.step()
+            rounds += 1
+        return delivered
+
+    def broadcast(self, origin_id: int, payload: Any = None) -> LedgerRecordView:
+        """Start one broadcast and run *all* active frontiers dry.
+
+        Convenience mirror of the object plane's ``broadcast()``;
+        returns the new broadcast's record view.
+        """
+        message_ids = self.start([origin_id], payloads=[payload])
+        self.run()
+        return self._ledger.record(message_ids[0])
+
+    def _clear_frontier(self) -> None:
+        self._frontier_bid = np.zeros(0, dtype=np.int64)
+        self._frontier_node = np.zeros(0, dtype=np.int64)
+        self._frontier_mult = np.zeros(0, dtype=np.int64)
+        self._frontier_round = np.zeros(0, dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        """Deterministic storage accounting (snapshot + ledger)."""
+        frontier = (
+            self._frontier_bid.nbytes
+            + self._frontier_node.nbytes
+            + self._frontier_mult.nbytes
+            + self._frontier_round.nbytes
+        )
+        return self._snapshot.memory_bytes() + self._ledger.memory_bytes() + frontier

@@ -10,14 +10,24 @@ variants are provided:
   variant whose coverage depends on the overlay looking like a random
   graph (Erdős–Rényi-style gossip needs fanout ≈ ln N for full
   coverage, which the experiments demonstrate).
+
+Fanout sampling comes in two flavours.  ``sampling="stream"`` (the
+default) draws each activation's channel subset from the shared
+dissemination RNG stream, exactly as previous releases did.
+``sampling="counter"`` instead draws one 63-bit key per broadcast and
+derives every activation's subset statelessly from
+(key, round, node, channel index) — order-independent sampling that
+:class:`~repro.dissemination.batch.BatchBroadcastEngine` reproduces
+byte-identically over whole frontiers at once.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict
 
 from ..core import Overlay
 from ..errors import DisseminationError
+from ..rng import random_bits
 from .base import AppMessage, BroadcastRecord, Disseminator
 
 __all__ = ["EpidemicBroadcast"]
@@ -37,6 +47,11 @@ class EpidemicBroadcast(Disseminator):
     infect_forever:
         When True, duplicates re-trigger pushes (bounded by ``ttl``);
         when False (default), only the first receipt pushes.
+    sampling:
+        ``"stream"`` (default) draws subsets from the dissemination RNG
+        stream per activation; ``"counter"`` draws one key per
+        broadcast and samples statelessly per activation (the mode the
+        batch engine mirrors exactly).
     """
 
     def __init__(
@@ -45,20 +60,41 @@ class EpidemicBroadcast(Disseminator):
         fanout: int = 4,
         ttl: int = 12,
         infect_forever: bool = False,
+        sampling: str = "stream",
     ) -> None:
         super().__init__(overlay)
         if fanout < 1:
             raise DisseminationError("fanout must be at least 1")
         if ttl < 1:
             raise DisseminationError("ttl must be at least 1")
+        if sampling not in ("stream", "counter"):
+            raise DisseminationError(
+                f"sampling must be 'stream' or 'counter', got {sampling!r}"
+            )
         self._fanout = fanout
         self._ttl = ttl
         self._infect_forever = infect_forever
+        self._sampling = sampling
+        self._broadcast_keys: Dict[int, int] = {}
 
     @property
     def fanout(self) -> int:
         """Pushes per activation."""
         return self._fanout
+
+    @property
+    def sampling(self) -> str:
+        """The fanout-sampling mode (``"stream"`` or ``"counter"``)."""
+        return self._sampling
+
+    def broadcast_key(self, message_id: int) -> int:
+        """The counter-sampling key of one broadcast (counter mode only)."""
+        try:
+            return self._broadcast_keys[message_id]
+        except KeyError:
+            raise DisseminationError(
+                f"no broadcast key for message id {message_id}"
+            ) from None
 
     def broadcast(self, origin_id: int, payload: Any) -> BroadcastRecord:
         """Start an epidemic from ``origin_id`` (must be online)."""
@@ -66,16 +102,37 @@ class EpidemicBroadcast(Disseminator):
         if not origin.online:
             raise DisseminationError(f"origin node {origin_id} is offline")
         record = self._new_record(origin_id)
+        if self._sampling == "counter":
+            # The broadcast's single stream draw; everything downstream
+            # is derived from this key statelessly.
+            self._broadcast_keys[record.message_id] = random_bits(self._rng, 63)
         message = AppMessage(
             message_id=record.message_id, payload=payload, hops_left=self._ttl
         )
-        self._send_along_links(origin_id, message, fanout=self._fanout)
+        self._push(origin_id, message)
         return record
+
+    def _push(self, node_id: int, message: AppMessage) -> None:
+        """Forward one activation with the configured sampling mode."""
+        if self._sampling == "counter":
+            key = self._broadcast_keys.get(message.message_id)
+        else:
+            key = None
+        self._send_along_links(
+            node_id,
+            message,
+            fanout=self._fanout,
+            selection_key=key,
+            round_index=self._ttl - message.hops_left,
+        )
 
     def _on_deliver(self, node_id: int, payload: Any) -> None:
         if not isinstance(payload, AppMessage):
             return
-        first_receipt = self._mark_delivery(payload.message_id, node_id)
+        round_index = self._ttl - payload.hops_left + 1
+        first_receipt = self._mark_delivery(
+            payload.message_id, node_id, round_index=round_index
+        )
         if not first_receipt and not self._infect_forever:
             return
         if payload.hops_left <= 1:
@@ -85,4 +142,4 @@ class EpidemicBroadcast(Disseminator):
             payload=payload.payload,
             hops_left=payload.hops_left - 1,
         )
-        self._send_along_links(node_id, forwarded, fanout=self._fanout)
+        self._push(node_id, forwarded)

@@ -56,7 +56,10 @@ class FloodBroadcast(Disseminator):
     def _on_deliver(self, node_id: int, payload: Any) -> None:
         if not isinstance(payload, AppMessage):
             return
-        if not self._mark_delivery(payload.message_id, node_id):
+        round_index = self._ttl - payload.hops_left + 1
+        if not self._mark_delivery(
+            payload.message_id, node_id, round_index=round_index
+        ):
             return  # duplicate: suppressed
         if payload.hops_left <= 1:
             return

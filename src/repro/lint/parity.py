@@ -195,6 +195,53 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         ),
         evidence=("ShardedOverlay", "state_digest"),
     ),
+    # PR 10: the vectorized dissemination plane.  The batch engine is
+    # pinned byte-identical to the object-plane disseminators in
+    # counter-sampling mode (same delivery sets, rounds, and forward
+    # counts — the heavy_broadcast workload raises on divergence), and
+    # the columnar ledger's record views must keep BroadcastRecord's
+    # reporting surface so coverage_report runs on either plane.
+    ParityPair(
+        name="dissemination-plane",
+        fast_module="repro.dissemination.batch",
+        legacy_module="repro.dissemination.epidemic",
+        symbols=(
+            (
+                "BatchBroadcastEngine.__init__",
+                "EpidemicBroadcast.__init__",
+                ("fanout", "ttl", "infect_forever"),
+            ),
+            (
+                "BatchBroadcastEngine.broadcast",
+                "EpidemicBroadcast.broadcast",
+                ("origin_id", "payload"),
+            ),
+        ),
+        evidence=("BatchBroadcastEngine", "EpidemicBroadcast"),
+    ),
+    ParityPair(
+        name="broadcast-ledger",
+        fast_module="repro.dissemination.batch",
+        legacy_module="repro.dissemination.base",
+        symbols=(
+            (
+                "LedgerRecordView.latency_of",
+                "BroadcastRecord.latency_of",
+                ("node_id",),
+            ),
+            (
+                "LedgerRecordView.coverage",
+                "BroadcastRecord.coverage",
+                ("num_nodes",),
+            ),
+            (
+                "LedgerRecordView.latency_percentile",
+                "BroadcastRecord.latency_percentile",
+                ("q",),
+            ),
+        ),
+        evidence=("LedgerRecordView", "BroadcastRecord"),
+    ),
     ParityPair(
         name="net-clock",
         fast_module="repro.net.clock",

@@ -145,17 +145,35 @@ class PseudonymServiceBase(abc.ABC):
 
 
 class _LatencyModel:
-    """Draws per-message one-way latencies: Uniform(0, max_latency]."""
+    """Draws per-message one-way latencies: Uniform(0, max_latency].
 
-    __slots__ = ("_max_latency", "_rng")
+    A ``fixed`` latency overrides the draw entirely and consumes no
+    randomness: every message takes exactly that long.  With
+    ``fixed=1.0`` each broadcast hop lands on the next integer sim
+    time — the round discretization the dissemination-plane
+    differential tests rely on when churn must interleave with an
+    in-flight epidemic.
+    """
 
-    def __init__(self, max_latency: float, rng: np.random.Generator) -> None:
+    __slots__ = ("_max_latency", "_rng", "_fixed")
+
+    def __init__(
+        self,
+        max_latency: float,
+        rng: np.random.Generator,
+        fixed: Optional[float] = None,
+    ) -> None:
         if max_latency < 0:
             raise LinkLayerError("max_latency must be non-negative")
+        if fixed is not None and fixed < 0:
+            raise LinkLayerError("fixed latency must be non-negative")
         self._max_latency = max_latency
         self._rng = rng
+        self._fixed = fixed
 
     def sample(self) -> float:
+        if self._fixed is not None:
+            return float(self._fixed)
         if self._max_latency == 0.0:
             return 0.0
         return float(self._rng.uniform(0.0, self._max_latency))
@@ -215,10 +233,11 @@ class IdealAnonymityService(AnonymityService):
         max_latency: float = 0.05,
         loss_rate: float = 0.0,
         traffic: Optional[TrafficLog] = None,
+        fixed_latency: Optional[float] = None,
     ) -> None:
         self._sim = sim
         self._directory = directory
-        self._latency = _LatencyModel(max_latency, rng)
+        self._latency = _LatencyModel(max_latency, rng, fixed=fixed_latency)
         self.loss = _LossModel(loss_rate, rng)
         self._traffic = traffic if traffic is not None else TrafficLog(enabled=False)
         self.sent_count = 0
@@ -268,10 +287,11 @@ class IdealPseudonymService(PseudonymServiceBase):
         max_latency: float = 0.05,
         loss_rate: float = 0.0,
         traffic: Optional[TrafficLog] = None,
+        fixed_latency: Optional[float] = None,
     ) -> None:
         self._sim = sim
         self._directory = directory
-        self._latency = _LatencyModel(max_latency, rng)
+        self._latency = _LatencyModel(max_latency, rng, fixed=fixed_latency)
         self.loss = _LossModel(loss_rate, rng)
         self._traffic = traffic if traffic is not None else TrafficLog(enabled=False)
         self._owners: Dict[Address, int] = {}
@@ -377,20 +397,24 @@ def make_ideal_link_layer(
     max_latency: float = 0.05,
     loss_rate: float = 0.0,
     traffic: Optional[TrafficLog] = None,
+    fixed_latency: Optional[float] = None,
 ) -> LinkLayer:
     """Convenience constructor for the evaluation's ideal link layer.
 
     ``loss_rate`` > 0 departs from the ideal model: each message is
     independently dropped with that probability even when the
     destination is online (network-loss stress testing).
+    ``fixed_latency`` replaces the uniform latency draw with a constant
+    (no RNG consumption) — deterministic per-hop timing for round-exact
+    dissemination tests.
     """
     directory = NodeDirectory()
     anonymity = IdealAnonymityService(
         sim, directory, rng, max_latency=max_latency, loss_rate=loss_rate,
-        traffic=traffic,
+        traffic=traffic, fixed_latency=fixed_latency,
     )
     pseudonym = IdealPseudonymService(
         sim, directory, rng, max_latency=max_latency, loss_rate=loss_rate,
-        traffic=traffic,
+        traffic=traffic, fixed_latency=fixed_latency,
     )
     return LinkLayer(directory, anonymity, pseudonym)

@@ -26,7 +26,7 @@ class TestChannelAdjacency:
 
         channel_pairs = set()
         for node_id, channels in adjacency.items():
-            for kind, target in channels:
+            for kind, target, destination in channels:
                 if kind == "trusted":
                     channel_pairs.add(frozenset((node_id, target)))
                 elif kind == "reverse":
@@ -35,6 +35,7 @@ class TestChannelAdjacency:
                     owner = overlay.owner_of_address(target)
                     if owner is not None:
                         channel_pairs.add(frozenset((node_id, owner)))
+                        assert owner == destination
         snapshot_pairs = {frozenset(edge) for edge in snapshot.edges()}
         assert snapshot_pairs <= channel_pairs
 
@@ -44,7 +45,7 @@ class TestChannelAdjacency:
         kinds = {
             kind
             for channels in adjacency.values()
-            for kind, _ in channels
+            for kind, _target, _destination in channels
         }
         assert "reverse" in kinds
         assert "out" in kinds

@@ -480,6 +480,8 @@ class TestParityRules:
             "node-plane-links",
             "sharded-batch",
             "net-clock",
+            "dissemination-plane",
+            "broadcast-ledger",
         }
 
 
